@@ -1,0 +1,104 @@
+// Figure 5 reproduction: the GC timing diagram for a sequential
+// circuit — per-clock-cycle garbling / OT / evaluation phases measured
+// on a live run, demonstrating that while the evaluator processes cycle
+// t the garbler is already garbling cycle t+1 (total time is NOT the sum
+// of both parties' work).
+#include <algorithm>
+#include <cstdio>
+
+#include "core/deepsecure.h"
+#include "net/party.h"
+#include "synth/matvec.h"
+#include "synth/mult.h"
+
+using namespace deepsecure;
+
+namespace {
+
+// A step circuit heavy enough that per-cycle times are measurable:
+// `width` MACs per cycle with an accumulator register file.
+Circuit wide_mac_step(size_t width, FixedFormat fmt) {
+  Builder b("fig5_step");
+  using namespace synth;
+  std::vector<Bus> acc_next;
+  for (size_t i = 0; i < width; ++i) {
+    const Bus x = input_fixed(b, Party::kGarbler, fmt);
+    const Bus w = input_fixed(b, Party::kEvaluator, fmt);
+    const Bus acc = b.state_inputs(fmt.total_bits);
+    const Bus next = add(b, acc, mult_fixed(b, x, w, fmt.frac_bits));
+    acc_next.push_back(next);
+  }
+  std::vector<Wire> state_next, outs;
+  for (const auto& bus : acc_next)
+    for (Wire w : bus) {
+      state_next.push_back(w);
+      outs.push_back(w);
+    }
+  b.set_state_next(state_next);
+  for (Wire w : outs) b.output(w);
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5: GC phase timing for a sequential circuit\n\n");
+
+  const FixedFormat fmt = kDefaultFormat;
+  const size_t width = 192;  // MACs per cycle
+  const size_t cycles = 12;
+  const Circuit step = wide_mac_step(width, fmt);
+  std::printf("step circuit: %llu non-XOR gates/cycle, %zu cycles\n",
+              static_cast<unsigned long long>(step.stats().num_and), cycles);
+
+  Rng rng(5);
+  BitVec data, weights;
+  for (size_t t = 0; t < cycles; ++t)
+    for (size_t i = 0; i < width; ++i) {
+      const auto xb = Fixed::from_double(rng.next_uniform(-0.2, 0.2)).to_bits();
+      const auto wb = Fixed::from_double(rng.next_uniform(-0.2, 0.2)).to_bits();
+      data.insert(data.end(), xb.begin(), xb.end());
+      weights.insert(weights.end(), wb.begin(), wb.end());
+    }
+
+  SessionTrace g_trace, e_trace;
+  run_two_party(
+      [&](Channel& ch) {
+        GarblerSession s(ch, Block{55, 56});
+        s.run_sequential(step, cycles, data);
+        g_trace = s.trace();
+      },
+      [&](Channel& ch) {
+        EvaluatorSession s(ch);
+        s.run_sequential(step, cycles, weights);
+        e_trace = s.trace();
+      });
+
+  std::printf("\nper-cycle phase durations (ms):\n");
+  std::printf("  %-6s %-12s %-12s %-12s\n", "cycle", "garble(A)", "OT/xfer",
+              "eval(B)");
+  double g_total = 0, e_total = 0;
+  for (size_t t = 0; t < cycles; ++t) {
+    const auto& g = g_trace.phases[t];
+    const auto& e = e_trace.phases[t];
+    std::printf("  %-6zu %-12.3f %-12.3f %-12.3f\n", t, g.garble_s * 1e3,
+                g.ot_s * 1e3 + e.ot_s * 1e3, e.eval_s * 1e3);
+    g_total += g.garble_s;
+    e_total += e.eval_s;
+  }
+
+  const double wall =
+      std::max(g_trace.total_s - g_trace.setup_s,
+               e_trace.total_s - e_trace.setup_s);
+  std::printf("\npipelining (Alice garbles cycle t+1 while Bob evaluates t):\n");
+  std::printf("  garbler busy (garbling)   : %.3f s\n", g_total);
+  std::printf("  evaluator busy (evaluating): %.3f s\n", e_total);
+  std::printf("  one-time OT setup          : %.3f s (excluded below)\n",
+              std::max(g_trace.setup_s, e_trace.setup_s));
+  std::printf("  wall clock (post-setup)    : %.3f s vs serial sum %.3f s\n",
+              wall, g_total + e_total);
+  std::printf("\n  total execution %.0f%% of the serial garble+eval sum ->\n"
+              "  the protocol is NOT the sum of both parties' work (Fig. 5)\n",
+              100.0 * wall / (g_total + e_total));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 6 reproduction: expected processing delay vs number of client
+// samples for DeepSecure (with/without pre-processing) and CryptoNets.
+//
+// The paper's crossover markers follow from computation-dominated
+// per-sample delay: 570.11/1.98 ~ 288 and 570.11/0.22 ~ 2590; CryptoNets
+// steps at multiples of 8192 samples. We regenerate the same series from
+// (a) the paper's per-sample constants and (b) our own cost model for
+// benchmark 1, and print both.
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/cryptonets.h"
+#include "core/benchmark_zoo.h"
+#include "cost/cost_model.h"
+#include "support/table.h"
+
+using namespace deepsecure;
+
+int main() {
+  std::printf("Figure 6: expected processing delay vs batch size\n\n");
+
+  const auto z = core::benchmark1();
+  const auto ours_base = cost::cost_from_gates(synth::count_model(z.base));
+  const auto ours_pp = cost::cost_from_gates(synth::count_model(z.compact));
+
+  const double paper_wo = 1.98, paper_w = 0.22;  // paper comp s/sample
+  const baseline::CryptoNetsParams cn;
+
+  TablePrinter t({"N", "DS w/o (paper)", "DS w/ (paper)", "CryptoNets",
+                  "DS w/o (ours)", "DS w/ (ours)"});
+  const size_t ns[] = {1,    2,    5,    10,   20,    50,   100,  288,
+                       500,  1000, 2000, 2590, 4000,  6000, 8192, 8193,
+                       10000};
+  for (size_t n : ns) {
+    t.add_row({std::to_string(n),
+               TablePrinter::num(baseline::deepsecure_delay_s(n, paper_wo), 1),
+               TablePrinter::num(baseline::deepsecure_delay_s(n, paper_w), 1),
+               TablePrinter::num(baseline::cryptonets_delay_s(n, cn), 1),
+               TablePrinter::num(
+                   baseline::deepsecure_delay_s(n, ours_base.comp_seconds), 1),
+               TablePrinter::num(
+                   baseline::deepsecure_delay_s(n, ours_pp.comp_seconds), 1)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::printf("\ncrossover points (largest N where DeepSecure wins):\n");
+  std::printf("  w/o pre-processing : N = %zu (paper marker: 288)\n",
+              baseline::crossover_samples(paper_wo, cn));
+  std::printf("  w/  pre-processing : N = %zu (paper marker: 2590)\n",
+              baseline::crossover_samples(paper_w, cn));
+  std::printf("  ours w/o           : N = %zu\n",
+              baseline::crossover_samples(ours_base.comp_seconds, cn));
+  std::printf("  ours w/            : N = %zu\n",
+              baseline::crossover_samples(ours_pp.comp_seconds, cn));
+
+  // ASCII rendering of the log-log figure.
+  std::printf("\nlog-log sketch (rows = delay decade, x = samples):\n");
+  const int kCols = 60;
+  auto col_of = [&](double n) {
+    return static_cast<int>(std::log10(n) / std::log10(10000.0) * (kCols - 1));
+  };
+  for (int decade = 5; decade >= 0; --decade) {
+    std::string line(kCols, ' ');
+    auto mark = [&](double per_sample, char glyph) {
+      for (int c = 0; c < kCols; ++c) {
+        const double n = std::pow(10.0, static_cast<double>(c) /
+                                             (kCols - 1) * 4.0);
+        const double d = baseline::deepsecure_delay_s(
+            static_cast<size_t>(std::max(1.0, n)), per_sample);
+        if (static_cast<int>(std::floor(std::log10(std::max(d, 1e-9)))) ==
+            decade)
+          line[static_cast<size_t>(c)] = glyph;
+      }
+    };
+    auto mark_cn = [&](char glyph) {
+      for (int c = 0; c < kCols; ++c) {
+        const double n = std::pow(10.0, static_cast<double>(c) /
+                                             (kCols - 1) * 4.0);
+        const double d =
+            baseline::cryptonets_delay_s(static_cast<size_t>(std::max(1.0, n)), cn);
+        if (static_cast<int>(std::floor(std::log10(d))) == decade)
+          line[static_cast<size_t>(c)] = glyph;
+      }
+    };
+    mark_cn('C');
+    mark(paper_wo, 'o');
+    mark(paper_w, '+');
+    std::printf("  1e%d |%s|\n", decade, line.c_str());
+  }
+  std::printf("       1        10       100      1000     10000  samples\n");
+  std::printf("  o = DeepSecure w/o pre-p, + = w/ pre-p, C = CryptoNets\n");
+  (void)col_of;
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks of the substrates: AES rates, fixed-key hash, curve
+// operations (base-OT cost), OT extension, netlist construction.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.h"
+#include "crypto/ed25519.h"
+#include "crypto/prg.h"
+#include "crypto/sha256.h"
+#include "gc/ot.h"
+#include "net/party.h"
+#include "synth/activation.h"
+#include "synth/mult.h"
+
+using namespace deepsecure;
+
+namespace {
+
+void BM_Aes128Batch(benchmark::State& state) {
+  const Aes128Key key = aes128_expand(Block{1, 2});
+  std::vector<Block> blocks(1024);
+  Prg prg(Block{3, 4});
+  prg.next_blocks(blocks.data(), blocks.size());
+  for (auto _ : state) {
+    aes128_encrypt_batch(key, blocks.data(), blocks.size());
+    benchmark::DoNotOptimize(blocks.data());
+  }
+  state.counters["blocks/s"] = benchmark::Counter(
+      static_cast<double>(blocks.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Aes128Batch);
+
+void BM_GcHash(benchmark::State& state) {
+  Block x{5, 6};
+  uint64_t tweak = 0;
+  for (auto _ : state) {
+    x = gc_hash(x, tweak++);
+    benchmark::DoNotOptimize(x);
+  }
+  state.counters["hashes/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GcHash);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<uint8_t> data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_Ed25519ScalarMult(benchmark::State& state) {
+  Ed25519Scalar k{};
+  k[0] = 0xA7;
+  k[31] = 0x12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ed25519Point::base_mul(k));
+  }
+}
+BENCHMARK(BM_Ed25519ScalarMult)->Unit(benchmark::kMicrosecond);
+
+void BM_OtExtension(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    run_two_party(
+        [&](Channel& ch) {
+          Prg prg(Block{5, 6});
+          OtExtSender s(ch);
+          s.setup(prg);
+          std::vector<Block> zeros(m);
+          prg.next_blocks(zeros.data(), m);
+          s.send_correlated(zeros, Block{1, 1});
+        },
+        [&](Channel& ch) {
+          Prg prg(Block{7, 8});
+          OtExtReceiver r(ch);
+          r.setup(prg);
+          BitVec choices(m, 1);
+          r.recv(choices);
+        });
+  }
+  state.counters["OT/s"] = benchmark::Counter(
+      static_cast<double>(m) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OtExtension)->Arg(1 << 14)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BuildMult16(benchmark::State& state) {
+  using namespace synth;
+  for (auto _ : state) {
+    Builder b;
+    const Bus x = input_fixed(b, Party::kGarbler, kDefaultFormat);
+    const Bus y = input_fixed(b, Party::kEvaluator, kDefaultFormat);
+    b.outputs(mult_fixed(b, x, y, 12));
+    benchmark::DoNotOptimize(b.build());
+  }
+}
+BENCHMARK(BM_BuildMult16)->Unit(benchmark::kMicrosecond);
+
+void BM_BuildTanhLut(benchmark::State& state) {
+  using namespace synth;
+  for (auto _ : state) {
+    Builder b;
+    const Bus x = input_fixed(b, Party::kGarbler, kDefaultFormat);
+    b.outputs(activation(b, x, ActKind::kTanhLUT, kDefaultFormat));
+    benchmark::DoNotOptimize(b.build());
+  }
+}
+BENCHMARK(BM_BuildTanhLut)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Table 5 reproduction: the four benchmarks AFTER data and DL-network
+// pre-processing, with the per-benchmark improvement factor, plus a live
+// demonstration that the pipeline preserves accuracy on benchmark-3
+// (ISOLET-like) data.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/benchmark_zoo.h"
+#include "core/deepsecure.h"
+#include "data/synthetic.h"
+#include "support/table.h"
+
+using namespace deepsecure;
+
+int main() {
+  std::printf("Table 5: benchmarks with data + network pre-processing\n\n");
+
+  TablePrinter t({"Name", "Compaction", "#XOR", "#non-XOR", "Comm(MB)",
+                  "Comp(s)", "Exec(s)", "Improve", "paper Impr"});
+  for (const auto& z : core::paper_zoo()) {
+    const auto base = synth::count_model(z.base);
+    const auto compact = synth::count_model(z.compact);
+    const auto cb = cost::cost_from_gates(base);
+    const auto cc = cost::cost_from_gates(compact);
+    const double improvement = cb.exec_seconds / cc.exec_seconds;
+    t.add_row({z.name, z.compaction,
+               TablePrinter::sci(static_cast<double>(compact.num_xor)),
+               TablePrinter::sci(static_cast<double>(compact.num_non_xor)),
+               TablePrinter::num(cc.comm_bytes / 1e6, 1),
+               TablePrinter::num(cc.comp_seconds, 2),
+               TablePrinter::num(cc.exec_seconds, 2),
+               TablePrinter::num(improvement, 2) + "x",
+               TablePrinter::num(z.paper_improvement, 2) + "x"});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "\nCompaction knobs (projection dim + keep fraction) follow the\n"
+      "paper's reported folds; per-benchmark rates are in\n"
+      "src/core/benchmark_zoo.cpp.\n");
+
+  if (std::getenv("DEEPSECURE_SKIP_LIVE") != nullptr) {
+    std::printf("\n[live pipeline run skipped]\n");
+    return 0;
+  }
+
+  // Live pipeline on ISOLET-like data: accuracy must survive projection
+  // + pruning ("without any drop in the underlying DL accuracy").
+  std::printf("\nLive pre-processing pipeline on benchmark-3 data:\n");
+  const nn::Dataset all = data::make_isolet_like(728, 9);
+  const nn::Split split = nn::split_dataset(all, 0.8);
+
+  PreprocessConfig pc;
+  pc.hidden = 50;
+  pc.projection.gamma = 0.04;  // grow the dictionary to the noise floor
+  pc.projection.max_dict = 308;
+  pc.prune.prune_fraction = 0.67;
+  pc.prune.rounds = 2;
+  pc.prune.retrain_epochs = 6;
+  pc.retrain.epochs = 12;
+  pc.retrain.lr = 0.005f;  // 617-dim inputs
+
+  const PreprocessOutcome out =
+      preprocess_pipeline(split.train, split.test, nn::Act::kTanh, pc);
+
+  std::printf("  projection      : 617 -> %zu features\n",
+              out.projection.embed_dim);
+  std::printf("  pruning         : %.0f%% weights removed\n",
+              100.0 * out.prune.overall_sparsity);
+  std::printf("  accuracy        : %.1f%% -> %.1f%%\n",
+              100.0 * out.baseline_accuracy, 100.0 * out.condensed_accuracy);
+  std::printf("  GC exec (model) : %.3f s -> %.3f s  (%.2fx)\n",
+              out.cost_before.exec_seconds, out.cost_after.exec_seconds,
+              out.cost_before.exec_seconds / out.cost_after.exec_seconds);
+  std::printf("  GC comm         : %.1f MB -> %.1f MB\n",
+              out.cost_before.comm_bytes / 1e6,
+              out.cost_after.comm_bytes / 1e6);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Table 6 reproduction: DeepSecure vs CryptoNets on benchmark 1,
+// per-sample communication / computation / execution and the headline
+// improvement factors (paper: 58.96x without pre-processing, 527.88x
+// with), plus the privacy/utility comparison (square vs true
+// activations) that motivates GC over HE.
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/cryptonets.h"
+#include "core/benchmark_zoo.h"
+#include "core/deepsecure.h"
+#include "data/synthetic.h"
+#include "support/table.h"
+
+using namespace deepsecure;
+
+int main() {
+  std::printf("Table 6: DeepSecure vs CryptoNets, benchmark 1 (per sample)\n\n");
+
+  const auto z = core::benchmark1();
+  const baseline::CryptoNetsParams cn;
+
+  const auto base_cost = cost::cost_from_gates(synth::count_model(z.base));
+  const auto pp_cost = cost::cost_from_gates(synth::count_model(z.compact));
+
+  TablePrinter t({"Framework", "Comm", "Comp(s)", "Exec(s)", "Improvement"});
+  t.add_row({"DeepSecure w/o pre-p",
+             TablePrinter::num(base_cost.comm_bytes / 1e6, 0) + "MB",
+             TablePrinter::num(base_cost.comp_seconds, 2),
+             TablePrinter::num(base_cost.exec_seconds, 2),
+             TablePrinter::num(cn.batch_latency_s / base_cost.exec_seconds, 2) +
+                 "x"});
+  t.add_row({"DeepSecure w/  pre-p",
+             TablePrinter::num(pp_cost.comm_bytes / 1e6, 1) + "MB",
+             TablePrinter::num(pp_cost.comp_seconds, 2),
+             TablePrinter::num(pp_cost.exec_seconds, 2),
+             TablePrinter::num(cn.batch_latency_s / pp_cost.exec_seconds, 2) +
+                 "x"});
+  t.add_row({"CryptoNets", "74KB", TablePrinter::num(cn.batch_latency_s, 2),
+             TablePrinter::num(cn.batch_latency_s, 2), "-"});
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::printf("\nPaper row (published gate counts at the same cost model):\n");
+  const auto paper_base = cost::cost_from_gates(synth::GateCount{
+      static_cast<uint64_t>(z.paper_base.num_xor),
+      static_cast<uint64_t>(z.paper_base.num_non_xor)});
+  const auto paper_pp = cost::cost_from_gates(synth::GateCount{
+      static_cast<uint64_t>(z.paper_compact.num_xor),
+      static_cast<uint64_t>(z.paper_compact.num_non_xor)});
+  std::printf("  w/o pre-p: comm %.0f MB, exec %.2f s -> %.2fx vs CryptoNets"
+              " (paper: 58.96x)\n",
+              paper_base.comm_bytes / 1e6, paper_base.exec_seconds,
+              cn.batch_latency_s / paper_base.exec_seconds);
+  std::printf("  w/  pre-p: comm %.1f MB, exec %.2f s -> %.2fx vs CryptoNets"
+              " (paper: 527.88x)\n",
+              paper_pp.comm_bytes / 1e6, paper_pp.exec_seconds,
+              cn.batch_latency_s / paper_pp.exec_seconds);
+
+  if (std::getenv("DEEPSECURE_SKIP_LIVE") != nullptr) return 0;
+
+  // Utility comparison: CryptoNets must square-approximate activations.
+  // Two regimes: an easy well-separated task (both fine) and a noisy
+  // low-margin task where the saturating non-linearity matters.
+  std::printf("\nPrivacy/utility trade-off (same topology, same training):\n");
+  {
+    const nn::Dataset all = data::make_mnist_like(600, 21);
+    const nn::Split split = nn::split_dataset(all, 0.8);
+    nn::TrainConfig tc;
+    tc.epochs = 10;
+    tc.lr = 0.002f;
+    const auto cmp = baseline::compare_utility(split.train, split.test, 32,
+                                               nn::Act::kReLU, tc);
+    std::printf("  easy task : true act %.1f%%  vs square act %.1f%%\n",
+                100.0 * cmp.accuracy_true_act, 100.0 * cmp.accuracy_square_act);
+  }
+  {
+    data::SyntheticConfig cfg;
+    cfg.features = 24;
+    cfg.classes = 4;
+    cfg.samples = 320;
+    cfg.subspace_rank = 5;
+    cfg.noise = 0.08;
+    cfg.class_sep = 0.55;
+    cfg.seed = 77;
+    const nn::Dataset all = data::make_subspace_dataset(cfg);
+    const nn::Split split = nn::split_dataset(all, 0.75);
+    nn::TrainConfig tc;
+    tc.epochs = 14;
+    const auto cmp = baseline::compare_utility(split.train, split.test, 12,
+                                               nn::Act::kTanh, tc);
+    std::printf("  noisy task: true act %.1f%%  vs square act %.1f%%\n",
+                100.0 * cmp.accuracy_true_act, 100.0 * cmp.accuracy_square_act);
+  }
+  std::printf(
+      "  On these synthetic tasks both nets separate the classes; the\n"
+      "  structural point stands: the HE path is *restricted* to\n"
+      "  polynomial activations (a model change imposed by the crypto),\n"
+      "  while GC evaluates the exact trained non-linearity -- privacy\n"
+      "  never forces an approximation (cf. Table 3 error column).\n");
+  return 0;
+}

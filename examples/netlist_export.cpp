@@ -1,0 +1,145 @@
+// Netlist export tool: synthesize any Table-3 block or paper benchmark
+// into the text netlist format (circuit/netlist_io.h) for inspection,
+// diffing, archival, or consumption by an external GC engine.
+//
+//   ./netlist_export                   # list available circuits
+//   ./netlist_export mult out.netlist  # write one circuit
+//   ./netlist_export b3 -              # benchmark 3 to stdout (header only)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+
+#include "circuit/netlist_io.h"
+#include "core/benchmark_zoo.h"
+#include "synth/activation.h"
+#include "synth/cordic.h"
+#include "synth/divider.h"
+#include "synth/matvec.h"
+#include "synth/mult.h"
+#include "synth/softmax.h"
+
+using namespace deepsecure;
+using namespace deepsecure::synth;
+
+namespace {
+
+template <typename Fn>
+Circuit unary(const char* name, Fn&& fn) {
+  Builder b(name);
+  const Bus x = input_fixed(b, Party::kGarbler, kDefaultFormat);
+  b.outputs(fn(b, x, kDefaultFormat));
+  return b.build();
+}
+
+std::map<std::string, std::function<Circuit()>> registry() {
+  std::map<std::string, std::function<Circuit()>> r;
+  r["add"] = [] {
+    Builder b("add16");
+    const Bus x = input_fixed(b, Party::kGarbler, kDefaultFormat);
+    const Bus y = input_fixed(b, Party::kEvaluator, kDefaultFormat);
+    b.outputs(add(b, x, y));
+    return b.build();
+  };
+  r["mult"] = [] {
+    Builder b("mult16");
+    const Bus x = input_fixed(b, Party::kGarbler, kDefaultFormat);
+    const Bus y = input_fixed(b, Party::kEvaluator, kDefaultFormat);
+    b.outputs(mult_fixed(b, x, y, kDefaultFormat.frac_bits));
+    return b.build();
+  };
+  r["div"] = [] {
+    Builder b("div16");
+    const Bus x = input_fixed(b, Party::kGarbler, kDefaultFormat);
+    const Bus y = input_fixed(b, Party::kEvaluator, kDefaultFormat);
+    b.outputs(div_signed(b, x, y));
+    return b.build();
+  };
+  r["relu"] = [] {
+    return unary("relu16", [](Builder& b, const Bus& x, FixedFormat) {
+      return relu(b, x);
+    });
+  };
+  r["tanh_cordic"] = [] {
+    return unary("tanh_cordic", [](Builder& b, const Bus& x, FixedFormat f) {
+      return tanh_cordic(b, x, f);
+    });
+  };
+  r["sigmoid_plan"] = [] {
+    return unary("sigmoid_plan", [](Builder& b, const Bus& x, FixedFormat f) {
+      return activation(b, x, ActKind::kSigmoidPLAN, f);
+    });
+  };
+  r["argmax10"] = [] {
+    Builder b("argmax10");
+    std::vector<Bus> vals(10);
+    for (auto& bus : vals) bus = input_fixed(b, Party::kGarbler, kDefaultFormat);
+    b.outputs(argmax(b, vals));
+    return b.build();
+  };
+  r["matvec16x4"] = [] { return make_matvec_circuit(16, 4, kDefaultFormat); };
+  r["mac_step"] = [] { return make_mac_step_circuit(kDefaultFormat); };
+  // Paper benchmark 3 (the only one that is sensible to materialize).
+  r["b3"] = [] { return compile_model(core::paper_zoo()[2].base); };
+  r["b3_pp"] = [] { return compile_model(core::paper_zoo()[2].compact); };
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto reg = registry();
+  if (argc < 2) {
+    std::printf("usage: %s <circuit> [out.netlist|-]\n\navailable:\n",
+                argv[0]);
+    for (const auto& [name, make] : reg) {
+      const Circuit c = make();
+      const auto s = c.stats();
+      std::printf("  %-12s %8llu XOR  %8llu non-XOR  %6zu in  %4zu out\n",
+                  name.c_str(), static_cast<unsigned long long>(s.num_xor),
+                  static_cast<unsigned long long>(s.num_and),
+                  static_cast<size_t>(s.num_inputs),
+                  static_cast<size_t>(s.num_outputs));
+    }
+    return 0;
+  }
+
+  const auto it = reg.find(argv[1]);
+  if (it == reg.end()) {
+    std::fprintf(stderr, "unknown circuit '%s' (run with no args to list)\n",
+                 argv[1]);
+    return 1;
+  }
+  const Circuit c = it->second();
+  const std::string out = argc >= 3 ? argv[2] : std::string(argv[1]) + ".netlist";
+
+  if (out == "-") {
+    const auto s = c.stats();
+    std::printf("netlist %s: %llu gates (%llu non-XOR), %u wires\n",
+                c.name.c_str(),
+                static_cast<unsigned long long>(s.num_xor + s.num_and),
+                static_cast<unsigned long long>(s.num_and), c.num_wires);
+    return 0;
+  }
+  std::ofstream f(out);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", out.c_str());
+    return 1;
+  }
+  write_netlist(f, c);
+  f.close();
+  const auto s = c.stats();
+  std::printf("wrote %s: %llu gates (%llu non-XOR), round-trip check... ",
+              out.c_str(),
+              static_cast<unsigned long long>(s.num_xor + s.num_and),
+              static_cast<unsigned long long>(s.num_and));
+  // Verify the file parses back to an identical netlist.
+  std::ifstream in(out);
+  const Circuit back = read_netlist(in);
+  std::printf("%s\n", back.gates.size() == c.gates.size() &&
+                              back.num_wires == c.num_wires
+                          ? "ok"
+                          : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "baseline/cryptonets.h"
+
+#include <cmath>
+
+namespace deepsecure::baseline {
+
+double cryptonets_delay_s(size_t n, const CryptoNetsParams& p) {
+  if (n == 0) return 0.0;
+  const size_t batches = (n + p.max_batch - 1) / p.max_batch;
+  return static_cast<double>(batches) * p.batch_latency_s;
+}
+
+size_t crossover_samples(double per_sample_s, const CryptoNetsParams& p) {
+  // Within the first batch the CryptoNets delay is flat; DeepSecure wins
+  // while n * per_sample < batch_latency.
+  return static_cast<size_t>(std::floor(p.batch_latency_s / per_sample_s));
+}
+
+UtilityComparison compare_utility(const nn::Dataset& train,
+                                  const nn::Dataset& test, size_t hidden,
+                                  nn::Act true_act,
+                                  const nn::TrainConfig& cfg) {
+  UtilityComparison out;
+  const size_t classes = train.num_classes;
+  const nn::Shape in{1, 1, train.x.empty() ? 1 : train.x[0].size()};
+
+  for (const bool square : {false, true}) {
+    Rng rng(2718);
+    nn::Network net(in);
+    net.dense(hidden, rng)
+        .act(square ? nn::Act::kSquare : true_act)
+        .dense(classes, rng);
+    nn::train(net, train, cfg);
+    const float acc = nn::accuracy(net, test);
+    if (square)
+      out.accuracy_square_act = acc;
+    else
+      out.accuracy_true_act = acc;
+  }
+  return out;
+}
+
+}  // namespace deepsecure::baseline

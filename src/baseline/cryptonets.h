@@ -1,0 +1,50 @@
+// CryptoNets baseline (Gilad-Bachrach et al., ICML'16) — the comparator
+// of Table 6 and Figure 6.
+//
+// Two parts:
+//  * a cost model pinned to the published numbers the paper compares
+//    against (570.11 s per batch of up to 8192 samples on a Xeon E5-1620,
+//    74 KB communication per sample, constant latency regardless of
+//    batch occupancy);
+//  * a utility baseline: CryptoNets must replace non-polynomial
+//    activations with low-degree polynomials (square). We train the same
+//    topology with square vs. true activations to quantify the
+//    privacy/utility trade-off the paper argues GC avoids.
+#pragma once
+
+#include "nn/trainer.h"
+
+namespace deepsecure::baseline {
+
+struct CryptoNetsParams {
+  double batch_latency_s = 570.11;
+  size_t max_batch = 8192;
+  double comm_bytes_per_sample = 74.0 * 1024;
+};
+
+/// Client-visible delay for processing `n` samples (batched).
+double cryptonets_delay_s(size_t n, const CryptoNetsParams& p = {});
+
+/// DeepSecure client-visible delay for `n` samples at `per_sample_s`
+/// (linear — the streaming advantage of Figure 6).
+inline double deepsecure_delay_s(size_t n, double per_sample_s) {
+  return static_cast<double>(n) * per_sample_s;
+}
+
+/// Largest n for which DeepSecure (at per_sample_s) beats CryptoNets —
+/// the crossover markers of Figure 6 (288 and 2590 in the paper).
+size_t crossover_samples(double per_sample_s, const CryptoNetsParams& p = {});
+
+struct UtilityComparison {
+  float accuracy_true_act = 0.0f;   // ReLU/Tanh network
+  float accuracy_square_act = 0.0f; // polynomial (HE-compatible) network
+};
+
+/// Train twin networks (identical topology, different activation) and
+/// report test accuracies.
+UtilityComparison compare_utility(const nn::Dataset& train,
+                                  const nn::Dataset& test,
+                                  size_t hidden, nn::Act true_act,
+                                  const nn::TrainConfig& cfg);
+
+}  // namespace deepsecure::baseline

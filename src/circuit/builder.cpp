@@ -1,0 +1,109 @@
+#include "circuit/builder.h"
+
+#include <stdexcept>
+
+namespace deepsecure {
+
+Builder::Builder(std::string name, bool enable_cse) : cse_(enable_cse) {
+  c_.name = std::move(name);
+}
+
+Wire Builder::new_wire() { return c_.num_wires++; }
+
+Wire Builder::input(Party p) {
+  const Wire w = new_wire();
+  (p == Party::kGarbler ? c_.garbler_inputs : c_.evaluator_inputs).push_back(w);
+  return w;
+}
+
+std::vector<Wire> Builder::inputs(Party p, size_t n) {
+  std::vector<Wire> ws(n);
+  for (auto& w : ws) w = input(p);
+  return ws;
+}
+
+Wire Builder::state_input() {
+  const Wire w = new_wire();
+  c_.state_inputs.push_back(w);
+  return w;
+}
+
+std::vector<Wire> Builder::state_inputs(size_t n) {
+  std::vector<Wire> ws(n);
+  for (auto& w : ws) w = state_input();
+  return ws;
+}
+
+void Builder::set_state_next(const std::vector<Wire>& next) {
+  c_.state_next = next;
+}
+
+Wire Builder::emit(GateOp op, Wire a, Wire b) {
+  // Canonicalize commutative operand order for CSE.
+  if (a > b) std::swap(a, b);
+
+  // Constant folding and algebraic identities — this is the netlist
+  // optimization pass that stands in for synthesis-tool minimization.
+  if (op == GateOp::kXor) {
+    if (a == b) return kConst0;
+    if (a == kConst0) return b;
+    // XOR with const1 (NOT) is kept: free in GC, needed for inversion.
+  } else {  // AND
+    if (a == b) return a;
+    if (a == kConst0) return kConst0;
+    if (a == kConst1) return b;
+  }
+
+  if (cse_) {
+    const uint64_t key = (static_cast<uint64_t>(a) << 33) |
+                         (static_cast<uint64_t>(b) << 1) |
+                         static_cast<uint64_t>(op);
+    if (auto it = cse_map_.find(key); it != cse_map_.end()) return it->second;
+    const Wire out = new_wire();
+    c_.gates.push_back(Gate{a, b, out, op});
+    if (op == GateOp::kAnd)
+      ++and_count_;
+    else
+      ++xor_count_;
+    cse_map_.emplace(key, out);
+    return out;
+  }
+
+  const Wire out = new_wire();
+  c_.gates.push_back(Gate{a, b, out, op});
+  if (op == GateOp::kAnd)
+    ++and_count_;
+  else
+    ++xor_count_;
+  return out;
+}
+
+Wire Builder::xor_(Wire a, Wire b) { return emit(GateOp::kXor, a, b); }
+Wire Builder::and_(Wire a, Wire b) { return emit(GateOp::kAnd, a, b); }
+
+Wire Builder::or_(Wire a, Wire b) {
+  // a | b = (a ^ b) ^ (a & b); one non-XOR gate.
+  return xor_(xor_(a, b), and_(a, b));
+}
+
+Wire Builder::mux(Wire sel, Wire t, Wire f) {
+  // f ^ sel*(t^f): one AND gate per mux.
+  if (t == f) return t;
+  return xor_(f, and_(sel, xor_(t, f)));
+}
+
+void Builder::output(Wire w) { c_.outputs.push_back(w); }
+
+void Builder::outputs(const std::vector<Wire>& ws) {
+  for (Wire w : ws) output(w);
+}
+
+Circuit Builder::build() {
+  if (c_.state_inputs.size() != c_.state_next.size())
+    throw std::logic_error(
+        "builder: set_state_next must cover all state_inputs");
+  c_.validate();
+  return std::move(c_);
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,111 @@
+#include "circuit/circuit.h"
+
+#include <stdexcept>
+
+namespace deepsecure {
+
+CircuitStats Circuit::stats() const {
+  CircuitStats s;
+  for (const Gate& g : gates) {
+    if (g.op == GateOp::kXor)
+      ++s.num_xor;
+    else
+      ++s.num_and;
+  }
+  s.num_wires = num_wires;
+  s.num_inputs = garbler_inputs.size() + evaluator_inputs.size() +
+                 state_inputs.size();
+  s.num_outputs = outputs.size();
+  return s;
+}
+
+BitVec Circuit::eval(const BitVec& garbler_bits, const BitVec& evaluator_bits,
+                     BitVec* state) const {
+  if (garbler_bits.size() != garbler_inputs.size())
+    throw std::invalid_argument("garbler input size mismatch");
+  if (evaluator_bits.size() != evaluator_inputs.size())
+    throw std::invalid_argument("evaluator input size mismatch");
+  if (state != nullptr && !state->empty() &&
+      state->size() != state_inputs.size())
+    throw std::invalid_argument("state size mismatch");
+
+  BitVec w(num_wires, 0);
+  w[kConst1] = 1;
+  for (size_t i = 0; i < garbler_inputs.size(); ++i)
+    w[garbler_inputs[i]] = garbler_bits[i] & 1u;
+  for (size_t i = 0; i < evaluator_inputs.size(); ++i)
+    w[evaluator_inputs[i]] = evaluator_bits[i] & 1u;
+  if (state != nullptr && !state->empty())
+    for (size_t i = 0; i < state_inputs.size(); ++i)
+      w[state_inputs[i]] = (*state)[i] & 1u;
+
+  for (const Gate& g : gates) {
+    const uint8_t a = w[g.a];
+    const uint8_t b = w[g.b];
+    w[g.out] = (g.op == GateOp::kXor) ? (a ^ b) : (a & b);
+  }
+
+  if (state != nullptr) {
+    state->resize(state_next.size());
+    for (size_t i = 0; i < state_next.size(); ++i)
+      (*state)[i] = w[state_next[i]];
+  }
+
+  BitVec out(outputs.size());
+  for (size_t i = 0; i < outputs.size(); ++i) out[i] = w[outputs[i]];
+  return out;
+}
+
+void Circuit::validate() const {
+  if (state_inputs.size() != state_next.size())
+    throw std::logic_error("state_inputs/state_next size mismatch");
+  std::vector<uint8_t> defined(num_wires, 0);
+  defined[kConst0] = defined[kConst1] = 1;
+  auto mark_input = [&](Wire wid) {
+    if (wid >= num_wires) throw std::logic_error("input wire out of range");
+    if (defined[wid]) throw std::logic_error("input wire aliased");
+    defined[wid] = 1;
+  };
+  for (Wire wid : garbler_inputs) mark_input(wid);
+  for (Wire wid : evaluator_inputs) mark_input(wid);
+  for (Wire wid : state_inputs) mark_input(wid);
+
+  for (const Gate& g : gates) {
+    if (g.a >= num_wires || g.b >= num_wires || g.out >= num_wires)
+      throw std::logic_error("gate wire out of range");
+    if (!defined[g.a] || !defined[g.b])
+      throw std::logic_error("gate input not yet defined (not topological)");
+    if (defined[g.out]) throw std::logic_error("gate output redefined");
+    defined[g.out] = 1;
+  }
+  for (Wire wid : outputs)
+    if (wid >= num_wires || !defined[wid])
+      throw std::logic_error("undefined output wire");
+  for (Wire wid : state_next)
+    if (wid >= num_wires || !defined[wid])
+      throw std::logic_error("undefined state_next wire");
+}
+
+BitVec eval_sequential(const Circuit& step, size_t cycles,
+                       const BitVec& garbler_bits,
+                       const BitVec& evaluator_bits) {
+  const size_t g_per = step.garbler_inputs.size();
+  const size_t e_per = step.evaluator_inputs.size();
+  if (garbler_bits.size() != g_per * cycles)
+    throw std::invalid_argument("sequential garbler input size mismatch");
+  if (evaluator_bits.size() != e_per * cycles)
+    throw std::invalid_argument("sequential evaluator input size mismatch");
+
+  BitVec state(step.state_inputs.size(), 0);
+  BitVec out;
+  for (size_t t = 0; t < cycles; ++t) {
+    const BitVec g_slice(garbler_bits.begin() + t * g_per,
+                         garbler_bits.begin() + (t + 1) * g_per);
+    const BitVec e_slice(evaluator_bits.begin() + t * e_per,
+                         evaluator_bits.begin() + (t + 1) * e_per);
+    out = step.eval(g_slice, e_slice, &state);
+  }
+  return out;
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,83 @@
+// Boolean circuit intermediate representation ("netlist").
+//
+// The GC protocol requires the function to be a topologically-sorted list
+// of 2-input gates. With the free-XOR optimization the only gate classes
+// that matter are XOR (free) and AND (2 ciphertexts via half-gates); the
+// builder lowers NOT/OR/XNOR/... onto this basis. Wires 0 and 1 are the
+// public constants 0 and 1.
+//
+// Inputs are partitioned by owner, matching the paper's roles:
+//   * garbler inputs   — the client's private data sample (Alice)
+//   * evaluator inputs — the server's private model parameters (Bob)
+// plus `state` inputs for sequential (folded) circuits, which carry values
+// across clock cycles (TinyGarble-style, Section 3.5 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bits.h"
+
+namespace deepsecure {
+
+using Wire = uint32_t;
+
+inline constexpr Wire kConst0 = 0;
+inline constexpr Wire kConst1 = 1;
+
+enum class GateOp : uint8_t { kXor = 0, kAnd = 1 };
+
+struct Gate {
+  Wire a = 0;
+  Wire b = 0;
+  Wire out = 0;
+  GateOp op = GateOp::kXor;
+};
+
+struct CircuitStats {
+  uint64_t num_xor = 0;      // free under free-XOR
+  uint64_t num_and = 0;      // non-XOR: 2 x 128-bit ciphertexts each
+  uint64_t num_wires = 0;
+  uint64_t num_inputs = 0;
+  uint64_t num_outputs = 0;
+
+  uint64_t non_xor() const { return num_and; }
+  /// Bytes of garbled tables transferred (half-gates: 2 rows x 16 B).
+  uint64_t table_bytes() const { return num_and * 2 * 16; }
+};
+
+class Circuit {
+ public:
+  std::string name;
+
+  std::vector<Gate> gates;               // topological order
+  std::vector<Wire> garbler_inputs;      // client data wires
+  std::vector<Wire> evaluator_inputs;    // server parameter wires
+  std::vector<Wire> state_inputs;        // sequential state (cycle t-1)
+  std::vector<Wire> state_next;          // wires feeding state at cycle t+1
+  std::vector<Wire> outputs;
+
+  Wire num_wires = 2;  // wires 0/1 reserved for constants
+
+  CircuitStats stats() const;
+
+  /// Plaintext evaluation: reference semantics for every consumer
+  /// (tests, gate-level debugging, the GC engine correctness oracle).
+  /// `state` is both input (cycle t-1 values) and output (state_next).
+  BitVec eval(const BitVec& garbler_bits, const BitVec& evaluator_bits,
+              BitVec* state = nullptr) const;
+
+  /// Throws std::logic_error when gates are not topologically ordered,
+  /// reference out-of-range wires, or inputs alias each other.
+  void validate() const;
+};
+
+/// Multi-cycle (sequential) execution of a folded circuit. The state is
+/// initialized to all zeros at cycle 0. Per-cycle inputs are concatenated
+/// slices: garbler_bits/evaluator_bits hold `cycles` consecutive blocks.
+BitVec eval_sequential(const Circuit& step, size_t cycles,
+                       const BitVec& garbler_bits,
+                       const BitVec& evaluator_bits);
+
+}  // namespace deepsecure

@@ -1,0 +1,4 @@
+#include "circuit/sequential.h"
+
+// SequentialSpec is header-only today; this TU anchors the target and
+// keeps a home for future folding transformations (auto-retiming etc.).

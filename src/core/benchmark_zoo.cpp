@@ -1,0 +1,185 @@
+#include "core/benchmark_zoo.h"
+
+#include "preprocess/pruning.h"
+
+namespace deepsecure::core {
+namespace {
+
+using synth::ActKind;
+using synth::ActLayer;
+using synth::ArgmaxLayer;
+using synth::ConvLayer;
+using synth::FcLayer;
+using synth::ModelSpec;
+using synth::PoolKind;
+using synth::Shape3;
+
+FcLayer fc(size_t in, size_t out, double keep, uint64_t seed) {
+  FcLayer l;
+  l.out = out;
+  l.has_bias = true;
+  if (keep < 1.0) l.mask = preprocess::random_mask(out, in, keep, seed);
+  return l;
+}
+
+// Benchmark 1: 28x28-5C2-ReLu-100FC-ReLu-10FC-Softmax (CryptoNets
+// topology). The input is zero-padded to 29x29 so the stride-2 5x5
+// convolution yields 5x13x13 maps as in the paper.
+ZooEntry make_b1(FixedFormat fmt) {
+  ZooEntry z;
+  z.name = "Benchmark 1";
+  z.architecture = "28x28-5C2-ReLu-100FC-ReLu-10FC-Softmax";
+
+  ModelSpec m;
+  m.name = "b1";
+  m.fmt = fmt;
+  m.input = Shape3{29, 29, 1};
+  m.layers.push_back(ConvLayer{5, 2, 5, true});
+  m.layers.push_back(ActLayer{ActKind::kReLU});
+  m.layers.push_back(fc(5 * 13 * 13, 100, 1.0, 0));
+  m.layers.push_back(ActLayer{ActKind::kReLU});
+  m.layers.push_back(fc(100, 10, 1.0, 0));
+  m.layers.push_back(ArgmaxLayer{});
+  z.base = m;
+
+  // 9-fold compaction: spatial projection 29x29 -> 15x15 (image-domain
+  // dictionary, ~3.7x) + FC pruning to ~40% kept.
+  ModelSpec c;
+  c.name = "b1_pp";
+  c.fmt = fmt;
+  c.input = Shape3{15, 15, 1};
+  c.layers.push_back(ConvLayer{5, 2, 5, true});
+  c.layers.push_back(ActLayer{ActKind::kReLU});
+  c.layers.push_back(fc(5 * 6 * 6, 100, 0.40, 101));
+  c.layers.push_back(ActLayer{ActKind::kReLU});
+  c.layers.push_back(fc(100, 10, 0.40, 102));
+  c.layers.push_back(ArgmaxLayer{});
+  z.compact = c;
+  z.compaction = "9-fold";
+
+  z.paper_base = PaperRow{4.31e7, 2.47e7, 791.0, 1.98, 9.67};
+  z.paper_compact = PaperRow{4.81e6, 2.76e6, 88.2, 0.22, 1.08};
+  z.paper_improvement = 8.95;
+  return z;
+}
+
+// Benchmark 2: LeNet-300-100 with Sigmoid non-linearities.
+ZooEntry make_b2(FixedFormat fmt) {
+  ZooEntry z;
+  z.name = "Benchmark 2";
+  z.architecture = "28x28-300FC-Sigmoid-100FC-Sigmoid-10FC-Softmax";
+
+  ModelSpec m;
+  m.name = "b2";
+  m.fmt = fmt;
+  m.input = Shape3{1, 1, 784};
+  m.layers.push_back(fc(784, 300, 1.0, 0));
+  m.layers.push_back(ActLayer{ActKind::kSigmoidCORDIC});
+  m.layers.push_back(fc(300, 100, 1.0, 0));
+  m.layers.push_back(ActLayer{ActKind::kSigmoidCORDIC});
+  m.layers.push_back(fc(100, 10, 1.0, 0));
+  m.layers.push_back(ArgmaxLayer{});
+  z.base = m;
+
+  // 12-fold: projection 784 -> 196 (4x) + pruning to ~32% kept (1/3).
+  ModelSpec c;
+  c.name = "b2_pp";
+  c.fmt = fmt;
+  c.input = Shape3{1, 1, 196};
+  c.layers.push_back(fc(196, 300, 0.32, 201));
+  c.layers.push_back(ActLayer{ActKind::kSigmoidCORDIC});
+  c.layers.push_back(fc(300, 100, 0.32, 202));
+  c.layers.push_back(ActLayer{ActKind::kSigmoidCORDIC});
+  c.layers.push_back(fc(100, 10, 0.32, 203));
+  c.layers.push_back(ArgmaxLayer{});
+  z.compact = c;
+  z.compaction = "12-fold";
+
+  z.paper_base = PaperRow{1.09e8, 6.23e7, 1.99e3, 4.99, 24.37};
+  z.paper_compact = PaperRow{1.21e7, 6.57e6, 210.0, 0.54, 2.57};
+  z.paper_improvement = 9.48;
+  return z;
+}
+
+// Benchmark 3: ISOLET audio DNN, 617-50FC-Tanh-26FC-Softmax.
+ZooEntry make_b3(FixedFormat fmt) {
+  ZooEntry z;
+  z.name = "Benchmark 3";
+  z.architecture = "617-50FC-Tanh-26FC-Softmax";
+
+  ModelSpec m;
+  m.name = "b3";
+  m.fmt = fmt;
+  m.input = Shape3{1, 1, 617};
+  m.layers.push_back(fc(617, 50, 1.0, 0));
+  m.layers.push_back(ActLayer{ActKind::kTanhCORDIC});
+  m.layers.push_back(fc(50, 26, 1.0, 0));
+  m.layers.push_back(ArgmaxLayer{});
+  z.base = m;
+
+  // 6-fold: projection 617 -> 308 (2x) + pruning to ~33% kept.
+  ModelSpec c;
+  c.name = "b3_pp";
+  c.fmt = fmt;
+  c.input = Shape3{1, 1, 308};
+  c.layers.push_back(fc(308, 50, 0.33, 301));
+  c.layers.push_back(ActLayer{ActKind::kTanhCORDIC});
+  c.layers.push_back(fc(50, 26, 0.33, 302));
+  c.layers.push_back(ArgmaxLayer{});
+  z.compact = c;
+  z.compaction = "6-fold";
+
+  z.paper_base = PaperRow{1.32e7, 7.54e6, 241.0, 0.60, 2.95};
+  z.paper_compact = PaperRow{2.51e6, 1.40e6, 44.7, 0.11, 0.56};
+  z.paper_improvement = 5.27;
+  return z;
+}
+
+// Benchmark 4: smart-sensing DNN, 5625-2000FC-Tanh-500FC-Tanh-19FC.
+ZooEntry make_b4(FixedFormat fmt) {
+  ZooEntry z;
+  z.name = "Benchmark 4";
+  z.architecture = "5625-2000FC-Tanh-500FC-Tanh-19FC-Softmax";
+
+  ModelSpec m;
+  m.name = "b4";
+  m.fmt = fmt;
+  m.input = Shape3{1, 1, 5625};
+  m.layers.push_back(fc(5625, 2000, 1.0, 0));
+  m.layers.push_back(ActLayer{ActKind::kTanhCORDIC});
+  m.layers.push_back(fc(2000, 500, 1.0, 0));
+  m.layers.push_back(ActLayer{ActKind::kTanhCORDIC});
+  m.layers.push_back(fc(500, 19, 1.0, 0));
+  m.layers.push_back(ArgmaxLayer{});
+  z.base = m;
+
+  // 120-fold: projection 5625 -> 375 (15x) + pruning to 12.5% kept in
+  // the first layer and 6.25% in the deeper layers.
+  ModelSpec c;
+  c.name = "b4_pp";
+  c.fmt = fmt;
+  c.input = Shape3{1, 1, 375};
+  c.layers.push_back(fc(375, 2000, 0.125, 401));
+  c.layers.push_back(ActLayer{ActKind::kTanhCORDIC});
+  c.layers.push_back(fc(2000, 500, 0.0625, 402));
+  c.layers.push_back(ActLayer{ActKind::kTanhCORDIC});
+  c.layers.push_back(fc(500, 19, 0.0625, 403));
+  c.layers.push_back(ArgmaxLayer{});
+  z.compact = c;
+  z.compaction = "120-fold";
+
+  z.paper_base = PaperRow{4.89e9, 2.81e9, 8.98e4, 224.50, 1098.3};
+  z.paper_compact = PaperRow{6.28e7, 3.39e7, 1.08e3, 2.78, 13.26};
+  z.paper_improvement = 82.83;
+  return z;
+}
+
+}  // namespace
+
+std::vector<ZooEntry> paper_zoo(FixedFormat fmt) {
+  return {make_b1(fmt), make_b2(fmt), make_b3(fmt), make_b4(fmt)};
+}
+
+ZooEntry benchmark1(FixedFormat fmt) { return make_b1(fmt); }
+
+}  // namespace deepsecure::core

@@ -1,0 +1,39 @@
+// GC cost model — Table 2 of the paper.
+//
+//   Tcomp = (N_XOR * C_XOR + N_nonXOR * C_nonXOR) / f_CPU
+//   Tcomm = N_nonXOR * 2 * 128 bit / BW     (only garbled tables travel)
+//   Texec = max(Tcomm, Tcomp)               (phases pipeline, Figure 5)
+//
+// Defaults pin the paper's measured constants (Section 4.3: 62 clks/XOR,
+// 164 clks/non-XOR on an i7-2600 @ 3.4 GHz; effective bandwidth implied
+// by Table 4 is ~81.8 MB/s) so the tables regenerate on any host;
+// calibration.h measures this host's actual per-gate costs.
+#pragma once
+
+#include "synth/gate_count.h"
+
+namespace deepsecure::cost {
+
+struct GcCostParams {
+  double clk_per_xor = 62.0;
+  double clk_per_non_xor = 164.0;
+  double f_cpu_hz = 3.4e9;
+  double bandwidth_bytes_per_s = 81.8e6;
+  size_t bits_per_non_xor = 256;  // half-gates: 2 rows x 128 bits
+};
+
+struct NetworkCost {
+  uint64_t num_xor = 0;
+  uint64_t num_non_xor = 0;
+  double comm_bytes = 0.0;
+  double comp_seconds = 0.0;
+  double exec_seconds = 0.0;
+};
+
+NetworkCost cost_from_gates(const synth::GateCount& g,
+                            const GcCostParams& p = {});
+
+NetworkCost cost_of_model(const synth::ModelSpec& spec,
+                          const GcCostParams& p = {});
+
+}  // namespace deepsecure::cost

@@ -1,0 +1,58 @@
+// AES-128 with expanded-key encryption only — everything the garbling
+// engine needs. Two backends:
+//   * portable table-based software implementation (always available)
+//   * AES-NI (compiled when the toolchain supports -maes, selected at
+//     runtime via CPUID)
+// The fixed-key garbling hash (Bellare et al., S&P'13) lives here too:
+//   H(X, T) = pi(K) ^ K  with  K = 2X ^ T, pi = AES-128 under a fixed key.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/block.h"
+
+namespace deepsecure {
+
+/// Expanded AES-128 key schedule (11 round keys).
+struct Aes128Key {
+  std::array<Block, 11> rounds{};
+};
+
+/// Expand a 128-bit cipher key.
+Aes128Key aes128_expand(Block key);
+
+/// Encrypt one block (backend chosen at runtime).
+Block aes128_encrypt(const Aes128Key& key, Block pt);
+
+/// Encrypt `n` blocks in place; the AES-NI backend pipelines these.
+void aes128_encrypt_batch(const Aes128Key& key, Block* blocks, size_t n);
+
+/// True when the AES-NI backend is compiled in and the CPU supports it.
+bool aes128_ni_available();
+
+/// Force the portable backend (for tests that cross-check both paths).
+void aes128_force_software(bool force);
+
+/// The process-wide fixed garbling key (Bellare-Hoang-Keelveedhi-Rogaway
+/// style fixed-key cipher). Deterministic across runs by design: security
+/// rests on the random wire labels, not on this key being secret.
+const Aes128Key& fixed_garbling_key();
+
+/// Tweakable circular-correlation-robust hash used by half-gates:
+///   H(X, tweak) = AES_fixed(2X ^ T) ^ (2X ^ T),  T = tweak (as block)
+Block gc_hash(Block x, uint64_t tweak);
+
+/// Two-input variant used by the evaluator-side half gate.
+Block gc_hash2(Block x, Block y, uint64_t tweak);
+
+namespace detail {
+// Software backend entry points (exposed for cross-checking in tests).
+Block aes128_encrypt_soft(const Aes128Key& key, Block pt);
+#if defined(DEEPSECURE_AESNI_COMPILED)
+Block aes128_encrypt_ni(const Aes128Key& key, Block pt);
+void aes128_encrypt_batch_ni(const Aes128Key& key, Block* blocks, size_t n);
+#endif
+}  // namespace detail
+
+}  // namespace deepsecure

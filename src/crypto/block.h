@@ -1,0 +1,72 @@
+// 128-bit block — the unit of garbled-circuit wire labels, AES state and
+// OT messages. Kept as two uint64 halves so it works on any platform; the
+// AES-NI path reinterprets it as __m128i internally.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace deepsecure {
+
+struct Block {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  constexpr Block() = default;
+  constexpr Block(uint64_t lo_, uint64_t hi_) : lo(lo_), hi(hi_) {}
+
+  friend constexpr Block operator^(Block a, Block b) {
+    return Block{a.lo ^ b.lo, a.hi ^ b.hi};
+  }
+  Block& operator^=(Block b) {
+    lo ^= b.lo;
+    hi ^= b.hi;
+    return *this;
+  }
+  friend constexpr bool operator==(Block a, Block b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  /// Least-significant bit: the point-and-permute color bit.
+  constexpr bool lsb() const { return (lo & 1u) != 0; }
+
+  /// Multiply by x in GF(2^128) with the AES/GCM reduction polynomial.
+  /// Used by the fixed-key garbling hash (pi(2X ^ T) ^ 2X ^ T).
+  constexpr Block gf_double() const {
+    const uint64_t carry = hi >> 63;
+    Block r{lo << 1, (hi << 1) | (lo >> 63)};
+    r.lo ^= carry * 0x87u;  // x^128 = x^7 + x^2 + x + 1
+    return r;
+  }
+
+  void to_bytes(uint8_t out[16]) const {
+    std::memcpy(out, &lo, 8);
+    std::memcpy(out + 8, &hi, 8);
+  }
+  static Block from_bytes(const uint8_t in[16]) {
+    Block b;
+    std::memcpy(&b.lo, in, 8);
+    std::memcpy(&b.hi, in + 8, 8);
+    return b;
+  }
+
+  std::string hex() const;
+};
+
+inline constexpr Block kZeroBlock{};
+
+inline std::string Block::hex() const {
+  static const char* digits = "0123456789abcdef";
+  uint8_t bytes[16];
+  to_bytes(bytes);
+  std::string s;
+  s.reserve(32);
+  for (int i = 15; i >= 0; --i) {
+    s.push_back(digits[bytes[i] >> 4]);
+    s.push_back(digits[bytes[i] & 0xF]);
+  }
+  return s;
+}
+
+}  // namespace deepsecure

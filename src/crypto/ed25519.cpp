@@ -1,0 +1,175 @@
+#include "crypto/ed25519.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace deepsecure {
+namespace {
+
+// Branch-free select: out = bit ? b : a.
+Fe25519 fe_select(const Fe25519& a, const Fe25519& b, uint64_t bit) {
+  const uint64_t mask = 0 - (bit & 1);
+  Fe25519 r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] ^ (mask & (a.v[i] ^ b.v[i]));
+  return r;
+}
+
+Ed25519Point point_select(const Ed25519Point& a, const Ed25519Point& b,
+                          uint64_t bit) {
+  Ed25519Point r;
+  r.x = fe_select(a.x, b.x, bit);
+  r.y = fe_select(a.y, b.y, bit);
+  r.z = fe_select(a.z, b.z, bit);
+  r.t = fe_select(a.t, b.t, bit);
+  return r;
+}
+
+const Fe25519& two_d() {
+  static const Fe25519 k2d = Fe25519::add(ed25519_d(), ed25519_d());
+  return k2d;
+}
+
+}  // namespace
+
+const Fe25519& ed25519_d() {
+  // d = -121665/121666 mod p.
+  static const Fe25519 d = Fe25519::mul(
+      Fe25519::neg(Fe25519::from_u64(121665)),
+      Fe25519::invert(Fe25519::from_u64(121666)));
+  return d;
+}
+
+Ed25519Scalar ed25519_order() {
+  // l = 2^252 + 27742317777372353535851937790883648493, little-endian.
+  return Ed25519Scalar{0xED, 0xD3, 0xF5, 0x5C, 0x1A, 0x63, 0x12, 0x58,
+                       0xD6, 0x9C, 0xF7, 0xA2, 0xDE, 0xF9, 0xDE, 0x14,
+                       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+}
+
+const Ed25519Point& Ed25519Point::base() {
+  static const Ed25519Point b = [] {
+    // Standard generator: y = 4/5, x the even root (RFC 8032 constant).
+    static constexpr uint8_t kBx[32] = {
+        0x1A, 0xD5, 0x25, 0x8F, 0x60, 0x2D, 0x56, 0xC9, 0xB2, 0xA7, 0x25,
+        0x95, 0x60, 0xC7, 0x2C, 0x69, 0x5C, 0xDC, 0xD6, 0xFD, 0x31, 0xE2,
+        0xA4, 0xC0, 0xFE, 0x53, 0x6E, 0xCD, 0xD3, 0x36, 0x69, 0x21};
+    Ed25519Point p;
+    p.x = Fe25519::from_bytes(kBx);
+    p.y = Fe25519::mul(Fe25519::from_u64(4),
+                       Fe25519::invert(Fe25519::from_u64(5)));
+    p.z = Fe25519::one();
+    p.t = Fe25519::mul(p.x, p.y);
+    assert(p.on_curve());
+    return p;
+  }();
+  return b;
+}
+
+Ed25519Point Ed25519Point::identity() {
+  Ed25519Point p;
+  p.x = Fe25519::zero();
+  p.y = Fe25519::one();
+  p.z = Fe25519::one();
+  p.t = Fe25519::zero();
+  return p;
+}
+
+Ed25519Point Ed25519Point::add(const Ed25519Point& p, const Ed25519Point& q) {
+  // EFD add-2008-hwcd-3 for a = -1.
+  using F = Fe25519;
+  const F a = F::mul(F::sub(p.y, p.x), F::sub(q.y, q.x));
+  const F b = F::mul(F::add(p.y, p.x), F::add(q.y, q.x));
+  const F c = F::mul(F::mul(p.t, two_d()), q.t);
+  const F d = F::mul(F::add(p.z, p.z), q.z);
+  const F e = F::sub(b, a);
+  const F f = F::sub(d, c);
+  const F g = F::add(d, c);
+  const F h = F::add(b, a);
+  Ed25519Point r;
+  r.x = F::mul(e, f);
+  r.y = F::mul(g, h);
+  r.t = F::mul(e, h);
+  r.z = F::mul(f, g);
+  return r;
+}
+
+Ed25519Point Ed25519Point::dbl(const Ed25519Point& p) {
+  // EFD dbl-2008-hwcd for a = -1.
+  using F = Fe25519;
+  const F a = F::square(p.x);
+  const F b = F::square(p.y);
+  const F zz = F::square(p.z);
+  const F c = F::add(zz, zz);
+  const F d = F::neg(a);
+  const F xy = F::square(F::add(p.x, p.y));
+  const F e = F::sub(F::sub(xy, a), b);
+  const F g = F::add(d, b);
+  const F f = F::sub(g, c);
+  const F h = F::sub(d, b);
+  Ed25519Point r;
+  r.x = F::mul(e, f);
+  r.y = F::mul(g, h);
+  r.t = F::mul(e, h);
+  r.z = F::mul(f, g);
+  return r;
+}
+
+Ed25519Point Ed25519Point::neg(const Ed25519Point& p) {
+  Ed25519Point r = p;
+  r.x = Fe25519::neg(p.x);
+  r.t = Fe25519::neg(p.t);
+  return r;
+}
+
+Ed25519Point Ed25519Point::mul(const Ed25519Point& p, const Ed25519Scalar& k) {
+  Ed25519Point acc = identity();
+  for (int i = 255; i >= 0; --i) {
+    acc = dbl(acc);
+    const uint64_t bit = (k[i / 8] >> (i % 8)) & 1u;
+    const Ed25519Point with = add(acc, p);
+    acc = point_select(acc, with, bit);
+  }
+  return acc;
+}
+
+std::array<uint8_t, 64> Ed25519Point::encode() const {
+  const Fe25519 zinv = Fe25519::invert(z);
+  const Fe25519 ax = Fe25519::mul(x, zinv);
+  const Fe25519 ay = Fe25519::mul(y, zinv);
+  std::array<uint8_t, 64> out{};
+  ax.to_bytes(out.data());
+  ay.to_bytes(out.data() + 32);
+  return out;
+}
+
+std::optional<Ed25519Point> Ed25519Point::decode(const uint8_t in[64]) {
+  Ed25519Point p;
+  p.x = Fe25519::from_bytes(in);
+  p.y = Fe25519::from_bytes(in + 32);
+  p.z = Fe25519::one();
+  p.t = Fe25519::mul(p.x, p.y);
+  if (!p.on_curve()) return std::nullopt;
+  return p;
+}
+
+bool Ed25519Point::eq(const Ed25519Point& p, const Ed25519Point& q) {
+  using F = Fe25519;
+  return F::eq(F::mul(p.x, q.z), F::mul(q.x, p.z)) &&
+         F::eq(F::mul(p.y, q.z), F::mul(q.y, p.z));
+}
+
+bool Ed25519Point::on_curve() const {
+  // Projective curve equation: (-X^2 + Y^2) Z^2 == Z^4 + d X^2 Y^2,
+  // plus the extended-coordinate invariant T Z == X Y.
+  using F = Fe25519;
+  const F xx = F::square(x);
+  const F yy = F::square(y);
+  const F zz = F::square(z);
+  const F lhs = F::mul(F::sub(yy, xx), zz);
+  const F rhs = F::add(F::square(zz), F::mul(ed25519_d(), F::mul(xx, yy)));
+  if (!F::eq(lhs, rhs)) return false;
+  return F::eq(F::mul(t, z), F::mul(x, y));
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,63 @@
+// Edwards25519 group operations (extended coordinates) — the algebraic
+// substrate for the Chou-Orlandi base oblivious transfer.
+//
+// Curve: -x^2 + y^2 = 1 + d x^2 y^2 over GF(2^255-19),
+//        d = -121665/121666.
+//
+// Points are exchanged uncompressed (affine x||y, 64 bytes): this avoids
+// the square-root decompression path entirely, which keeps the substrate
+// small. Bandwidth for base OTs is negligible (128 points per session).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/fe25519.h"
+
+namespace deepsecure {
+
+/// 256-bit scalar, little-endian bytes. Random 32-byte strings are fine
+/// as exponents in the semi-honest setting.
+using Ed25519Scalar = std::array<uint8_t, 32>;
+
+struct Ed25519Point {
+  // Extended homogeneous coordinates (X:Y:Z:T), x = X/Z, y = Y/Z, T = XY/Z.
+  Fe25519 x, y, z, t;
+
+  static const Ed25519Point& base();      // standard generator B
+  static Ed25519Point identity();
+
+  static Ed25519Point add(const Ed25519Point& p, const Ed25519Point& q);
+  static Ed25519Point dbl(const Ed25519Point& p);
+  static Ed25519Point neg(const Ed25519Point& p);
+  static Ed25519Point sub(const Ed25519Point& p, const Ed25519Point& q) {
+    return add(p, neg(q));
+  }
+
+  /// Scalar multiplication, double-and-add with branch-free selection.
+  static Ed25519Point mul(const Ed25519Point& p, const Ed25519Scalar& k);
+  static Ed25519Point base_mul(const Ed25519Scalar& k) {
+    return mul(base(), k);
+  }
+
+  /// Affine serialization: x (32B) || y (32B).
+  std::array<uint8_t, 64> encode() const;
+  /// Parse and validate the curve equation; nullopt when off-curve.
+  static std::optional<Ed25519Point> decode(const uint8_t in[64]);
+
+  static bool eq(const Ed25519Point& p, const Ed25519Point& q);
+  bool is_identity() const { return eq(*this, identity()); }
+
+  /// On-curve check in projective form.
+  bool on_curve() const;
+};
+
+/// The curve constant d = -121665/121666 (computed once).
+const Fe25519& ed25519_d();
+
+/// Group order l = 2^252 + 27742317777372353535851937790883648493 as a
+/// scalar, used by tests to verify l*B = identity.
+Ed25519Scalar ed25519_order();
+
+}  // namespace deepsecure

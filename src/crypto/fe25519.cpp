@@ -1,0 +1,187 @@
+#include "crypto/fe25519.h"
+
+#include <cstring>
+
+namespace deepsecure {
+namespace {
+
+using u128 = unsigned __int128;
+constexpr uint64_t kMask = (1ull << 51) - 1;
+
+// One weak-reduction pass: after this, limbs fit in 52 bits provided the
+// inputs fit in 63 bits.
+void carry_pass(std::array<uint64_t, 5>& v) {
+  for (int i = 0; i < 4; ++i) {
+    v[i + 1] += v[i] >> 51;
+    v[i] &= kMask;
+  }
+  v[0] += 19 * (v[4] >> 51);
+  v[4] &= kMask;
+}
+
+void carry_u128(std::array<u128, 5>& c, std::array<uint64_t, 5>& out) {
+  u128 carry = 0;
+  for (int i = 0; i < 5; ++i) {
+    c[i] += carry;
+    out[i] = static_cast<uint64_t>(c[i]) & kMask;
+    carry = c[i] >> 51;
+  }
+  // Wrap the final carry (multiples of 2^255 == multiples of 19).
+  uint64_t wrapped = static_cast<uint64_t>(carry) * 19;
+  out[0] += wrapped;
+  carry_pass(out);
+}
+
+}  // namespace
+
+Fe25519 Fe25519::from_u64(uint64_t x) {
+  Fe25519 r;
+  r.v[0] = x & kMask;
+  r.v[1] = x >> 51;
+  return r;
+}
+
+Fe25519 Fe25519::add(const Fe25519& a, const Fe25519& b) {
+  Fe25519 r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  carry_pass(r.v);
+  return r;
+}
+
+Fe25519 Fe25519::sub(const Fe25519& a, const Fe25519& b) {
+  // Add 8p (limb-wise) so the per-limb subtraction cannot underflow for
+  // weakly-reduced inputs (< 2^52 per limb).
+  Fe25519 r;
+  r.v[0] = a.v[0] + 0xFFFFFFFFFFFDAull * 4 - b.v[0];
+  r.v[1] = a.v[1] + 0xFFFFFFFFFFFFEull * 4 - b.v[1];
+  r.v[2] = a.v[2] + 0xFFFFFFFFFFFFEull * 4 - b.v[2];
+  r.v[3] = a.v[3] + 0xFFFFFFFFFFFFEull * 4 - b.v[3];
+  r.v[4] = a.v[4] + 0xFFFFFFFFFFFFEull * 4 - b.v[4];
+  carry_pass(r.v);
+  carry_pass(r.v);
+  return r;
+}
+
+Fe25519 Fe25519::neg(const Fe25519& a) { return sub(zero(), a); }
+
+Fe25519 Fe25519::mul(const Fe25519& a, const Fe25519& b) {
+  const auto& x = a.v;
+  const auto& y = b.v;
+  std::array<u128, 5> c{};
+  c[0] = u128(x[0]) * y[0] +
+         u128(19) * (u128(x[1]) * y[4] + u128(x[2]) * y[3] +
+                     u128(x[3]) * y[2] + u128(x[4]) * y[1]);
+  c[1] = u128(x[0]) * y[1] + u128(x[1]) * y[0] +
+         u128(19) * (u128(x[2]) * y[4] + u128(x[3]) * y[3] + u128(x[4]) * y[2]);
+  c[2] = u128(x[0]) * y[2] + u128(x[1]) * y[1] + u128(x[2]) * y[0] +
+         u128(19) * (u128(x[3]) * y[4] + u128(x[4]) * y[3]);
+  c[3] = u128(x[0]) * y[3] + u128(x[1]) * y[2] + u128(x[2]) * y[1] +
+         u128(x[3]) * y[0] + u128(19) * (u128(x[4]) * y[4]);
+  c[4] = u128(x[0]) * y[4] + u128(x[1]) * y[3] + u128(x[2]) * y[2] +
+         u128(x[3]) * y[1] + u128(x[4]) * y[0];
+  Fe25519 r;
+  carry_u128(c, r.v);
+  return r;
+}
+
+Fe25519 Fe25519::square(const Fe25519& a) { return mul(a, a); }
+
+Fe25519 Fe25519::invert(const Fe25519& a) {
+  // p - 2 = 2^255 - 21: square-and-multiply over the fixed exponent.
+  // Exponent bits: all ones except bits 1 and 3 are zero.
+  //   p-2 = ...11111111111101011 (low bits: 0b...01011)
+  // Simpler: iterate bits of p-2 from MSB using its closed form.
+  Fe25519 result = one();
+  Fe25519 base = a;
+  // Bits of p-2, little-endian: bit i of (2^255 - 21).
+  // 2^255 - 21 = 2^255 - 16 - 4 - 1 -> low 5 bits are 01011 (11 = 0b01011).
+  for (int i = 254; i >= 0; --i) {
+    result = square(result);
+    int bit;
+    if (i >= 5) {
+      bit = 1;
+    } else {
+      // Low 5 bits of (2^255 - 21): 2^5 - 21 = 11 = 0b01011.
+      bit = (11 >> i) & 1;
+    }
+    if (bit) result = mul(result, base);
+  }
+  return result;
+}
+
+Fe25519 Fe25519::pow_p38(const Fe25519& a) {
+  // (p+3)/8 = 2^252 - 2: binary is 251 ones followed by a zero.
+  Fe25519 result = one();
+  for (int i = 251; i >= 0; --i) {
+    result = square(result);
+    const int bit = (i >= 1) ? 1 : 0;
+    if (bit) result = mul(result, a);
+  }
+  return result;
+}
+
+void Fe25519::cswap(Fe25519& a, Fe25519& b, uint64_t bit) {
+  const uint64_t mask = 0 - (bit & 1);
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t t = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= t;
+    b.v[i] ^= t;
+  }
+}
+
+void Fe25519::to_bytes(uint8_t out[32]) const {
+  std::array<uint64_t, 5> t = v;
+  carry_pass(t);
+  carry_pass(t);
+  // Canonicalize: compute t + 19, use bit 255 as the "t >= p" flag.
+  std::array<uint64_t, 5> u = t;
+  u[0] += 19;
+  for (int i = 0; i < 4; ++i) {
+    u[i + 1] += u[i] >> 51;
+    u[i] &= kMask;
+  }
+  const uint64_t ge_p = u[4] >> 51;  // 1 iff t >= p
+  // If t >= p, result = t - p = u - 2^255 (i.e. keep u with top bit cleared).
+  const uint64_t mask = 0 - ge_p;
+  u[4] &= kMask;
+  for (int i = 0; i < 5; ++i) t[i] = (t[i] & ~mask) | (u[i] & mask);
+
+  // Pack 5x51 bits into 32 bytes little-endian.
+  uint64_t w0 = t[0] | (t[1] << 51);
+  uint64_t w1 = (t[1] >> 13) | (t[2] << 38);
+  uint64_t w2 = (t[2] >> 26) | (t[3] << 25);
+  uint64_t w3 = (t[3] >> 39) | (t[4] << 12);
+  std::memcpy(out, &w0, 8);
+  std::memcpy(out + 8, &w1, 8);
+  std::memcpy(out + 16, &w2, 8);
+  std::memcpy(out + 24, &w3, 8);
+}
+
+Fe25519 Fe25519::from_bytes(const uint8_t in[32]) {
+  uint64_t w0, w1, w2, w3;
+  std::memcpy(&w0, in, 8);
+  std::memcpy(&w1, in + 8, 8);
+  std::memcpy(&w2, in + 16, 8);
+  std::memcpy(&w3, in + 24, 8);
+  Fe25519 r;
+  r.v[0] = w0 & kMask;
+  r.v[1] = ((w0 >> 51) | (w1 << 13)) & kMask;
+  r.v[2] = ((w1 >> 38) | (w2 << 26)) & kMask;
+  r.v[3] = ((w2 >> 25) | (w3 << 39)) & kMask;
+  r.v[4] = (w3 >> 12) & kMask;
+  return r;
+}
+
+bool Fe25519::is_zero() const {
+  uint8_t bytes[32];
+  to_bytes(bytes);
+  uint8_t acc = 0;
+  for (int i = 0; i < 32; ++i) acc |= bytes[i];
+  return acc == 0;
+}
+
+bool Fe25519::eq(const Fe25519& a, const Fe25519& b) {
+  return sub(a, b).is_zero();
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,47 @@
+// Field arithmetic modulo p = 2^255 - 19, with 5 x 51-bit limbs.
+// Substrate for the Edwards25519 group used by the Chou-Orlandi base OT.
+// Arithmetic (add/sub/mul/invert) is branch-free; full reduction happens
+// only in to_bytes / canonicalization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace deepsecure {
+
+struct Fe25519 {
+  // Limbs in radix 2^51; after weak reduction each limb < 2^52.
+  std::array<uint64_t, 5> v{};
+
+  static Fe25519 zero() { return Fe25519{}; }
+  static Fe25519 one() {
+    Fe25519 r;
+    r.v[0] = 1;
+    return r;
+  }
+  /// Small non-negative integer constant.
+  static Fe25519 from_u64(uint64_t x);
+
+  static Fe25519 add(const Fe25519& a, const Fe25519& b);
+  static Fe25519 sub(const Fe25519& a, const Fe25519& b);
+  static Fe25519 mul(const Fe25519& a, const Fe25519& b);
+  static Fe25519 square(const Fe25519& a);
+  static Fe25519 neg(const Fe25519& a);
+  /// a^(p-2) — multiplicative inverse (0 maps to 0).
+  static Fe25519 invert(const Fe25519& a);
+  /// a^((p+3)/8); candidate square root used in point checks.
+  static Fe25519 pow_p38(const Fe25519& a);
+
+  /// Branch-free conditional swap (swap iff bit == 1).
+  static void cswap(Fe25519& a, Fe25519& b, uint64_t bit);
+
+  /// Serialize canonical little-endian 32 bytes.
+  void to_bytes(uint8_t out[32]) const;
+  /// Parse 32 little-endian bytes (top bit ignored, per convention).
+  static Fe25519 from_bytes(const uint8_t in[32]);
+
+  bool is_zero() const;
+  static bool eq(const Fe25519& a, const Fe25519& b);
+};
+
+}  // namespace deepsecure

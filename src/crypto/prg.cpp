@@ -1,0 +1,69 @@
+#include "crypto/prg.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+namespace deepsecure {
+
+Prg::Prg(Block seed) : key_(aes128_expand(seed)) {}
+
+Prg Prg::from_os_entropy() {
+  Block seed;
+  std::ifstream urandom("/dev/urandom", std::ios::binary);
+  if (urandom) {
+    uint8_t buf[16];
+    urandom.read(reinterpret_cast<char*>(buf), sizeof(buf));
+    if (urandom.gcount() == sizeof(buf)) seed = Block::from_bytes(buf);
+  }
+  // Mix in the clock as a fallback if /dev/urandom was unavailable.
+  seed.lo ^= static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return Prg(seed);
+}
+
+Block Prg::next_block() {
+  Block ctr{counter_++, 0};
+  return aes128_encrypt(key_, ctr);
+}
+
+void Prg::next_blocks(Block* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = Block{counter_++, 0};
+  aes128_encrypt_batch(key_, out, n);
+}
+
+void Prg::fill_bytes(void* dst, size_t n) {
+  auto* p = static_cast<uint8_t*>(dst);
+  while (n >= 16) {
+    const Block b = next_block();
+    b.to_bytes(p);
+    p += 16;
+    n -= 16;
+  }
+  if (n > 0) {
+    uint8_t tmp[16];
+    next_block().to_bytes(tmp);
+    std::memcpy(p, tmp, n);
+  }
+}
+
+std::vector<uint8_t> Prg::expand_bits(size_t n) {
+  std::vector<uint8_t> bits(n);
+  size_t i = 0;
+  while (i < n) {
+    const Block b = next_block();
+    for (int half = 0; half < 2 && i < n; ++half) {
+      const uint64_t word = half == 0 ? b.lo : b.hi;
+      for (int j = 0; j < 64 && i < n; ++j, ++i)
+        bits[i] = static_cast<uint8_t>((word >> j) & 1u);
+    }
+  }
+  return bits;
+}
+
+Prg& thread_prg() {
+  thread_local Prg prg = Prg::from_os_entropy();
+  return prg;
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,37 @@
+// SHA-256 — used as the key-derivation hash in the OT protocols.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+#include "crypto/block.h"
+
+namespace deepsecure {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+  void update(const void* data, size_t len);
+  Sha256Digest finish();
+
+ private:
+  void process_block(const uint8_t block[64]);
+
+  uint32_t h_[8];
+  uint8_t buf_[64];
+  size_t buf_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+Sha256Digest sha256(const void* data, size_t len);
+Sha256Digest sha256(const std::string& s);
+
+/// KDF convenience: hash (domain tag, index, point bytes) into a Block.
+Block kdf_block(const char* tag, uint64_t index, const uint8_t* data,
+                size_t len);
+
+}  // namespace deepsecure

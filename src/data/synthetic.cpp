@@ -1,0 +1,148 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace deepsecure::data {
+namespace {
+
+using nn::VecF;
+
+// Per-class basis of `rank` smooth random directions; samples are random
+// non-negative combinations + noise, then squashed to [0, 1].
+nn::Dataset subspace_dataset(size_t features, size_t classes, size_t samples,
+                             size_t rank, double noise, double sep,
+                             uint64_t seed) {
+  Rng rng(seed);
+  // Class bases. Smoothness (local correlation) comes from low-pass
+  // filtering white noise, which also makes the union-of-subspaces
+  // structure visible to Algorithm 1's projection residuals.
+  std::vector<std::vector<VecF>> basis(classes);
+  for (size_t c = 0; c < classes; ++c) {
+    basis[c].resize(rank);
+    for (size_t r = 0; r < rank; ++r) {
+      VecF v(features);
+      for (auto& x : v) x = static_cast<float>(rng.next_gaussian());
+      // Two smoothing passes (moving average, window 5).
+      for (int pass = 0; pass < 2; ++pass) {
+        VecF s(features, 0.0f);
+        for (size_t i = 0; i < features; ++i) {
+          float acc = 0.0f;
+          int cnt = 0;
+          for (int d = -2; d <= 2; ++d) {
+            const long j = static_cast<long>(i) + d;
+            if (j < 0 || j >= static_cast<long>(features)) continue;
+            acc += v[static_cast<size_t>(j)];
+            ++cnt;
+          }
+          s[i] = acc / static_cast<float>(cnt);
+        }
+        v = std::move(s);
+      }
+      // Class-specific offset direction separates the subspaces.
+      const size_t anchor = (c * features) / classes;
+      for (size_t i = 0; i < features; ++i) {
+        const double dist = static_cast<double>(i > anchor ? i - anchor
+                                                           : anchor - i);
+        v[i] += static_cast<float>(
+            sep * std::exp(-dist * dist /
+                           (2.0 * std::pow(features / (4.0 * classes), 2))));
+      }
+      basis[c][r] = v;
+    }
+  }
+
+  nn::Dataset ds;
+  ds.num_classes = classes;
+  for (size_t s = 0; s < samples; ++s) {
+    const size_t c = s % classes;
+    VecF x(features, 0.0f);
+    for (size_t r = 0; r < rank; ++r) {
+      const float coef = static_cast<float>(rng.next_uniform(0.2, 1.0));
+      for (size_t i = 0; i < features; ++i) x[i] += coef * basis[c][r][i];
+    }
+    for (auto& v : x)
+      v += static_cast<float>(rng.next_gaussian(0.0, noise));
+    // Squash into [0, 1] with a fixed affine map (same for all samples,
+    // so the subspace structure survives).
+    for (auto& v : x) v = std::clamp(0.5f + 0.15f * v, 0.0f, 1.0f);
+    ds.x.push_back(std::move(x));
+    ds.y.push_back(c);
+  }
+  return ds;
+}
+
+}  // namespace
+
+nn::Dataset make_subspace_dataset(const SyntheticConfig& cfg) {
+  return subspace_dataset(cfg.features, cfg.classes, cfg.samples,
+                          cfg.subspace_rank, cfg.noise, cfg.class_sep,
+                          cfg.seed);
+}
+
+nn::Dataset make_mnist_like(size_t samples, uint64_t seed) {
+  // 28x28 blobs: each class is a distinct 2-D Gaussian constellation with
+  // per-sample jitter — local 2-D structure for the conv benchmark.
+  constexpr size_t kSide = 28;
+  constexpr size_t kClasses = 10;
+  Rng rng(seed);
+
+  // Three blob centers per class.
+  std::vector<std::array<std::pair<double, double>, 3>> centers(kClasses);
+  for (size_t c = 0; c < kClasses; ++c)
+    for (auto& ctr : centers[c])
+      ctr = {rng.next_uniform(6, 22), rng.next_uniform(6, 22)};
+
+  nn::Dataset ds;
+  ds.num_classes = kClasses;
+  for (size_t s = 0; s < samples; ++s) {
+    const size_t c = s % kClasses;
+    VecF img(kSide * kSide, 0.0f);
+    for (const auto& ctr : centers[c]) {
+      const double cy = ctr.first + rng.next_gaussian(0.0, 0.8);
+      const double cx = ctr.second + rng.next_gaussian(0.0, 0.8);
+      const double amp = rng.next_uniform(0.7, 1.0);
+      for (size_t y = 0; y < kSide; ++y)
+        for (size_t x = 0; x < kSide; ++x) {
+          const double d2 = std::pow(static_cast<double>(y) - cy, 2) +
+                            std::pow(static_cast<double>(x) - cx, 2);
+          img[y * kSide + x] +=
+              static_cast<float>(amp * std::exp(-d2 / (2.0 * 4.5)));
+        }
+    }
+    for (auto& v : img) {
+      v += static_cast<float>(rng.next_gaussian(0.0, 0.02));
+      v = std::clamp(v, 0.0f, 1.0f);
+    }
+    ds.x.push_back(std::move(img));
+    ds.y.push_back(c);
+  }
+  return ds;
+}
+
+nn::Dataset make_isolet_like(size_t samples, uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.features = 617;
+  cfg.classes = 26;
+  cfg.samples = samples;
+  cfg.subspace_rank = 8;
+  cfg.noise = 0.03;
+  cfg.class_sep = 1.2;
+  cfg.seed = seed;
+  return make_subspace_dataset(cfg);
+}
+
+nn::Dataset make_har_like(size_t samples, uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.features = 5625;
+  cfg.classes = 19;
+  cfg.samples = samples;
+  cfg.subspace_rank = 10;
+  cfg.noise = 0.03;
+  cfg.class_sep = 1.2;
+  cfg.seed = seed;
+  return make_subspace_dataset(cfg);
+}
+
+}  // namespace deepsecure::data

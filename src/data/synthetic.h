@@ -1,0 +1,41 @@
+// Synthetic dataset generators — the offline substitute for MNIST /
+// ISOLET / DSA (DESIGN.md substitution #2).
+//
+// Samples are drawn from a union of per-class low-rank subspaces plus
+// bounded noise: exactly the structure Section 3.2.1 of the paper
+// assumes ("complex modern data matrices ... can be modeled by a
+// composition of multiple lower-rank subspaces"), so the data projection
+// pipeline (Algorithm 1) is exercised on-distribution. Feature counts
+// and class counts match the paper's benchmarks.
+#pragma once
+
+#include "nn/trainer.h"
+
+namespace deepsecure::data {
+
+struct SyntheticConfig {
+  size_t features = 64;
+  size_t classes = 4;
+  size_t samples = 400;
+  size_t subspace_rank = 6;   // rank of each class subspace
+  double noise = 0.02;        // additive Gaussian noise sigma
+  double class_sep = 1.0;     // separation of class basis vectors
+  uint64_t seed = 1;
+};
+
+/// Generic union-of-subspaces generator; features scaled into [0, 1].
+nn::Dataset make_subspace_dataset(const SyntheticConfig& cfg);
+
+/// MNIST-like: 28x28 "images" (784 features), 10 classes. The images
+/// are smooth blobs per class with deformations, so conv layers have
+/// local structure to exploit.
+nn::Dataset make_mnist_like(size_t samples, uint64_t seed = 11);
+
+/// ISOLET-like audio features: 617 features, 26 classes (benchmark 3).
+nn::Dataset make_isolet_like(size_t samples, uint64_t seed = 13);
+
+/// Daily-and-sports-activities-like smart sensing: 5625 features,
+/// 19 classes (benchmark 4).
+nn::Dataset make_har_like(size_t samples, uint64_t seed = 17);
+
+}  // namespace deepsecure::data

@@ -1,0 +1,75 @@
+// Buffered streaming of 128-bit blocks over a Channel. Garbled tables
+// dominate traffic (two blocks per AND gate); per-block channel calls
+// would serialize on the channel mutex, so both sides batch through a
+// fixed-size local buffer with an identical, deterministic flush policy.
+#pragma once
+
+#include <vector>
+
+#include "crypto/block.h"
+#include "net/channel.h"
+
+namespace deepsecure {
+
+class BlockWriter {
+ public:
+  explicit BlockWriter(Channel& ch, size_t capacity = 1 << 15)
+      : ch_(ch) {
+    buf_.reserve(capacity);
+    capacity_ = capacity;
+  }
+  ~BlockWriter() { flush(); }
+
+  void put(Block b) {
+    buf_.push_back(b);
+    if (buf_.size() == capacity_) flush();
+  }
+
+  void flush() {
+    if (buf_.empty()) return;
+    ch_.send_bytes(buf_.data(), buf_.size() * sizeof(Block));
+    buf_.clear();
+  }
+
+ private:
+  Channel& ch_;
+  std::vector<Block> buf_;
+  size_t capacity_;
+};
+
+class BlockReader {
+ public:
+  /// `total` blocks will be consumed overall; reads arrive in the
+  /// writer's flush granularity, so we just pull bytes as needed.
+  explicit BlockReader(Channel& ch, size_t capacity = 1 << 15)
+      : ch_(ch), capacity_(capacity) {}
+
+  Block get() {
+    if (pos_ == buf_.size()) refill();
+    return buf_[pos_++];
+  }
+
+  /// Number of blocks already buffered but not yet consumed.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+  /// Prepare to read exactly `n` more blocks (bounds refill sizes so we
+  /// never read past the logical stream).
+  void expect(size_t n) { remaining_ += n; }
+
+ private:
+  void refill() {
+    const size_t n = std::min(capacity_, remaining_);
+    buf_.resize(n);
+    pos_ = 0;
+    ch_.recv_bytes(buf_.data(), n * sizeof(Block));
+    remaining_ -= n;
+  }
+
+  Channel& ch_;
+  std::vector<Block> buf_;
+  size_t pos_ = 0;
+  size_t capacity_;
+  size_t remaining_ = 0;
+};
+
+}  // namespace deepsecure

@@ -1,0 +1,81 @@
+#include "gc/garble.h"
+
+#include <stdexcept>
+
+#include "crypto/aes128.h"
+#include "gc/block_io.h"
+
+namespace deepsecure {
+
+Labels Evaluator::evaluate(const Circuit& c, const Labels& garbler_labels,
+                           const Labels& evaluator_labels,
+                           const Labels& state_labels, Labels* state_next) {
+  if (garbler_labels.size() != c.garbler_inputs.size() ||
+      evaluator_labels.size() != c.evaluator_inputs.size() ||
+      state_labels.size() != c.state_inputs.size())
+    throw std::invalid_argument("evaluate: input label count mismatch");
+
+  Labels w(c.num_wires);
+  w[kConst0] = ch_.recv_block();
+  w[kConst1] = ch_.recv_block();
+
+  for (size_t i = 0; i < garbler_labels.size(); ++i)
+    w[c.garbler_inputs[i]] = garbler_labels[i];
+  for (size_t i = 0; i < evaluator_labels.size(); ++i)
+    w[c.evaluator_inputs[i]] = evaluator_labels[i];
+  for (size_t i = 0; i < state_labels.size(); ++i)
+    w[c.state_inputs[i]] = state_labels[i];
+
+  BlockReader tables(ch_);
+  tables.expect(2 * c.stats().num_and);
+  for (const Gate& g : c.gates) {
+    if (g.op == GateOp::kXor) {
+      w[g.out] = w[g.a] ^ w[g.b];
+      continue;
+    }
+    const Block wa = w[g.a];
+    const Block wb = w[g.b];
+    const uint64_t j0 = tweak_++;
+    const uint64_t j1 = tweak_++;
+    const Block tg = tables.get();
+    const Block te = tables.get();
+
+    Block wgc = gc_hash(wa, j0);
+    if (wa.lsb()) wgc ^= tg;
+    Block wec = gc_hash(wb, j1);
+    if (wb.lsb()) wec ^= te ^ wa;
+    w[g.out] = wgc ^ wec;
+  }
+
+  if (state_next != nullptr) {
+    state_next->resize(c.state_next.size());
+    for (size_t i = 0; i < c.state_next.size(); ++i)
+      (*state_next)[i] = w[c.state_next[i]];
+  }
+  Labels out(c.outputs.size());
+  for (size_t i = 0; i < c.outputs.size(); ++i) out[i] = w[c.outputs[i]];
+  return out;
+}
+
+Labels Evaluator::recv_active(size_t n) {
+  Labels labels(n);
+  if (n > 0) ch_.recv_bytes(labels.data(), n * sizeof(Block));
+  return labels;
+}
+
+void Evaluator::send_outputs(const Labels& labels) {
+  if (!labels.empty())
+    ch_.send_bytes(labels.data(), labels.size() * sizeof(Block));
+}
+
+BitVec Evaluator::decode_with_info(const Labels& labels) {
+  const BitVec perm = ch_.recv_bits();
+  if (perm.size() != labels.size())
+    throw std::runtime_error("decode_with_info: size mismatch");
+  BitVec bits(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i)
+    bits[i] = (labels[i].lsb() ? 1u : 0u) ^ perm[i];
+  return bits;
+}
+
+}  // namespace deepsecure

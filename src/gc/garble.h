@@ -1,0 +1,85 @@
+// Garbling engine: free-XOR (Kolesnikov-Schneider), half-gates
+// (Zahur-Rosulek-Evans, 2 ciphertexts per AND), point-and-permute, and
+// fixed-key AES hashing (Bellare et al.) — the optimization stack from
+// Section 2.3 of the paper. Row-reduction is subsumed by half-gates.
+//
+// Labels are 128-bit blocks; the wire's "zero" label W0 encodes FALSE,
+// W1 = W0 ^ delta encodes TRUE, lsb(delta) = 1 (permute bit).
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "crypto/prg.h"
+#include "net/channel.h"
+
+namespace deepsecure {
+
+/// Wire labels, indexed like the corresponding input/output vectors.
+using Labels = std::vector<Block>;
+
+class Garbler {
+ public:
+  /// `seed` drives all label sampling (pass entropy for real use,
+  /// a constant for reproducible tests).
+  Garbler(Channel& ch, Block seed);
+
+  Block delta() const { return delta_; }
+
+  /// Fresh zero-labels for `n` wires.
+  Labels fresh_zeros(size_t n);
+
+  /// Garble `c`, streaming constant labels and garbled tables to the
+  /// channel. Zero-labels for every input class must be supplied
+  /// (fresh_zeros for new inputs, carried values for chained layers).
+  /// Returns output zero-labels; `state_next` (if non-null) receives the
+  /// zero-labels of the state_next wires for the next cycle.
+  Labels garble(const Circuit& c, const Labels& garbler_zeros,
+                const Labels& evaluator_zeros, const Labels& state_zeros,
+                Labels* state_next = nullptr);
+
+  /// Transfer the active labels for the garbler's own input bits.
+  void send_active(const BitVec& bits, const Labels& zeros);
+
+  /// Receive output labels from the evaluator and decode (paper step 4:
+  /// "merging results" on the client).
+  BitVec decode_outputs(const Labels& output_zeros);
+
+  /// Alternative decode direction: send lsb decode bits so the evaluator
+  /// can open the outputs itself.
+  void send_decode_info(const Labels& output_zeros);
+
+  uint64_t gates_garbled() const { return tweak_ / 2; }
+
+ private:
+  Channel& ch_;
+  Prg prg_;
+  Block delta_;
+  uint64_t tweak_ = 0;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(Channel& ch) : ch_(ch) {}
+
+  /// Evaluate `c` with active labels for all inputs, consuming the
+  /// garbled tables from the channel. Returns active output labels.
+  Labels evaluate(const Circuit& c, const Labels& garbler_labels,
+                  const Labels& evaluator_labels, const Labels& state_labels,
+                  Labels* state_next = nullptr);
+
+  /// Receive the garbler's active input labels.
+  Labels recv_active(size_t n);
+
+  /// Send output labels back for decoding (paper flow).
+  void send_outputs(const Labels& labels);
+
+  /// Decode outputs locally from garbler-provided decode bits.
+  BitVec decode_with_info(const Labels& labels);
+
+ private:
+  Channel& ch_;
+  uint64_t tweak_ = 0;
+};
+
+}  // namespace deepsecure

@@ -1,0 +1,123 @@
+#include "gc/garble.h"
+
+#include <stdexcept>
+
+#include "crypto/aes128.h"
+#include "gc/block_io.h"
+
+namespace deepsecure {
+
+Garbler::Garbler(Channel& ch, Block seed) : ch_(ch), prg_(seed) {
+  delta_ = prg_.next_block();
+  delta_.lo |= 1;  // point-and-permute: lsb(delta) = 1
+}
+
+Labels Garbler::fresh_zeros(size_t n) {
+  Labels zeros(n);
+  prg_.next_blocks(zeros.data(), n);
+  return zeros;
+}
+
+Labels Garbler::garble(const Circuit& c, const Labels& garbler_zeros,
+                       const Labels& evaluator_zeros, const Labels& state_zeros,
+                       Labels* state_next) {
+  if (garbler_zeros.size() != c.garbler_inputs.size() ||
+      evaluator_zeros.size() != c.evaluator_inputs.size() ||
+      state_zeros.size() != c.state_inputs.size())
+    throw std::invalid_argument("garble: input label count mismatch");
+
+  Labels w(c.num_wires);
+  // Constants: fresh labels each garbling; the evaluator receives the
+  // *active* labels (value 0 for kConst0, value 1 for kConst1). Delta
+  // never leaves this side.
+  w[kConst0] = prg_.next_block();
+  w[kConst1] = prg_.next_block();
+  ch_.send_block(w[kConst0]);
+  ch_.send_block(w[kConst1] ^ delta_);
+
+  for (size_t i = 0; i < garbler_zeros.size(); ++i)
+    w[c.garbler_inputs[i]] = garbler_zeros[i];
+  for (size_t i = 0; i < evaluator_zeros.size(); ++i)
+    w[c.evaluator_inputs[i]] = evaluator_zeros[i];
+  for (size_t i = 0; i < state_zeros.size(); ++i)
+    w[c.state_inputs[i]] = state_zeros[i];
+
+  BlockWriter tables(ch_);
+  for (const Gate& g : c.gates) {
+    if (g.op == GateOp::kXor) {
+      w[g.out] = w[g.a] ^ w[g.b];  // free-XOR
+      continue;
+    }
+    // Half-gates AND.
+    const Block a0 = w[g.a];
+    const Block b0 = w[g.b];
+    const bool pa = a0.lsb();
+    const bool pb = b0.lsb();
+    const uint64_t j0 = tweak_++;
+    const uint64_t j1 = tweak_++;
+
+    const Block ha0 = gc_hash(a0, j0);
+    const Block ha1 = gc_hash(a0 ^ delta_, j0);
+    const Block hb0 = gc_hash(b0, j1);
+    const Block hb1 = gc_hash(b0 ^ delta_, j1);
+
+    Block tg = ha0 ^ ha1;
+    if (pb) tg ^= delta_;
+    Block wg = ha0;
+    if (pa) wg ^= tg;
+
+    const Block te = hb0 ^ hb1 ^ a0;
+    Block we = hb0;
+    if (pb) we ^= te ^ a0;
+
+    tables.put(tg);
+    tables.put(te);
+    w[g.out] = wg ^ we;
+  }
+  tables.flush();
+
+  if (state_next != nullptr) {
+    state_next->resize(c.state_next.size());
+    for (size_t i = 0; i < c.state_next.size(); ++i)
+      (*state_next)[i] = w[c.state_next[i]];
+  }
+  Labels out(c.outputs.size());
+  for (size_t i = 0; i < c.outputs.size(); ++i) out[i] = w[c.outputs[i]];
+  return out;
+}
+
+void Garbler::send_active(const BitVec& bits, const Labels& zeros) {
+  if (bits.size() != zeros.size())
+    throw std::invalid_argument("send_active size mismatch");
+  std::vector<Block> active(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i)
+    active[i] = bits[i] ? (zeros[i] ^ delta_) : zeros[i];
+  if (!active.empty())
+    ch_.send_bytes(active.data(), active.size() * sizeof(Block));
+}
+
+BitVec Garbler::decode_outputs(const Labels& output_zeros) {
+  std::vector<Block> received(output_zeros.size());
+  if (!received.empty())
+    ch_.recv_bytes(received.data(), received.size() * sizeof(Block));
+  BitVec bits(output_zeros.size());
+  for (size_t i = 0; i < output_zeros.size(); ++i) {
+    if (received[i] == output_zeros[i]) {
+      bits[i] = 0;
+    } else if (received[i] == (output_zeros[i] ^ delta_)) {
+      bits[i] = 1;
+    } else {
+      throw std::runtime_error("decode_outputs: label not in wire range");
+    }
+  }
+  return bits;
+}
+
+void Garbler::send_decode_info(const Labels& output_zeros) {
+  BitVec perm(output_zeros.size());
+  for (size_t i = 0; i < output_zeros.size(); ++i)
+    perm[i] = output_zeros[i].lsb() ? 1 : 0;
+  ch_.send_bits(perm);
+}
+
+}  // namespace deepsecure

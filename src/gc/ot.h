@@ -1,0 +1,76 @@
+// Oblivious transfer (Section 2.2.1): the evaluator's input-wire labels
+// are transferred with 1-out-of-2 OT.
+//
+//  * Base OT: Chou-Orlandi "simplest OT" over Edwards25519 (semi-honest
+//    variant). Real elliptic-curve crypto, 128 instances per session.
+//  * Extension: IKNP'03 semi-honest OT extension with stateful AES-CTR
+//    column PRGs, so one base-OT setup serves any number of label
+//    transfers across all layers of a model.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "crypto/block.h"
+#include "crypto/prg.h"
+#include "net/channel.h"
+#include "support/bits.h"
+
+namespace deepsecure {
+
+/// Base OT, sender side: transfers msgs[i].first for choice 0,
+/// msgs[i].second for choice 1.
+void base_ot_send(Channel& ch, const std::vector<std::pair<Block, Block>>& msgs,
+                  Prg& prg);
+
+/// Base OT, receiver side.
+std::vector<Block> base_ot_recv(Channel& ch, const BitVec& choices, Prg& prg);
+
+inline constexpr size_t kOtExtKappa = 128;  // base-OT security parameter
+
+class OtExtSender {
+ public:
+  explicit OtExtSender(Channel& ch) : ch_(ch) {}
+
+  /// Runs kappa base OTs (as base-OT receiver with random choices s).
+  void setup(Prg& prg);
+
+  /// Send `msgs.size()` message pairs; receiver learns one of each.
+  void send(const std::vector<std::pair<Block, Block>>& msgs);
+
+  /// Correlated variant used for wire labels: pair i is
+  /// (zeros[i], zeros[i] ^ delta). Saves building the pair vector.
+  void send_correlated(const std::vector<Block>& zeros, Block delta);
+
+ private:
+  std::vector<Block> recv_q_rows(size_t m);
+
+  Channel& ch_;
+  BitVec s_;                       // kappa secret choice bits
+  Block s_block_;                  // s packed into a block
+  std::vector<std::unique_ptr<Prg>> col_prg_;  // PRG(k_i^{s_i})
+  uint64_t hash_index_ = 0;
+  bool ready_ = false;
+};
+
+class OtExtReceiver {
+ public:
+  explicit OtExtReceiver(Channel& ch) : ch_(ch) {}
+
+  /// Runs kappa base OTs (as base-OT sender with random seed pairs).
+  void setup(Prg& prg);
+
+  /// Receive msgs[i] for choices[i].
+  std::vector<Block> recv(const BitVec& choices);
+
+ private:
+  Channel& ch_;
+  std::vector<std::unique_ptr<Prg>> col_prg0_;  // PRG(k_i^0)
+  std::vector<std::unique_ptr<Prg>> col_prg1_;  // PRG(k_i^1)
+  uint64_t hash_index_ = 0;
+  bool ready_ = false;
+};
+
+}  // namespace deepsecure

@@ -1,0 +1,82 @@
+// Chou-Orlandi base OT (semi-honest):
+//   Sender: a <- random, A = aG. Publish A.
+//   Receiver (choice c): b <- random, B = cA + bG. Publish B.
+//   Sender keys:   k_j = H(a * (B - jA), i)    for j in {0,1}
+//   Receiver key:  k_c = H(b * A, i)
+// since a(B - cA) = abG.
+#include "gc/ot.h"
+
+#include <stdexcept>
+
+#include "crypto/ed25519.h"
+#include "crypto/sha256.h"
+
+namespace deepsecure {
+namespace {
+
+Ed25519Scalar random_scalar(Prg& prg) {
+  Ed25519Scalar k{};
+  prg.fill_bytes(k.data(), k.size());
+  // Clear the top bit to stay below 2^255 (any scalar works for DH-style
+  // use; clamping is unnecessary in the semi-honest setting).
+  k[31] &= 0x7F;
+  return k;
+}
+
+Block point_kdf(const Ed25519Point& p, uint64_t index) {
+  const auto enc = p.encode();
+  return kdf_block("deepsecure-base-ot", index, enc.data(), enc.size());
+}
+
+void send_point(Channel& ch, const Ed25519Point& p) {
+  const auto enc = p.encode();
+  ch.send_bytes(enc.data(), enc.size());
+}
+
+Ed25519Point recv_point(Channel& ch) {
+  std::array<uint8_t, 64> enc{};
+  ch.recv_bytes(enc.data(), enc.size());
+  auto p = Ed25519Point::decode(enc.data());
+  if (!p) throw std::runtime_error("base OT: off-curve point received");
+  return *p;
+}
+
+}  // namespace
+
+void base_ot_send(Channel& ch, const std::vector<std::pair<Block, Block>>& msgs,
+                  Prg& prg) {
+  const Ed25519Scalar a = random_scalar(prg);
+  const Ed25519Point big_a = Ed25519Point::base_mul(a);
+  send_point(ch, big_a);
+
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    const Ed25519Point big_b = recv_point(ch);
+    const Ed25519Point k0_point = Ed25519Point::mul(big_b, a);
+    const Ed25519Point k1_point =
+        Ed25519Point::mul(Ed25519Point::sub(big_b, big_a), a);
+    const Block e0 = msgs[i].first ^ point_kdf(k0_point, i);
+    const Block e1 = msgs[i].second ^ point_kdf(k1_point, i);
+    ch.send_block(e0);
+    ch.send_block(e1);
+  }
+}
+
+std::vector<Block> base_ot_recv(Channel& ch, const BitVec& choices, Prg& prg) {
+  const Ed25519Point big_a = recv_point(ch);
+
+  std::vector<Block> out(choices.size());
+  for (size_t i = 0; i < choices.size(); ++i) {
+    const Ed25519Scalar b = random_scalar(prg);
+    Ed25519Point big_b = Ed25519Point::base_mul(b);
+    if (choices[i]) big_b = Ed25519Point::add(big_b, big_a);
+    send_point(ch, big_b);
+
+    const Block key = point_kdf(Ed25519Point::mul(big_a, b), i);
+    const Block e0 = ch.recv_block();
+    const Block e1 = ch.recv_block();
+    out[i] = (choices[i] ? e1 : e0) ^ key;
+  }
+  return out;
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,148 @@
+// IKNP oblivious-transfer extension, semi-honest.
+//
+// Roles are reversed in setup: the extension *sender* is a base-OT
+// *receiver* with kappa secret choice bits s, obtaining one of each
+// column-seed pair. For every batch of m OTs:
+//   receiver: t_i = PRG(k_i^0, m), u_i = t_i ^ PRG(k_i^1, m) ^ r -> send
+//   sender:   q_i = PRG(k_i^{s_i}, m) ^ s_i * u_i
+//   rows:     q_j = t_j ^ r_j * s
+//   sender:   y_j^b = x_j^b ^ H(q_j ^ b*s, j);   receiver: H(t_j, j)
+// Column PRGs are stateful so repeated batches (per-layer label
+// transfers) reuse the single setup.
+#include "gc/ot.h"
+
+#include <stdexcept>
+
+#include "crypto/aes128.h"
+
+namespace deepsecure {
+namespace {
+
+// Domain-separated hash for OT messages (distinct from garbling tweaks).
+constexpr Block kOtDomain{0x6f742d657874656eull, 0x646565707365632dull};
+
+Block ot_hash(Block q, uint64_t index) {
+  return gc_hash(q ^ kOtDomain, index);
+}
+
+// Pack a column-major bit matrix (kappa columns of m bits) into row
+// blocks: row j's bit i = cols[i][j].
+std::vector<Block> transpose_to_rows(
+    const std::vector<std::vector<uint8_t>>& cols, size_t m) {
+  std::vector<Block> rows(m, kZeroBlock);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const auto& col = cols[i];
+    for (size_t j = 0; j < m; ++j) {
+      if (!col[j]) continue;
+      if (i < 64)
+        rows[j].lo |= 1ull << i;
+      else
+        rows[j].hi |= 1ull << (i - 64);
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+void OtExtSender::setup(Prg& prg) {
+  s_ = BitVec(kOtExtKappa);
+  for (auto& bit : s_) bit = prg.next_u64() & 1u;
+  s_block_ = kZeroBlock;
+  for (size_t i = 0; i < kOtExtKappa; ++i) {
+    if (!s_[i]) continue;
+    if (i < 64)
+      s_block_.lo |= 1ull << i;
+    else
+      s_block_.hi |= 1ull << (i - 64);
+  }
+  const std::vector<Block> seeds = base_ot_recv(ch_, s_, prg);
+  col_prg_.clear();
+  for (const Block& seed : seeds)
+    col_prg_.push_back(std::make_unique<Prg>(seed));
+  ready_ = true;
+}
+
+void OtExtReceiver::setup(Prg& prg) {
+  std::vector<std::pair<Block, Block>> seed_pairs(kOtExtKappa);
+  for (auto& p : seed_pairs) {
+    p.first = prg.next_block();
+    p.second = prg.next_block();
+  }
+  base_ot_send(ch_, seed_pairs, prg);
+  col_prg0_.clear();
+  col_prg1_.clear();
+  for (const auto& p : seed_pairs) {
+    col_prg0_.push_back(std::make_unique<Prg>(p.first));
+    col_prg1_.push_back(std::make_unique<Prg>(p.second));
+  }
+  ready_ = true;
+}
+
+std::vector<Block> OtExtSender::recv_q_rows(size_t m) {
+  if (!ready_) throw std::logic_error("OtExtSender: setup() not run");
+  std::vector<std::vector<uint8_t>> q_cols(kOtExtKappa);
+  for (size_t i = 0; i < kOtExtKappa; ++i) {
+    q_cols[i] = col_prg_[i]->expand_bits(m);
+    const BitVec u = ch_.recv_bits();
+    if (u.size() != m) throw std::runtime_error("OT ext: bad u column size");
+    if (s_[i])
+      for (size_t j = 0; j < m; ++j) q_cols[i][j] ^= u[j];
+  }
+  return transpose_to_rows(q_cols, m);
+}
+
+void OtExtSender::send(const std::vector<std::pair<Block, Block>>& msgs) {
+  const size_t m = msgs.size();
+  if (m == 0) return;
+  const std::vector<Block> q = recv_q_rows(m);
+  std::vector<Block> payload(2 * m);
+  for (size_t j = 0; j < m; ++j) {
+    const uint64_t idx = hash_index_++;
+    payload[2 * j] = msgs[j].first ^ ot_hash(q[j], idx);
+    payload[2 * j + 1] = msgs[j].second ^ ot_hash(q[j] ^ s_block_, idx);
+  }
+  ch_.send_bytes(payload.data(), payload.size() * sizeof(Block));
+}
+
+void OtExtSender::send_correlated(const std::vector<Block>& zeros,
+                                  Block delta) {
+  const size_t m = zeros.size();
+  if (m == 0) return;
+  const std::vector<Block> q = recv_q_rows(m);
+  std::vector<Block> payload(2 * m);
+  for (size_t j = 0; j < m; ++j) {
+    const uint64_t idx = hash_index_++;
+    payload[2 * j] = zeros[j] ^ ot_hash(q[j], idx);
+    payload[2 * j + 1] = zeros[j] ^ delta ^ ot_hash(q[j] ^ s_block_, idx);
+  }
+  ch_.send_bytes(payload.data(), payload.size() * sizeof(Block));
+}
+
+std::vector<Block> OtExtReceiver::recv(const BitVec& choices) {
+  if (!ready_) throw std::logic_error("OtExtReceiver: setup() not run");
+  const size_t m = choices.size();
+  if (m == 0) return {};
+
+  std::vector<std::vector<uint8_t>> t_cols(kOtExtKappa);
+  for (size_t i = 0; i < kOtExtKappa; ++i) {
+    t_cols[i] = col_prg0_[i]->expand_bits(m);
+    const std::vector<uint8_t> other = col_prg1_[i]->expand_bits(m);
+    BitVec u(m);
+    for (size_t j = 0; j < m; ++j)
+      u[j] = t_cols[i][j] ^ other[j] ^ (choices[j] & 1u);
+    ch_.send_bits(u);
+  }
+  const std::vector<Block> t = transpose_to_rows(t_cols, m);
+
+  std::vector<Block> payload(2 * m);
+  ch_.recv_bytes(payload.data(), payload.size() * sizeof(Block));
+  std::vector<Block> out(m);
+  for (size_t j = 0; j < m; ++j) {
+    const uint64_t idx = hash_index_++;
+    out[j] = payload[2 * j + (choices[j] ? 1 : 0)] ^ ot_hash(t[j], idx);
+  }
+  return out;
+}
+
+}  // namespace deepsecure

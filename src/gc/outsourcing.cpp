@@ -1,0 +1,45 @@
+#include "gc/outsourcing.h"
+
+namespace deepsecure {
+
+XorShares xor_share(const BitVec& bits, Prg& prg) {
+  XorShares sh;
+  sh.share_a.resize(bits.size());
+  sh.share_b.resize(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    sh.share_a[i] = static_cast<uint8_t>(prg.next_u64() & 1u);
+    sh.share_b[i] = sh.share_a[i] ^ (bits[i] & 1u);
+  }
+  return sh;
+}
+
+Circuit add_xor_sharing_layer(const Circuit& c) {
+  Circuit out = c;
+  const size_t n = c.garbler_inputs.size();
+
+  // Fresh wires for the two shares.
+  std::vector<Wire> share_a(n), share_b(n);
+  for (size_t i = 0; i < n; ++i) share_a[i] = out.num_wires++;
+  for (size_t i = 0; i < n; ++i) share_b[i] = out.num_wires++;
+
+  // The reconstruction XOR layer must precede every original gate; the
+  // old garbler-input wires become its outputs.
+  std::vector<Gate> gates;
+  gates.reserve(out.gates.size() + n);
+  for (size_t i = 0; i < n; ++i)
+    gates.push_back(Gate{share_a[i], share_b[i], c.garbler_inputs[i],
+                         GateOp::kXor});
+  gates.insert(gates.end(), out.gates.begin(), out.gates.end());
+  out.gates = std::move(gates);
+
+  out.garbler_inputs = share_a;
+  std::vector<Wire> eval_in = share_b;
+  eval_in.insert(eval_in.end(), c.evaluator_inputs.begin(),
+                 c.evaluator_inputs.end());
+  out.evaluator_inputs = std::move(eval_in);
+  out.name = c.name.empty() ? "outsourced" : c.name + ".outsourced";
+  out.validate();
+  return out;
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,28 @@
+// Secure outsourcing for constrained clients (Section 3.3):
+// the client XOR-shares its input x into (s, x ^ s); a proxy server
+// garbles with share s as its input, the main server evaluates with
+// share x ^ s as an extra private input (via OT), and one layer of free
+// XOR gates reconstructs x inside the circuit. Neither server learns x
+// unless they collude (Proposition 3.2).
+#pragma once
+
+#include "circuit/circuit.h"
+#include "crypto/prg.h"
+
+namespace deepsecure {
+
+/// XOR-share `bits` with fresh randomness from `prg`.
+struct XorShares {
+  BitVec share_a;  // the random pad s          -> proxy (garbler) input
+  BitVec share_b;  // x ^ s                     -> main server input
+};
+XorShares xor_share(const BitVec& bits, Prg& prg);
+
+/// Transform a circuit for outsourced execution: the original garbler
+/// inputs become internal wires driven by an XOR layer whose operands
+/// are a fresh garbler input vector (share s) and a fresh evaluator
+/// input vector (share x^s, prepended before the original evaluator
+/// inputs). Gate cost: +n XOR, +0 non-XOR (free).
+Circuit add_xor_sharing_layer(const Circuit& c);
+
+}  // namespace deepsecure

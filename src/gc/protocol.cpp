@@ -1,0 +1,196 @@
+#include "gc/protocol.h"
+
+#include <stdexcept>
+
+namespace deepsecure {
+namespace {
+
+BitVec slice(const BitVec& bits, size_t offset, size_t n) {
+  if (offset + n > bits.size())
+    throw std::invalid_argument("protocol: input bits exhausted");
+  return BitVec(bits.begin() + static_cast<ptrdiff_t>(offset),
+                bits.begin() + static_cast<ptrdiff_t>(offset + n));
+}
+
+}  // namespace
+
+GarblerSession::GarblerSession(Channel& ch, Block seed)
+    : ch_(ch), garbler_(ch, seed), ot_(ch), prg_(seed ^ Block{1, 0}) {}
+
+EvaluatorSession::EvaluatorSession(Channel& ch)
+    : ch_(ch), evaluator_(ch), ot_(ch),
+      prg_(Prg::from_os_entropy().next_block()) {}
+
+BitVec GarblerSession::run_chain(const std::vector<Circuit>& chain,
+                                 const BitVec& data_bits) {
+  Stopwatch total;
+  if (!ot_ready_) {
+    Stopwatch sw;
+    ot_.setup(prg_);
+    ot_ready_ = true;
+    trace_.setup_s = sw.seconds();
+  }
+
+  Labels carried;  // zero-labels of previous circuit's outputs
+  for (size_t k = 0; k < chain.size(); ++k) {
+    const Circuit& c = chain[k];
+    PhaseSample ph;
+    ph.step = k;
+
+    // Garbler inputs: fresh for layer 0, carried labels afterwards.
+    Labels g_zeros;
+    if (k == 0) {
+      g_zeros = garbler_.fresh_zeros(c.garbler_inputs.size());
+    } else {
+      if (carried.size() != c.garbler_inputs.size())
+        throw std::invalid_argument("chain: layer width mismatch");
+      g_zeros = carried;
+    }
+
+    // Evaluator inputs: fresh zero-labels delivered via correlated OT.
+    Stopwatch sw;
+    const Labels e_zeros = garbler_.fresh_zeros(c.evaluator_inputs.size());
+    if (!e_zeros.empty()) ot_.send_correlated(e_zeros, garbler_.delta());
+    if (k == 0) garbler_.send_active(data_bits, g_zeros);
+    ph.ot_s = sw.seconds();
+
+    sw.restart();
+    carried = garbler_.garble(c, g_zeros, e_zeros, {});
+    ph.garble_s = sw.seconds();
+    trace_.phases.push_back(ph);
+  }
+
+  const BitVec out = garbler_.decode_outputs(carried);
+  // Share the plaintext result back (paper: Alice may share with Bob).
+  ch_.send_bits(out);
+  trace_.total_s = total.seconds();
+  return out;
+}
+
+BitVec EvaluatorSession::run_chain(const std::vector<Circuit>& chain,
+                                   const BitVec& weight_bits) {
+  Stopwatch total;
+  if (!ot_ready_) {
+    Stopwatch sw;
+    ot_.setup(prg_);
+    ot_ready_ = true;
+    trace_.setup_s = sw.seconds();
+  }
+
+  size_t consumed = 0;
+  Labels carried;
+  for (size_t k = 0; k < chain.size(); ++k) {
+    const Circuit& c = chain[k];
+    PhaseSample ph;
+    ph.step = k;
+
+    Stopwatch sw;
+    const size_t n_w = c.evaluator_inputs.size();
+    const BitVec w_bits = slice(weight_bits, consumed, n_w);
+    consumed += n_w;
+    const Labels e_labels = n_w > 0 ? ot_.recv(w_bits) : Labels{};
+    Labels g_labels;
+    if (k == 0) {
+      g_labels = evaluator_.recv_active(c.garbler_inputs.size());
+    } else {
+      if (carried.size() != c.garbler_inputs.size())
+        throw std::invalid_argument("chain: layer width mismatch");
+      g_labels = carried;
+    }
+    ph.ot_s = sw.seconds();
+
+    sw.restart();
+    carried = evaluator_.evaluate(c, g_labels, e_labels, {});
+    ph.eval_s = sw.seconds();
+    trace_.phases.push_back(ph);
+  }
+
+  evaluator_.send_outputs(carried);
+  const BitVec out = ch_.recv_bits();
+  trace_.total_s = total.seconds();
+  return out;
+}
+
+BitVec GarblerSession::run_sequential(const Circuit& step, size_t cycles,
+                                      const BitVec& data_bits) {
+  Stopwatch total;
+  if (!ot_ready_) {
+    Stopwatch sw;
+    ot_.setup(prg_);
+    ot_ready_ = true;
+    trace_.setup_s = sw.seconds();
+  }
+  const size_t g_per = step.garbler_inputs.size();
+  const size_t e_per = step.evaluator_inputs.size();
+  if (data_bits.size() != g_per * cycles)
+    throw std::invalid_argument("run_sequential: data size mismatch");
+
+  // Cycle-0 state: public zeros, delivered like garbler inputs.
+  Labels state = garbler_.fresh_zeros(step.state_inputs.size());
+  garbler_.send_active(BitVec(state.size(), 0), state);
+
+  Labels outs;
+  for (size_t t = 0; t < cycles; ++t) {
+    PhaseSample ph;
+    ph.step = t;
+    Stopwatch sw;
+    const Labels g_zeros = garbler_.fresh_zeros(g_per);
+    garbler_.send_active(slice(data_bits, t * g_per, g_per), g_zeros);
+    const Labels e_zeros = garbler_.fresh_zeros(e_per);
+    if (!e_zeros.empty()) ot_.send_correlated(e_zeros, garbler_.delta());
+    ph.ot_s = sw.seconds();
+
+    sw.restart();
+    Labels next_state;
+    outs = garbler_.garble(step, g_zeros, e_zeros, state, &next_state);
+    state = std::move(next_state);
+    ph.garble_s = sw.seconds();
+    trace_.phases.push_back(ph);
+  }
+
+  const BitVec out = garbler_.decode_outputs(outs);
+  ch_.send_bits(out);
+  trace_.total_s = total.seconds();
+  return out;
+}
+
+BitVec EvaluatorSession::run_sequential(const Circuit& step, size_t cycles,
+                                        const BitVec& weight_bits) {
+  Stopwatch total;
+  if (!ot_ready_) {
+    Stopwatch sw;
+    ot_.setup(prg_);
+    ot_ready_ = true;
+    trace_.setup_s = sw.seconds();
+  }
+  const size_t e_per = step.evaluator_inputs.size();
+  if (weight_bits.size() != e_per * cycles)
+    throw std::invalid_argument("run_sequential: weight size mismatch");
+
+  Labels state = evaluator_.recv_active(step.state_inputs.size());
+
+  Labels outs;
+  for (size_t t = 0; t < cycles; ++t) {
+    PhaseSample ph;
+    ph.step = t;
+    Stopwatch sw;
+    const Labels g_labels = evaluator_.recv_active(step.garbler_inputs.size());
+    const BitVec w_bits = slice(weight_bits, t * e_per, e_per);
+    const Labels e_labels = e_per > 0 ? ot_.recv(w_bits) : Labels{};
+    ph.ot_s = sw.seconds();
+
+    sw.restart();
+    Labels next_state;
+    outs = evaluator_.evaluate(step, g_labels, e_labels, state, &next_state);
+    state = std::move(next_state);
+    ph.eval_s = sw.seconds();
+    trace_.phases.push_back(ph);
+  }
+
+  evaluator_.send_outputs(outs);
+  const BitVec out = ch_.recv_bits();
+  trace_.total_s = total.seconds();
+  return out;
+}
+
+}  // namespace deepsecure

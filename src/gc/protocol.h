@@ -1,0 +1,108 @@
+// Two-party GC session driver — the paper's core structure (Figure 3):
+//
+//   client (Alice) = garbler, owns the data sample
+//   server (Bob)   = evaluator, owns the DL model parameters
+//
+//   (1) Alice garbles the netlist          (4) Bob returns output labels
+//   (2) label transfer + OT                (5) Alice decodes ("merges")
+//   (3) Bob evaluates
+//
+// Supports three execution shapes:
+//   * single circuit (combinational)
+//   * chained circuits (per-layer netlists; activations carried as
+//     labels between layers — never revealed)
+//   * sequential circuits (folded step circuit run for many cycles,
+//     Section 3.5; state carried as labels between cycles)
+//
+// Phase timings are recorded per step for the Figure 5 reproduction.
+#pragma once
+
+#include <vector>
+
+#include "gc/garble.h"
+#include "gc/ot.h"
+#include "support/stopwatch.h"
+
+namespace deepsecure {
+
+struct PhaseSample {
+  size_t step = 0;        // layer or clock-cycle index
+  double garble_s = 0.0;  // garbler-side garbling time
+  double ot_s = 0.0;      // label transfer / OT time (either side)
+  double eval_s = 0.0;    // evaluator-side evaluation time
+};
+
+struct SessionTrace {
+  std::vector<PhaseSample> phases;
+  double total_s = 0.0;
+  double setup_s = 0.0;  // base-OT + extension setup (once per session)
+
+  double sum_garble() const {
+    double t = 0;
+    for (const auto& p : phases) t += p.garble_s;
+    return t;
+  }
+  double sum_eval() const {
+    double t = 0;
+    for (const auto& p : phases) t += p.eval_s;
+    return t;
+  }
+};
+
+/// Client-side session (garbler).
+class GarblerSession {
+ public:
+  /// `seed` feeds the label PRG (use Prg::from_os_entropy().next_block()
+  /// outside tests).
+  GarblerSession(Channel& ch, Block seed);
+
+  /// Run a chain of circuits. `data_bits` feed circuit 0's garbler
+  /// inputs; circuit k>0 garbler inputs are bound to circuit k-1 outputs.
+  /// Every circuit's evaluator inputs are transferred via OT extension.
+  /// Returns the decoded output bits of the final circuit.
+  BitVec run_chain(const std::vector<Circuit>& chain, const BitVec& data_bits);
+
+  /// Run a folded circuit for `cycles` cycles. Garbler inputs are fed
+  /// per cycle from consecutive slices of `data_bits`; state is carried.
+  BitVec run_sequential(const Circuit& step, size_t cycles,
+                        const BitVec& data_bits);
+
+  const SessionTrace& trace() const { return trace_; }
+
+ private:
+  Channel& ch_;
+  Garbler garbler_;
+  OtExtSender ot_;
+  Prg prg_;
+  bool ot_ready_ = false;
+  SessionTrace trace_;
+};
+
+/// Server-side session (evaluator).
+class EvaluatorSession {
+ public:
+  explicit EvaluatorSession(Channel& ch);
+
+  /// Counterpart of run_chain: `weight_bits` are consumed circuit by
+  /// circuit in declaration order of each circuit's evaluator inputs.
+  /// Returns the output bits as decoded by the garbler (sent back so
+  /// both parties can report the inference result, as in the paper's
+  /// optional final share step).
+  BitVec run_chain(const std::vector<Circuit>& chain,
+                   const BitVec& weight_bits);
+
+  BitVec run_sequential(const Circuit& step, size_t cycles,
+                        const BitVec& weight_bits);
+
+  const SessionTrace& trace() const { return trace_; }
+
+ private:
+  Channel& ch_;
+  Evaluator evaluator_;
+  OtExtReceiver ot_;
+  Prg prg_;
+  bool ot_ready_ = false;
+  SessionTrace trace_;
+};
+
+}  // namespace deepsecure

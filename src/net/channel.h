@@ -1,0 +1,74 @@
+// Two-party communication channel abstraction. The GC protocol, OT, and
+// the outsourcing mode all talk through this interface, and the byte
+// counters are the source of the paper's "Comm. (MB)" columns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/block.h"
+
+namespace deepsecure {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual void send_bytes(const void* data, size_t n) = 0;
+  virtual void recv_bytes(void* data, size_t n) = 0;
+
+  // --- typed helpers -------------------------------------------------
+  void send_block(Block b) {
+    uint8_t buf[16];
+    b.to_bytes(buf);
+    send_bytes(buf, sizeof(buf));
+  }
+  Block recv_block() {
+    uint8_t buf[16];
+    recv_bytes(buf, sizeof(buf));
+    return Block::from_bytes(buf);
+  }
+  void send_blocks(const Block* b, size_t n) {
+    for (size_t i = 0; i < n; ++i) send_block(b[i]);
+  }
+  void recv_blocks(Block* b, size_t n) {
+    for (size_t i = 0; i < n; ++i) b[i] = recv_block();
+  }
+  void send_u64(uint64_t v) { send_bytes(&v, sizeof(v)); }
+  uint64_t recv_u64() {
+    uint64_t v = 0;
+    recv_bytes(&v, sizeof(v));
+    return v;
+  }
+  void send_bit(uint8_t b) { send_bytes(&b, 1); }
+  uint8_t recv_bit() {
+    uint8_t b = 0;
+    recv_bytes(&b, 1);
+    return b;
+  }
+  void send_bits(const std::vector<uint8_t>& bits) {
+    send_u64(bits.size());
+    // Packed transfer, 8 bits per byte.
+    std::vector<uint8_t> packed((bits.size() + 7) / 8, 0);
+    for (size_t i = 0; i < bits.size(); ++i)
+      packed[i / 8] |= static_cast<uint8_t>((bits[i] & 1u) << (i % 8));
+    if (!packed.empty()) send_bytes(packed.data(), packed.size());
+  }
+  std::vector<uint8_t> recv_bits() {
+    const uint64_t n = recv_u64();
+    std::vector<uint8_t> packed((n + 7) / 8);
+    if (!packed.empty()) recv_bytes(packed.data(), packed.size());
+    std::vector<uint8_t> bits(n);
+    for (size_t i = 0; i < n; ++i)
+      bits[i] = (packed[i / 8] >> (i % 8)) & 1u;
+    return bits;
+  }
+
+  /// Total bytes pushed through send_bytes on this endpoint.
+  virtual uint64_t bytes_sent() const = 0;
+  virtual uint64_t bytes_received() const = 0;
+  virtual void reset_counters() = 0;
+};
+
+}  // namespace deepsecure

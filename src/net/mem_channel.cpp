@@ -1,0 +1,72 @@
+#include "net/mem_channel.h"
+
+#include <cstring>
+
+namespace deepsecure {
+
+ChannelPair make_channel_pair() {
+  auto q_ab = std::make_shared<MemChannel::Queue>();
+  auto q_ba = std::make_shared<MemChannel::Queue>();
+  ChannelPair pair;
+  pair.a = std::unique_ptr<MemChannel>(new MemChannel);
+  pair.b = std::unique_ptr<MemChannel>(new MemChannel);
+  pair.a->out_ = q_ab;
+  pair.a->in_ = q_ba;
+  pair.b->out_ = q_ba;
+  pair.b->in_ = q_ab;
+  return pair;
+}
+
+void MemChannel::send_bytes(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t pushed = 0;
+  while (pushed < n) {
+    std::unique_lock<std::mutex> lock(out_->mu);
+    out_->cv_space.wait(lock, [&] {
+      return out_->data.size() - out_->head < out_->max_bytes || out_->closed;
+    });
+    if (out_->closed) throw ChannelClosed{};
+    const size_t space = out_->max_bytes - (out_->data.size() - out_->head);
+    const size_t take = std::min(space, n - pushed);
+    out_->data.insert(out_->data.end(), p + pushed, p + pushed + take);
+    pushed += take;
+    lock.unlock();
+    out_->cv.notify_one();
+  }
+  sent_ += n;
+}
+
+void MemChannel::close() {
+  for (auto& q : {out_, in_}) {
+    {
+      std::lock_guard<std::mutex> lock(q->mu);
+      q->closed = true;
+    }
+    q->cv.notify_all();
+    q->cv_space.notify_all();
+  }
+}
+
+void MemChannel::recv_bytes(void* data, size_t n) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  std::unique_lock<std::mutex> lock(in_->mu);
+  while (got < n) {
+    in_->cv.wait(lock,
+                 [&] { return in_->data.size() > in_->head || in_->closed; });
+    if (in_->data.size() == in_->head) throw ChannelClosed{};
+    const size_t avail = in_->data.size() - in_->head;
+    const size_t take = std::min(avail, n - got);
+    std::memcpy(p + got, in_->data.data() + in_->head, take);
+    in_->head += take;
+    got += take;
+    if (in_->head == in_->data.size()) {
+      in_->data.clear();
+      in_->head = 0;
+    }
+    in_->cv_space.notify_one();
+  }
+  received_ += n;
+}
+
+}  // namespace deepsecure

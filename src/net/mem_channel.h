@@ -1,0 +1,75 @@
+// In-memory duplex channel: two endpoints connected by a pair of
+// blocking byte queues. Substitutes the paper's LAN link between client
+// and server; real bytes flow, so the communication measurements are the
+// actual protocol transcript sizes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "net/channel.h"
+
+namespace deepsecure {
+
+class MemChannel;
+
+/// Thrown by recv_bytes when the peer closed the channel with data
+/// outstanding (normally indicates the peer aborted with an error).
+struct ChannelClosed : std::runtime_error {
+  ChannelClosed() : std::runtime_error("channel closed by peer") {}
+};
+
+/// A connected pair of channel endpoints. Thread-safe: intended usage is
+/// one thread per endpoint.
+struct ChannelPair {
+  std::unique_ptr<MemChannel> a;  // e.g. client / garbler
+  std::unique_ptr<MemChannel> b;  // e.g. server / evaluator
+};
+
+ChannelPair make_channel_pair();
+
+class MemChannel final : public Channel {
+ public:
+  void send_bytes(const void* data, size_t n) override;
+  void recv_bytes(void* data, size_t n) override;
+
+  /// Mark the outgoing direction closed; a peer blocked in recv_bytes
+  /// with no pending data gets a ChannelClosed exception instead of
+  /// hanging. Used by the two-party runner on abnormal termination.
+  void close();
+
+  uint64_t bytes_sent() const override { return sent_; }
+  uint64_t bytes_received() const override { return received_; }
+  void reset_counters() override {
+    sent_ = 0;
+    received_ = 0;
+  }
+
+ private:
+  friend ChannelPair make_channel_pair();
+
+  // Byte FIFO with bulk append/consume; `head` is the read offset into
+  // `data`, compacted when fully drained to bound memory churn. Senders
+  // block once `max_bytes` is queued (backpressure keeps the in-memory
+  // "network" from buffering gigabytes of garbled tables).
+  struct Queue {
+    std::mutex mu;
+    std::condition_variable cv;        // data available / closed
+    std::condition_variable cv_space;  // space available
+    std::vector<uint8_t> data;
+    size_t head = 0;
+    size_t max_bytes = 64ull << 20;
+    bool closed = false;
+  };
+
+  std::shared_ptr<Queue> out_;  // we push here
+  std::shared_ptr<Queue> in_;   // we pop here
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+};
+
+}  // namespace deepsecure

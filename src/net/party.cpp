@@ -1,0 +1,48 @@
+#include "net/party.h"
+
+#include <exception>
+#include <thread>
+
+#include "support/stopwatch.h"
+
+namespace deepsecure {
+
+TwoPartyStats run_two_party(const std::function<void(Channel&)>& alice,
+                            const std::function<void(Channel&)>& bob) {
+  ChannelPair pair = make_channel_pair();
+  TwoPartyStats stats;
+  std::exception_ptr a_error, b_error;
+
+  Stopwatch wall;
+  std::thread a_thread([&] {
+    Stopwatch sw;
+    try {
+      alice(*pair.a);
+    } catch (...) {
+      a_error = std::current_exception();
+      pair.a->close();  // unblock the peer instead of deadlocking
+    }
+    stats.a_seconds = sw.seconds();
+  });
+  std::thread b_thread([&] {
+    Stopwatch sw;
+    try {
+      bob(*pair.b);
+    } catch (...) {
+      b_error = std::current_exception();
+      pair.b->close();
+    }
+    stats.b_seconds = sw.seconds();
+  });
+  a_thread.join();
+  b_thread.join();
+  stats.wall_seconds = wall.seconds();
+  stats.a_to_b_bytes = pair.a->bytes_sent();
+  stats.b_to_a_bytes = pair.b->bytes_sent();
+
+  if (a_error) std::rethrow_exception(a_error);
+  if (b_error) std::rethrow_exception(b_error);
+  return stats;
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,27 @@
+// Two-party execution harness: runs the client (Alice, garbler) and the
+// server (Bob, evaluator) roles concurrently on one machine, each on its
+// own thread, connected by a MemChannel pair.
+#pragma once
+
+#include <functional>
+
+#include "net/mem_channel.h"
+
+namespace deepsecure {
+
+struct TwoPartyStats {
+  uint64_t a_to_b_bytes = 0;  // garbled tables + garbler labels dominate
+  uint64_t b_to_a_bytes = 0;
+  double a_seconds = 0.0;
+  double b_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  uint64_t total_bytes() const { return a_to_b_bytes + b_to_a_bytes; }
+};
+
+/// Run `alice` and `bob` concurrently over a fresh channel pair.
+/// Exceptions thrown by either role are rethrown on the caller's thread.
+TwoPartyStats run_two_party(const std::function<void(Channel&)>& alice,
+                            const std::function<void(Channel&)>& bob);
+
+}  // namespace deepsecure

@@ -1,0 +1,114 @@
+#include "net/tcp_channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace deepsecure {
+namespace {
+
+[[noreturn]] void die(const std::string& what) {
+  throw std::runtime_error("tcp: " + what + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpChannel TcpChannel::listen_and_accept(uint16_t port, uint16_t* bound_port) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) die("socket");
+  int one = 1;
+  (void)setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    die("bind");
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+      die("getsockname");
+    *bound_port = ntohs(addr.sin_port);
+  }
+  if (::listen(lfd, 1) != 0) die("listen");
+  const int fd = ::accept(lfd, nullptr, nullptr);
+  ::close(lfd);
+  if (fd < 0) die("accept");
+  set_nodelay(fd);
+  return TcpChannel(fd);
+}
+
+TcpChannel TcpChannel::connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("tcp: bad address " + host);
+
+  // Retry for up to ~2 s so both parties can start concurrently.
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) die("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      set_nodelay(fd);
+      return TcpChannel(fd);
+    }
+    ::close(fd);
+    if (attempt >= 200) die("connect");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+TcpChannel::TcpChannel(TcpChannel&& o) noexcept
+    : fd_(o.fd_), sent_(o.sent_), received_(o.received_) {
+  o.fd_ = -1;
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpChannel::send_bytes(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::send(fd_, p + done, n - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      die("send");
+    }
+    done += static_cast<size_t>(w);
+  }
+  sent_ += n;
+}
+
+void TcpChannel::recv_bytes(void* data, size_t n) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::recv(fd_, p + done, n - done, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      die("recv");
+    }
+    if (r == 0) throw std::runtime_error("tcp: peer closed connection");
+    done += static_cast<size_t>(r);
+  }
+  received_ += n;
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,48 @@
+// TCP transport: the same Channel interface as the in-memory pair, over
+// a real socket — what an actual client/server deployment of the
+// protocol uses (the paper's LAN testbed). Blocking, stream-oriented,
+// with TCP_NODELAY so the request/response OT rounds are not delayed by
+// Nagle batching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/channel.h"
+
+namespace deepsecure {
+
+class TcpChannel final : public Channel {
+ public:
+  /// Server side: bind + listen on `port` (0 = ephemeral), accept one
+  /// peer. `bound_port` receives the actual port before accept blocks.
+  static TcpChannel listen_and_accept(uint16_t port,
+                                      uint16_t* bound_port = nullptr);
+
+  /// Client side: connect to host:port (retries briefly so tests can
+  /// start both ends concurrently).
+  static TcpChannel connect(const std::string& host, uint16_t port);
+
+  TcpChannel(TcpChannel&& o) noexcept;
+  TcpChannel& operator=(TcpChannel&&) = delete;
+  ~TcpChannel() override;
+
+  void send_bytes(const void* data, size_t n) override;
+  void recv_bytes(void* data, size_t n) override;
+
+  uint64_t bytes_sent() const override { return sent_; }
+  uint64_t bytes_received() const override { return received_; }
+  void reset_counters() override {
+    sent_ = 0;
+    received_ = 0;
+  }
+
+ private:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+};
+
+}  // namespace deepsecure

@@ -1,0 +1,260 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deepsecure::nn {
+namespace {
+
+float he_init(Rng& rng, size_t fan_in) {
+  return static_cast<float>(
+      rng.next_gaussian(0.0, std::sqrt(2.0 / static_cast<double>(fan_in))));
+}
+
+// Per-layer gradient-norm clipping: per-sample SGD on wide inputs
+// produces occasional huge gradients that destabilize training.
+constexpr float kGradClip = 4.0f;
+void clip_gradients(VecF& dw, VecF& db) {
+  double n2 = 0.0;
+  for (float v : dw) n2 += static_cast<double>(v) * v;
+  for (float v : db) n2 += static_cast<double>(v) * v;
+  const double n = std::sqrt(n2);
+  if (n <= kGradClip) return;
+  const float scale = static_cast<float>(kGradClip / n);
+  for (auto& v : dw) v *= scale;
+  for (auto& v : db) v *= scale;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Dense
+
+DenseLayer::DenseLayer(size_t in, size_t out, Rng& rng)
+    : in_(in), out_(out), w_(in * out), b_(out, 0.0f), dw_(in * out, 0.0f),
+      db_(out, 0.0f), vw_(in * out, 0.0f), vb_(out, 0.0f) {
+  for (auto& v : w_) v = he_init(rng, in);
+}
+
+VecF DenseLayer::forward(const VecF& x) {
+  if (x.size() != in_) throw std::invalid_argument("dense: input size");
+  x_ = x;
+  VecF y(out_);
+  for (size_t o = 0; o < out_; ++o) {
+    float acc = b_[o];
+    const float* row = w_.data() + o * in_;
+    for (size_t i = 0; i < in_; ++i) acc += row[i] * x[i];
+    y[o] = acc;
+  }
+  return y;
+}
+
+VecF DenseLayer::backward(const VecF& dy) {
+  VecF dx(in_, 0.0f);
+  for (size_t o = 0; o < out_; ++o) {
+    const float g = dy[o];
+    db_[o] += g;
+    const float* row = w_.data() + o * in_;
+    float* drow = dw_.data() + o * in_;
+    for (size_t i = 0; i < in_; ++i) {
+      drow[i] += g * x_[i];
+      dx[i] += g * row[i];
+    }
+  }
+  return dx;
+}
+
+void DenseLayer::step(float lr, float momentum) {
+  clip_gradients(dw_, db_);
+  for (size_t i = 0; i < w_.size(); ++i) {
+    vw_[i] = momentum * vw_[i] - lr * dw_[i];
+    w_[i] += vw_[i];
+    dw_[i] = 0.0f;
+  }
+  for (size_t i = 0; i < b_.size(); ++i) {
+    vb_[i] = momentum * vb_[i] - lr * db_[i];
+    b_[i] += vb_[i];
+    db_[i] = 0.0f;
+  }
+  apply_mask();
+}
+
+void DenseLayer::apply_mask() {
+  if (mask.empty()) return;
+  if (mask.size() != w_.size())
+    throw std::invalid_argument("dense: mask size mismatch");
+  for (size_t i = 0; i < w_.size(); ++i)
+    if (!mask[i]) w_[i] = 0.0f;
+}
+
+// ---------------------------------------------------------------- Conv2D
+
+Conv2DLayer::Conv2DLayer(Shape in, size_t k, size_t stride, size_t out_ch,
+                         Rng& rng)
+    : in_(in), k_(k), stride_(stride) {
+  if (in.h < k || in.w < k)
+    throw std::invalid_argument("conv: kernel larger than input");
+  out_shape_ = Shape{(in.h - k) / stride + 1, (in.w - k) / stride + 1, out_ch};
+  const size_t nw = out_ch * in.c * k * k;
+  w_.resize(nw);
+  b_.assign(out_ch, 0.0f);
+  dw_.assign(nw, 0.0f);
+  db_.assign(out_ch, 0.0f);
+  vw_.assign(nw, 0.0f);
+  vb_.assign(out_ch, 0.0f);
+  for (auto& v : w_) v = he_init(rng, in.c * k * k);
+}
+
+VecF Conv2DLayer::forward(const VecF& x) {
+  if (x.size() != in_.flat()) throw std::invalid_argument("conv: input size");
+  x_ = x;
+  const Shape& os = out_shape_;
+  VecF y(os.flat(), 0.0f);
+  for (size_t oc = 0; oc < os.c; ++oc)
+    for (size_t oy = 0; oy < os.h; ++oy)
+      for (size_t ox = 0; ox < os.w; ++ox) {
+        float acc = b_[oc];
+        for (size_t ic = 0; ic < in_.c; ++ic)
+          for (size_t ky = 0; ky < k_; ++ky)
+            for (size_t kx = 0; kx < k_; ++kx) {
+              const size_t iy = oy * stride_ + ky;
+              const size_t ix = ox * stride_ + kx;
+              acc += x[(ic * in_.h + iy) * in_.w + ix] *
+                     w_[((oc * in_.c + ic) * k_ + ky) * k_ + kx];
+            }
+        y[(oc * os.h + oy) * os.w + ox] = acc;
+      }
+  return y;
+}
+
+VecF Conv2DLayer::backward(const VecF& dy) {
+  const Shape& os = out_shape_;
+  VecF dx(in_.flat(), 0.0f);
+  for (size_t oc = 0; oc < os.c; ++oc)
+    for (size_t oy = 0; oy < os.h; ++oy)
+      for (size_t ox = 0; ox < os.w; ++ox) {
+        const float g = dy[(oc * os.h + oy) * os.w + ox];
+        db_[oc] += g;
+        for (size_t ic = 0; ic < in_.c; ++ic)
+          for (size_t ky = 0; ky < k_; ++ky)
+            for (size_t kx = 0; kx < k_; ++kx) {
+              const size_t iy = oy * stride_ + ky;
+              const size_t ix = ox * stride_ + kx;
+              const size_t wi = ((oc * in_.c + ic) * k_ + ky) * k_ + kx;
+              dw_[wi] += g * x_[(ic * in_.h + iy) * in_.w + ix];
+              dx[(ic * in_.h + iy) * in_.w + ix] += g * w_[wi];
+            }
+      }
+  return dx;
+}
+
+void Conv2DLayer::step(float lr, float momentum) {
+  clip_gradients(dw_, db_);
+  for (size_t i = 0; i < w_.size(); ++i) {
+    vw_[i] = momentum * vw_[i] - lr * dw_[i];
+    w_[i] += vw_[i];
+    dw_[i] = 0.0f;
+  }
+  for (size_t i = 0; i < b_.size(); ++i) {
+    vb_[i] = momentum * vb_[i] - lr * db_[i];
+    b_[i] += vb_[i];
+    db_[i] = 0.0f;
+  }
+}
+
+// ---------------------------------------------------------------- Pool
+
+PoolLayer::PoolLayer(Shape in, Pool kind, size_t k, size_t stride)
+    : in_(in), kind_(kind), k_(k), stride_(stride) {
+  if (in.h < k || in.w < k)
+    throw std::invalid_argument("pool: window larger than input");
+  out_shape_ = Shape{(in.h - k) / stride + 1, (in.w - k) / stride + 1, in.c};
+}
+
+VecF PoolLayer::forward(const VecF& x) {
+  in_size_ = x.size();
+  const Shape& os = out_shape_;
+  VecF y(os.flat(), 0.0f);
+  argmax_.assign(os.flat(), 0);
+  for (size_t c = 0; c < in_.c; ++c)
+    for (size_t oy = 0; oy < os.h; ++oy)
+      for (size_t ox = 0; ox < os.w; ++ox) {
+        const size_t oi = (c * os.h + oy) * os.w + ox;
+        if (kind_ == Pool::kMax) {
+          float best = -1e30f;
+          size_t best_i = 0;
+          for (size_t ky = 0; ky < k_; ++ky)
+            for (size_t kx = 0; kx < k_; ++kx) {
+              const size_t ii = (c * in_.h + oy * stride_ + ky) * in_.w +
+                                ox * stride_ + kx;
+              if (x[ii] > best) {
+                best = x[ii];
+                best_i = ii;
+              }
+            }
+          y[oi] = best;
+          argmax_[oi] = best_i;
+        } else {
+          float sum = 0.0f;
+          for (size_t ky = 0; ky < k_; ++ky)
+            for (size_t kx = 0; kx < k_; ++kx)
+              sum += x[(c * in_.h + oy * stride_ + ky) * in_.w +
+                       ox * stride_ + kx];
+          y[oi] = sum / static_cast<float>(k_ * k_);
+        }
+      }
+  return y;
+}
+
+VecF PoolLayer::backward(const VecF& dy) {
+  const Shape& os = out_shape_;
+  VecF dx(in_size_, 0.0f);
+  for (size_t oi = 0; oi < os.flat(); ++oi) {
+    if (kind_ == Pool::kMax) {
+      dx[argmax_[oi]] += dy[oi];
+    } else {
+      const size_t c = oi / (os.h * os.w);
+      const size_t oy = (oi / os.w) % os.h;
+      const size_t ox = oi % os.w;
+      const float g = dy[oi] / static_cast<float>(k_ * k_);
+      for (size_t ky = 0; ky < k_; ++ky)
+        for (size_t kx = 0; kx < k_; ++kx)
+          dx[(c * in_.h + oy * stride_ + ky) * in_.w + ox * stride_ + kx] += g;
+    }
+  }
+  return dx;
+}
+
+// ---------------------------------------------------------------- Act
+
+VecF ActivationLayer::forward(const VecF& x) {
+  x_ = x;
+  y_.resize(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    switch (kind_) {
+      case Act::kReLU: y_[i] = x[i] > 0 ? x[i] : 0.0f; break;
+      case Act::kTanh: y_[i] = std::tanh(x[i]); break;
+      case Act::kSigmoid: y_[i] = 1.0f / (1.0f + std::exp(-x[i])); break;
+      case Act::kSquare: y_[i] = x[i] * x[i]; break;
+      case Act::kIdentity: y_[i] = x[i]; break;
+    }
+  }
+  return y_;
+}
+
+VecF ActivationLayer::backward(const VecF& dy) {
+  VecF dx(dy.size());
+  for (size_t i = 0; i < dy.size(); ++i) {
+    float d = 1.0f;
+    switch (kind_) {
+      case Act::kReLU: d = x_[i] > 0 ? 1.0f : 0.0f; break;
+      case Act::kTanh: d = 1.0f - y_[i] * y_[i]; break;
+      case Act::kSigmoid: d = y_[i] * (1.0f - y_[i]); break;
+      case Act::kSquare: d = 2.0f * x_[i]; break;
+      case Act::kIdentity: d = 1.0f; break;
+    }
+    dx[i] = dy[i] * d;
+  }
+  return dx;
+}
+
+}  // namespace deepsecure::nn

@@ -1,0 +1,68 @@
+#include "nn/network.h"
+
+#include <stdexcept>
+
+namespace deepsecure::nn {
+
+Network& Network::dense(size_t out, Rng& rng) {
+  const Shape in = tip();
+  layers_.push_back(std::make_unique<DenseLayer>(in.flat(), out, rng));
+  current_ = layers_.back()->out_shape(in);
+  return *this;
+}
+
+Network& Network::conv(size_t k, size_t stride, size_t out_ch, Rng& rng) {
+  const Shape in = tip();
+  layers_.push_back(std::make_unique<Conv2DLayer>(in, k, stride, out_ch, rng));
+  current_ = layers_.back()->out_shape(in);
+  return *this;
+}
+
+Network& Network::pool(Pool kind, size_t k, size_t stride) {
+  const Shape in = tip();
+  layers_.push_back(std::make_unique<PoolLayer>(in, kind, k, stride));
+  current_ = layers_.back()->out_shape(in);
+  return *this;
+}
+
+Network& Network::act(Act kind) {
+  const Shape in = tip();
+  layers_.push_back(std::make_unique<ActivationLayer>(kind));
+  current_ = in;
+  return *this;
+}
+
+VecF Network::forward(const VecF& x) const {
+  VecF v = x;
+  for (const auto& layer : layers_) v = layer->forward(v);
+  return v;
+}
+
+float Network::train_step(const VecF& x, size_t label, float lr,
+                          float momentum) {
+  VecF v = x;
+  for (const auto& layer : layers_) v = layer->forward(v);
+  const LossGrad lg = softmax_cross_entropy(v, label);
+  VecF g = lg.dlogits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  for (const auto& layer : layers_) layer->step(lr, momentum);
+  return lg.loss;
+}
+
+Shape Network::output_shape() const { return tip(); }
+
+size_t Network::param_count() const {
+  size_t n = 0;
+  for (const auto& layer : layers_) n += layer->param_count();
+  return n;
+}
+
+std::vector<DenseLayer*> Network::dense_layers() {
+  std::vector<DenseLayer*> out;
+  for (const auto& layer : layers_)
+    if (auto* d = dynamic_cast<DenseLayer*>(layer.get())) out.push_back(d);
+  return out;
+}
+
+}  // namespace deepsecure::nn

@@ -1,0 +1,48 @@
+// A sequential network of layers plus the softmax/cross-entropy head.
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace deepsecure::nn {
+
+class Network {
+ public:
+  explicit Network(Shape input) : input_(input) {}
+
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  // --- construction helpers (return *this for chaining) ---------------
+  Network& dense(size_t out, Rng& rng);
+  Network& conv(size_t k, size_t stride, size_t out_ch, Rng& rng);
+  Network& pool(Pool kind, size_t k, size_t stride);
+  Network& act(Act kind);
+
+  VecF forward(const VecF& x) const;  // inference only (const_cast-free)
+  size_t predict(const VecF& x) const { return argmax(forward(x)); }
+
+  /// One SGD sample step: forward, softmax-CE backward, parameter update.
+  float train_step(const VecF& x, size_t label, float lr, float momentum);
+
+  Shape input_shape() const { return input_; }
+  Shape output_shape() const;
+  size_t param_count() const;
+
+  std::vector<std::unique_ptr<Layer>>& layers() { return layers_; }
+  const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
+
+  /// Dense layers in order (for pruning / quantization passes).
+  std::vector<DenseLayer*> dense_layers();
+
+ private:
+  Shape input_;
+  Shape current_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  bool current_init_ = false;
+
+  Shape tip() const { return layers_.empty() ? input_ : current_; }
+};
+
+}  // namespace deepsecure::nn

@@ -1,0 +1,43 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepsecure::nn {
+
+size_t argmax(const VecF& v) {
+  size_t best = 0;
+  for (size_t i = 1; i < v.size(); ++i)
+    if (v[i] > v[best]) best = i;
+  return best;
+}
+
+VecF softmax(const VecF& logits) {
+  const float m = *std::max_element(logits.begin(), logits.end());
+  VecF p(logits.size());
+  float sum = 0.0f;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - m);
+    sum += p[i];
+  }
+  for (auto& v : p) v /= sum;
+  return p;
+}
+
+LossGrad softmax_cross_entropy(const VecF& logits, size_t label) {
+  LossGrad out;
+  out.dlogits = softmax(logits);
+  out.loss = -std::log(std::max(out.dlogits[label], 1e-12f));
+  out.dlogits[label] -= 1.0f;
+  return out;
+}
+
+float dot(const VecF& a, const VecF& b) {
+  float s = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+float l2_norm(const VecF& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace deepsecure::nn

@@ -1,0 +1,29 @@
+// Small numeric helpers for the neural-network substrate. Samples are
+// flat float vectors laid out channel-major ((c * H + y) * W + x), the
+// same convention as the circuit compiler.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deepsecure::nn {
+
+using VecF = std::vector<float>;
+
+size_t argmax(const VecF& v);
+
+/// Numerically-stable softmax.
+VecF softmax(const VecF& logits);
+
+/// Cross-entropy loss of softmax(logits) against `label`, plus the
+/// gradient w.r.t. the logits (softmax - onehot).
+struct LossGrad {
+  float loss = 0.0f;
+  VecF dlogits;
+};
+LossGrad softmax_cross_entropy(const VecF& logits, size_t label);
+
+float dot(const VecF& a, const VecF& b);
+float l2_norm(const VecF& a);
+
+}  // namespace deepsecure::nn

@@ -1,0 +1,45 @@
+#include "nn/trainer.h"
+
+namespace deepsecure::nn {
+
+TrainReport train(Network& net, const Dataset& data, const TrainConfig& cfg) {
+  TrainReport report;
+  Rng rng(cfg.shuffle_seed);
+  float lr = cfg.lr;
+  for (size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto order = rng.permutation(data.size());
+    float loss_sum = 0.0f;
+    for (size_t i : order)
+      loss_sum += net.train_step(data.x[i], data.y[i], lr, cfg.momentum);
+    report.epoch_loss.push_back(loss_sum / static_cast<float>(data.size()));
+    lr *= cfg.lr_decay;
+  }
+  report.final_train_accuracy = accuracy(net, data);
+  return report;
+}
+
+float accuracy(const Network& net, const Dataset& data) {
+  if (data.size() == 0) return 0.0f;
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i)
+    correct += net.predict(data.x[i]) == data.y[i] ? 1 : 0;
+  return static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+Split split_dataset(const Dataset& data, double train_fraction,
+                    uint64_t seed) {
+  Rng rng(seed);
+  const auto order = rng.permutation(data.size());
+  const size_t n_train =
+      static_cast<size_t>(train_fraction * static_cast<double>(data.size()));
+  Split s;
+  s.train.num_classes = s.test.num_classes = data.num_classes;
+  for (size_t i = 0; i < data.size(); ++i) {
+    Dataset& dst = i < n_train ? s.train : s.test;
+    dst.x.push_back(data.x[order[i]]);
+    dst.y.push_back(data.y[order[i]]);
+  }
+  return s;
+}
+
+}  // namespace deepsecure::nn

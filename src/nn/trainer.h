@@ -1,0 +1,42 @@
+// Plain SGD training loop with shuffling and accuracy evaluation.
+#pragma once
+
+#include "nn/network.h"
+
+namespace deepsecure::nn {
+
+struct Dataset {
+  std::vector<VecF> x;
+  std::vector<size_t> y;
+  size_t num_classes = 0;
+
+  size_t size() const { return x.size(); }
+};
+
+struct TrainConfig {
+  size_t epochs = 5;
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  float lr_decay = 0.85f;  // per epoch
+  uint64_t shuffle_seed = 1;
+};
+
+struct TrainReport {
+  std::vector<float> epoch_loss;
+  float final_train_accuracy = 0.0f;
+};
+
+TrainReport train(Network& net, const Dataset& data, const TrainConfig& cfg);
+
+float accuracy(const Network& net, const Dataset& data);
+
+/// Deterministic train/test split (no shuffling of the underlying data;
+/// callers shuffle via the generator seed).
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split split_dataset(const Dataset& data, double train_fraction,
+                    uint64_t seed = 7);
+
+}  // namespace deepsecure::nn

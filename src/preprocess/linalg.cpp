@@ -1,0 +1,168 @@
+#include "preprocess/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deepsecure::preprocess {
+
+std::vector<double> Matrix::col(size_t c) const {
+  std::vector<double> x(rows_);
+  for (size_t r = 0; r < rows_; ++r) x[r] = at(r, c);
+  return x;
+}
+
+void Matrix::set_col(size_t c, const std::vector<double>& x) {
+  if (x.size() != rows_) throw std::invalid_argument("set_col size");
+  for (size_t r = 0; r < rows_; ++r) at(r, c) = x[r];
+}
+
+void Matrix::append_col(const std::vector<double>& x) {
+  if (empty()) {
+    rows_ = x.size();
+    cols_ = 0;
+    v_.clear();
+  }
+  if (x.size() != rows_) throw std::invalid_argument("append_col size");
+  v_.insert(v_.end(), x.begin(), x.end());
+  ++cols_;
+}
+
+Matrix Matrix::identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul dims");
+  Matrix c(a.rows(), b.cols());
+  for (size_t j = 0; j < b.cols(); ++j)
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double bkj = b.at(k, j);
+      if (bkj == 0.0) continue;
+      for (size_t i = 0; i < a.rows(); ++i) c.at(i, j) += a.at(i, k) * bkj;
+    }
+  return c;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("matsub dims");
+  Matrix c(a.rows(), a.cols());
+  for (size_t j = 0; j < a.cols(); ++j)
+    for (size_t i = 0; i < a.rows(); ++i) c.at(i, j) = a.at(i, j) - b.at(i, j);
+  return c;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t j = 0; j < cols_; ++j)
+    for (size_t i = 0; i < rows_; ++i) t.at(j, i) = at(i, j);
+  return t;
+}
+
+double Matrix::frobenius() const {
+  double s = 0.0;
+  for (double x : v_) s += x * x;
+  return std::sqrt(s);
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+namespace {
+
+// Cholesky factorization of an SPD matrix (in place, lower triangle).
+void cholesky(Matrix& g) {
+  const size_t n = g.rows();
+  for (size_t j = 0; j < n; ++j) {
+    double d = g.at(j, j);
+    for (size_t k = 0; k < j; ++k) d -= g.at(j, k) * g.at(j, k);
+    if (d <= 0.0) throw std::runtime_error("cholesky: not SPD");
+    g.at(j, j) = std::sqrt(d);
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = g.at(i, j);
+      for (size_t k = 0; k < j; ++k) s -= g.at(i, k) * g.at(j, k);
+      g.at(i, j) = s / g.at(j, j);
+    }
+  }
+}
+
+std::vector<double> chol_solve(const Matrix& l, std::vector<double> b) {
+  const size_t n = l.rows();
+  // Forward substitution L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < i; ++k) b[i] -= l.at(i, k) * b[k];
+    b[i] /= l.at(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (size_t i = n; i-- > 0;) {
+    for (size_t k = i + 1; k < n; ++k) b[i] -= l.at(k, i) * b[k];
+    b[i] /= l.at(i, i);
+  }
+  return b;
+}
+
+}  // namespace
+
+std::vector<double> least_squares(const Matrix& a,
+                                  const std::vector<double>& b) {
+  if (a.empty()) return {};
+  const size_t n = a.cols();
+  Matrix gram(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = i; j < n; ++j) {
+      double s = 0.0;
+      for (size_t r = 0; r < a.rows(); ++r) s += a.at(r, i) * a.at(r, j);
+      gram.at(i, j) = gram.at(j, i) = s;
+    }
+  // Tikhonov nudge for numerical safety on nearly-dependent columns.
+  for (size_t i = 0; i < n; ++i) gram.at(i, i) += 1e-10;
+  std::vector<double> rhs(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t r = 0; r < a.rows(); ++r) rhs[i] += a.at(r, i) * b[r];
+  }
+  cholesky(gram);
+  return chol_solve(gram, std::move(rhs));
+}
+
+double projection_residual(const Matrix& a, const std::vector<double>& b) {
+  const double nb = norm(b);
+  if (nb == 0.0) return 0.0;
+  if (a.empty()) return 1.0;
+  const std::vector<double> x = least_squares(a, b);
+  std::vector<double> r = b;
+  for (size_t c = 0; c < a.cols(); ++c)
+    for (size_t i = 0; i < a.rows(); ++i) r[i] -= a.at(i, c) * x[c];
+  return norm(r) / nb;
+}
+
+Matrix orthonormal_basis(const Matrix& a, double tol) {
+  Matrix u;
+  for (size_t c = 0; c < a.cols(); ++c) {
+    std::vector<double> v = a.col(c);
+    for (size_t k = 0; k < u.cols(); ++k) {
+      const std::vector<double> uk = u.col(k);
+      const double proj = dot(uk, v);
+      for (size_t i = 0; i < v.size(); ++i) v[i] -= proj * uk[i];
+    }
+    const double nv = norm(v);
+    if (nv < tol) continue;  // dependent column
+    for (auto& x : v) x /= nv;
+    u.append_col(v);
+  }
+  return u;
+}
+
+Matrix projector(const Matrix& a) {
+  const Matrix u = orthonormal_basis(a);
+  if (u.empty()) return Matrix(a.rows(), a.rows());
+  return u * u.transpose();
+}
+
+}  // namespace deepsecure::preprocess

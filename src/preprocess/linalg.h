@@ -1,0 +1,60 @@
+// Small dense linear algebra for the data-projection stage: column-major
+// matrices, Cholesky solves, Gram-Schmidt orthonormalization and the
+// projector algebra of Proposition 3.1 (W = D(D^T D)^-1 D^T = U U^T).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deepsecure::preprocess {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     v_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& at(size_t r, size_t c) { return v_[c * rows_ + r]; }
+  double at(size_t r, size_t c) const { return v_[c * rows_ + r]; }
+
+  /// Column view helpers.
+  std::vector<double> col(size_t c) const;
+  void set_col(size_t c, const std::vector<double>& x);
+  void append_col(const std::vector<double>& x);
+
+  static Matrix identity(size_t n);
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+  Matrix transpose() const;
+
+  double frobenius() const;
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<double> v_;
+};
+
+/// Solve (A^T A) x = A^T b via Cholesky (A tall, full column rank);
+/// i.e. the least-squares coefficients of b against A's columns.
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b);
+
+/// Residual ||A x* - b|| / ||b|| of the least-squares fit (the
+/// projection error V_p of Algorithm 1).
+double projection_residual(const Matrix& a, const std::vector<double>& b);
+
+/// Orthonormal basis of A's column space (modified Gram-Schmidt,
+/// rank-revealing: near-dependent columns are dropped).
+Matrix orthonormal_basis(const Matrix& a, double tol = 1e-9);
+
+/// Projector onto A's column space: W = U U^T (m x m).
+Matrix projector(const Matrix& a);
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double norm(const std::vector<double>& a);
+
+}  // namespace deepsecure::preprocess

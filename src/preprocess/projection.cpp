@@ -1,0 +1,102 @@
+#include "preprocess/projection.h"
+
+#include <cmath>
+
+namespace deepsecure::preprocess {
+
+nn::VecF ProjectionResult::project(const nn::VecF& x) const {
+  nn::VecF y(embed_dim, 0.0f);
+  for (size_t c = 0; c < embed_dim; ++c) {
+    double s = 0.0;
+    for (size_t r = 0; r < input_dim; ++r)
+      s += basis.at(r, c) * static_cast<double>(x[r]);
+    y[c] = static_cast<float>(s * embed_scale);
+  }
+  return y;
+}
+
+nn::VecF ProjectionResult::project_full(const nn::VecF& x) const {
+  const nn::VecF e = project(x);
+  nn::VecF y(input_dim, 0.0f);
+  for (size_t c = 0; c < embed_dim; ++c)
+    for (size_t r = 0; r < input_dim; ++r)
+      y[r] += static_cast<float>(basis.at(r, c) / embed_scale) * e[c];
+  return y;
+}
+
+nn::Dataset ProjectionResult::embed(const nn::Dataset& data) const {
+  nn::Dataset out;
+  out.num_classes = data.num_classes;
+  out.y = data.y;
+  out.x.reserve(data.size());
+  for (const auto& x : data.x) out.x.push_back(project(x));
+  return out;
+}
+
+ProjectionResult learn_projection(const nn::Dataset& data,
+                                  const ProjectionConfig& cfg) {
+  ProjectionResult res;
+  if (data.size() == 0) return res;
+  const size_t m = data.x[0].size();
+  res.input_dim = m;
+
+  Matrix d;  // growing dictionary (Algorithm 1's D)
+  Matrix u;  // incrementally-maintained orthonormal basis of span(D)
+  double residual_sum = 0.0;
+  size_t count = 0;
+
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<double> a(m);
+    for (size_t r = 0; r < m; ++r) a[r] = static_cast<double>(data.x[i][r]);
+    const double na = norm(a);
+    if (na == 0.0) continue;
+
+    // Vp(a) = ||D D+ a - a|| / ||a||  (Algorithm 1 line 15). Computed
+    // against the running orthonormal basis (same span as D), which
+    // keeps the pass O(m*l) per sample.
+    std::vector<double> resid = a;
+    for (size_t c = 0; c < u.cols(); ++c) {
+      double proj = 0.0;
+      for (size_t r = 0; r < m; ++r) proj += u.at(r, c) * resid[r];
+      for (size_t r = 0; r < m; ++r) resid[r] -= proj * u.at(r, c);
+    }
+    const double vp = norm(resid) / na;
+    residual_sum += vp;
+    ++count;
+
+    if (vp > cfg.gamma && d.cols() < cfg.max_dict) {
+      // D <- [D, a / ||a||]   (line 24; normalized column).
+      std::vector<double> col = a;
+      for (auto& x : col) x /= na;
+      d.append_col(col);
+      // Grow U by the normalized residual direction.
+      const double nr = norm(resid);
+      if (nr > 1e-12) {
+        for (auto& x : resid) x /= nr;
+        u.append_col(resid);
+      }
+    }
+  }
+
+  res.dictionary = d;
+  res.basis = u;
+  res.embed_dim = res.basis.cols();
+
+  // Calibrate the public output scale so embedded training samples stay
+  // well inside the default fixed-point range.
+  double max_abs = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t c = 0; c < res.embed_dim; ++c) {
+      double s = 0.0;
+      for (size_t r = 0; r < m; ++r)
+        s += u.at(r, c) * static_cast<double>(data.x[i][r]);
+      max_abs = std::max(max_abs, std::abs(s));
+    }
+  }
+  if (max_abs > 3.9) res.embed_scale = 3.9 / max_abs;
+  res.mean_residual = count > 0 ? residual_sum / static_cast<double>(count)
+                                : 0.0;
+  return res;
+}
+
+}  // namespace deepsecure::preprocess

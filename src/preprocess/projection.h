@@ -1,0 +1,53 @@
+// Data pre-processing (Section 3.2.1, Algorithms 1 and 2): streaming
+// dictionary learning over the server's training data, retraining on the
+// projected embedding, and the public projection released to clients.
+//
+// Security note (Proposition 3.1): the paper releases W = D(D^T D)^-1 D^T
+// = U U^T, which reveals exactly the column subspace of D. We factor the
+// same projector as U (U^T x) and release the l x m analysis map U^T:
+// this reveals the identical information (U^T determines U U^T and
+// nothing more about D) while shrinking the client's sample to l
+// dimensions — which is where the GC gate savings come from. The m x m
+// projector W itself is also available for parity with the paper.
+#pragma once
+
+#include "nn/trainer.h"
+#include "preprocess/linalg.h"
+
+namespace deepsecure::preprocess {
+
+struct ProjectionConfig {
+  double gamma = 0.25;       // residual threshold for dictionary growth
+  size_t max_dict = 256;     // upper bound on l (communication budget)
+  size_t batch = 32;         // UpdateDL cadence (Algorithm 1 line 32)
+  size_t patience = 1 << 30; // early-stopping window (samples)
+};
+
+struct ProjectionResult {
+  Matrix dictionary;      // D (m x l): normalized selected samples
+  Matrix basis;           // U (m x l): orthonormal column space of D
+  size_t input_dim = 0;   // m
+  size_t embed_dim = 0;   // l
+  double mean_residual = 0.0;  // ||DC - A||_F / ||A||_F proxy
+  /// Public output scale applied by project(): keeps the embedding
+  /// inside the fixed-point range Q(16,12) ([-8, 8)). Part of the
+  /// released map (reveals only a magnitude, not data).
+  double embed_scale = 1.0;
+
+  /// Client-side Algorithm 2: y = U^T x (the released public map).
+  nn::VecF project(const nn::VecF& x) const;
+  /// Paper-form m-dimensional projection W x = U (U^T x).
+  nn::VecF project_full(const nn::VecF& x) const;
+
+  /// Embedded dataset (U^T applied to every sample).
+  nn::Dataset embed(const nn::Dataset& data) const;
+};
+
+/// Algorithm 1 without the interleaved UpdateDL (dictionary learning
+/// only); retraining is orchestrated by the caller on the embedding,
+/// which is equivalent for inference accuracy and keeps the trainer
+/// decoupled.
+ProjectionResult learn_projection(const nn::Dataset& data,
+                                  const ProjectionConfig& cfg);
+
+}  // namespace deepsecure::preprocess

@@ -1,0 +1,78 @@
+#include "preprocess/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepsecure::preprocess {
+
+PruneReport prune_and_retrain(nn::Network& net, const nn::Dataset& data,
+                              const PruneConfig& cfg) {
+  PruneReport report;
+  report.accuracy_before = nn::accuracy(net, data);
+
+  const auto dense = net.dense_layers();
+  // Geometric schedule: after `rounds` rounds the keep fraction is
+  // (1 - prune_fraction).
+  const double final_keep = 1.0 - cfg.prune_fraction;
+  for (size_t round = 1; round <= cfg.rounds; ++round) {
+    const double keep = std::pow(
+        final_keep, static_cast<double>(round) / static_cast<double>(cfg.rounds));
+    for (nn::DenseLayer* layer : dense) {
+      auto& w = layer->weights();
+      // Threshold at the keep-quantile of |w|.
+      std::vector<float> mags(w.size());
+      for (size_t i = 0; i < w.size(); ++i) mags[i] = std::fabs(w[i]);
+      std::vector<float> sorted = mags;
+      const size_t kth = static_cast<size_t>(
+          std::min<double>(static_cast<double>(w.size()) - 1,
+                           (1.0 - keep) * static_cast<double>(w.size())));
+      std::nth_element(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(kth),
+                       sorted.end());
+      const float threshold = sorted[kth];
+
+      layer->mask.assign(w.size(), 0);
+      for (size_t i = 0; i < w.size(); ++i)
+        layer->mask[i] = mags[i] >= threshold ? 1 : 0;
+      layer->apply_mask();
+    }
+    // Recover accuracy with masked retraining (gradients of pruned
+    // weights are wiped by apply_mask inside step()).
+    nn::TrainConfig tc;
+    tc.epochs = cfg.retrain_epochs;
+    tc.lr = cfg.lr;
+    tc.momentum = cfg.momentum;
+    tc.shuffle_seed = 1000 + round;
+    nn::train(net, data, tc);
+  }
+
+  size_t total = 0, kept = 0;
+  for (nn::DenseLayer* layer : dense) {
+    size_t lk = 0;
+    for (uint8_t m : layer->mask) lk += m;
+    report.layer_sparsity.push_back(
+        1.0 - static_cast<double>(lk) /
+                  static_cast<double>(layer->mask.size()));
+    total += layer->mask.size();
+    kept += lk;
+  }
+  report.overall_sparsity =
+      total > 0 ? 1.0 - static_cast<double>(kept) / static_cast<double>(total)
+                : 0.0;
+  report.accuracy_after = nn::accuracy(net, data);
+  return report;
+}
+
+std::vector<uint8_t> random_mask(size_t rows, size_t cols, double keep,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> mask(rows * cols, 0);
+  const auto want = static_cast<size_t>(
+      keep * static_cast<double>(mask.size()));
+  // Keep exactly `want` positions (sampled without replacement) so the
+  // analytic gate counts are deterministic.
+  const auto perm = rng.permutation(mask.size());
+  for (size_t i = 0; i < want && i < mask.size(); ++i) mask[perm[i]] = 1;
+  return mask;
+}
+
+}  // namespace deepsecure::preprocess

@@ -1,0 +1,41 @@
+// DL network pre-processing (Section 3.2.2): magnitude pruning of
+// fully-connected layers with retraining to recover accuracy (Han et
+// al. style). The resulting sparsity map is public; pruned connections
+// are removed from the GC netlist entirely.
+#pragma once
+
+#include "nn/trainer.h"
+
+namespace deepsecure::preprocess {
+
+struct PruneConfig {
+  /// Fraction of weights to REMOVE per dense layer (e.g. 0.9 keeps 10%).
+  double prune_fraction = 0.9;
+  /// Retraining schedule after each pruning step.
+  size_t retrain_epochs = 3;
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  /// Number of prune -> retrain rounds (fraction reached geometrically).
+  size_t rounds = 2;
+};
+
+struct PruneReport {
+  double overall_sparsity = 0.0;  // fraction of dense weights removed
+  float accuracy_before = 0.0f;
+  float accuracy_after = 0.0f;
+  std::vector<double> layer_sparsity;
+};
+
+/// Prunes `net`'s dense layers in place (masks installed + weights
+/// zeroed), retraining on `data` between rounds.
+PruneReport prune_and_retrain(nn::Network& net, const nn::Dataset& data,
+                              const PruneConfig& cfg);
+
+/// Sparsity mask synthesis for cost studies at paper scale (benchmarks
+/// whose full training is out of scope): a uniform-random mask with the
+/// given keep-fraction per layer. Gate counts depend only on the mask's
+/// population, not the trained values.
+std::vector<uint8_t> random_mask(size_t rows, size_t cols, double keep,
+                                 uint64_t seed);
+
+}  // namespace deepsecure::preprocess

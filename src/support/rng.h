@@ -1,0 +1,49 @@
+// Deterministic, seedable pseudo-random generator used everywhere except
+// the cryptographic label sampling (which uses crypto/prg.h).
+//
+// xoshiro256** — small, fast, and good enough for workload synthesis,
+// test sweeps and reproducible experiments. NOT cryptographically secure.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace deepsecure {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Re-seed via splitmix64 so that nearby seeds yield unrelated streams.
+  void reseed(uint64_t seed);
+
+  uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Gaussian via Box-Muller.
+  double next_gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform double in [lo, hi).
+  double next_uniform(double lo, double hi);
+
+  bool next_bool() { return (next_u64() & 1u) != 0; }
+
+  /// Fill `n` bytes.
+  void fill_bytes(void* dst, size_t n);
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<size_t> permutation(size_t n);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace deepsecure

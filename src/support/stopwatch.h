@@ -1,0 +1,28 @@
+// Minimal wall-clock stopwatch for the benchmark harness and the GC
+// session phase measurements (Figure 5 reproduction).
+#pragma once
+
+#include <chrono>
+
+namespace deepsecure {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace deepsecure

@@ -1,0 +1,59 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace deepsecure {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string(const std::string& title) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << "\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size())
+        os << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*E", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::count(uint64_t v) {
+  return std::to_string(v);
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,29 @@
+// Plain-text table printer used by the benchmark harness so that every
+// regenerated paper table prints with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace deepsecure {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule, column padding, and `title` on top.
+  std::string to_string(const std::string& title = "") const;
+
+  /// Format helpers for table cells.
+  static std::string num(double v, int precision = 2);
+  static std::string sci(double v, int precision = 2);
+  static std::string count(uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepsecure

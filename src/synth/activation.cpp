@@ -1,0 +1,129 @@
+#include "synth/activation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "synth/cordic.h"
+#include "synth/lut.h"
+#include "synth/piecewise.h"
+
+namespace deepsecure::synth {
+namespace {
+
+// Exact LUT over the full |x| domain; sign handled by symmetry
+// (tanh is odd; sigmoid reflects through (0, 1/2)).
+Bus exact_lut_activation(Builder& b, const Bus& x, FixedFormat fmt,
+                         bool sigmoid) {
+  const size_t index_bits = fmt.total_bits - 1;  // |x| occupies n-1 bits
+  const size_t entries = size_t{1} << index_bits;
+  std::vector<int64_t> table(entries);
+  const double scale = static_cast<double>(1ull << fmt.frac_bits);
+  for (size_t i = 0; i < entries; ++i) {
+    const double v = static_cast<double>(i) / scale;
+    const double y = sigmoid ? ref_sigmoid(v) : ref_tanh(v);
+    table[i] = Fixed::from_double(y, fmt).raw();
+  }
+
+  const Bus a = abs_clamped(b, x);
+  const Bus index = truncate(a, index_bits);
+  const Bus y = lut(b, index, table, fmt.total_bits);
+  if (sigmoid) {
+    const Bus one = constant_fixed(b, 1.0, fmt);
+    return mux_bus(b, sign_bit(x), sub(b, one, y), y);
+  }
+  return mux_bus(b, sign_bit(x), negate(b, y), y);
+}
+
+}  // namespace
+
+Bus activation(Builder& b, const Bus& x, ActKind kind, FixedFormat fmt) {
+  switch (kind) {
+    case ActKind::kIdentity:
+      return x;
+    case ActKind::kReLU:
+      return relu(b, x);
+    case ActKind::kTanhLUT:
+      return exact_lut_activation(b, x, fmt, /*sigmoid=*/false);
+    case ActKind::kTanhSeg:
+      return tanh_seg(b, x, fmt);
+    case ActKind::kTanhPL:
+      return tanh_pl(b, x, fmt);
+    case ActKind::kTanhCORDIC:
+      return tanh_cordic(b, x, fmt);
+    case ActKind::kSigmoidLUT:
+      return exact_lut_activation(b, x, fmt, /*sigmoid=*/true);
+    case ActKind::kSigmoidSeg:
+      return sigmoid_seg(b, x, fmt);
+    case ActKind::kSigmoidPLAN:
+      return sigmoid_plan(b, x, fmt);
+    case ActKind::kSigmoidCORDIC:
+      return sigmoid_cordic(b, x, fmt);
+  }
+  throw std::invalid_argument("unknown activation kind");
+}
+
+double activation_ideal(double x, ActKind kind) {
+  switch (kind) {
+    case ActKind::kIdentity:
+      return x;
+    case ActKind::kReLU:
+      return x > 0 ? x : 0.0;
+    case ActKind::kTanhLUT:
+    case ActKind::kTanhSeg:
+    case ActKind::kTanhPL:
+    case ActKind::kTanhCORDIC:
+      return ref_tanh(x);
+    default:
+      return ref_sigmoid(x);
+  }
+}
+
+double activation_ref(double x, ActKind kind, FixedFormat fmt) {
+  const double range = std::pow(2.0, static_cast<double>(fmt.int_bits()));
+  switch (kind) {
+    case ActKind::kTanhSeg: {
+      const size_t segs = size_t{1} << (fmt.int_bits() + 5);
+      const double y = ref_segment_interp(x, range, segs, ref_tanh);
+      return x < 0 ? -y : y;
+    }
+    case ActKind::kSigmoidSeg: {
+      const size_t segs = size_t{1} << (fmt.int_bits() + 4);
+      const double y = ref_segment_interp(x, range, segs, ref_sigmoid);
+      return x < 0 ? 1.0 - y : y;
+    }
+    case ActKind::kTanhPL:
+      return ref_tanh_pl(x);
+    case ActKind::kSigmoidPLAN:
+      return ref_sigmoid_plan(x);
+    default:
+      return activation_ideal(x, kind);
+  }
+}
+
+std::string act_kind_name(ActKind kind) {
+  switch (kind) {
+    case ActKind::kIdentity: return "Identity";
+    case ActKind::kReLU: return "ReLu";
+    case ActKind::kTanhLUT: return "TanhLUT";
+    case ActKind::kTanhSeg: return "TanhSeg256";
+    case ActKind::kTanhPL: return "TanhPL";
+    case ActKind::kTanhCORDIC: return "TanhCORDIC";
+    case ActKind::kSigmoidLUT: return "SigmoidLUT";
+    case ActKind::kSigmoidSeg: return "SigmoidSeg128";
+    case ActKind::kSigmoidPLAN: return "SigmoidPLAN";
+    case ActKind::kSigmoidCORDIC: return "SigmoidCORDIC";
+  }
+  return "?";
+}
+
+bool is_tanh(ActKind kind) {
+  return kind == ActKind::kTanhLUT || kind == ActKind::kTanhSeg ||
+         kind == ActKind::kTanhPL || kind == ActKind::kTanhCORDIC;
+}
+
+bool is_sigmoid(ActKind kind) {
+  return kind == ActKind::kSigmoidLUT || kind == ActKind::kSigmoidSeg ||
+         kind == ActKind::kSigmoidPLAN || kind == ActKind::kSigmoidCORDIC;
+}
+
+}  // namespace deepsecure::synth

@@ -1,0 +1,42 @@
+// Activation-function circuit factory: every Table 3 non-linearity
+// variant behind one enum, so benchmarks and model compilers can swap
+// realizations (speed/accuracy trade-off, Section 4.2).
+#pragma once
+
+#include <string>
+
+#include "synth/int_blocks.h"
+
+namespace deepsecure::synth {
+
+enum class ActKind {
+  kIdentity,
+  kReLU,
+  kTanhLUT,      // exact table, error 0 (up to representation)
+  kTanhSeg,      // 256-segment interpolation (~0.01%), Tanh2.10.12 analog
+  kTanhPL,       // 7-chord piece-wise linear (~0.2% mean)
+  kTanhCORDIC,   // hyperbolic CORDIC + DIV
+  kSigmoidLUT,
+  kSigmoidSeg,   // 128-segment interpolation, Sigmoid3.10.12 analog
+  kSigmoidPLAN,  // Amin et al. piece-wise linear (shifts only)
+  kSigmoidCORDIC,
+};
+
+/// Emit the chosen activation over bus `x` in format `fmt`.
+Bus activation(Builder& b, const Bus& x, ActKind kind, FixedFormat fmt);
+
+/// Ideal double-precision function the variant approximates (tanh,
+/// sigmoid, relu, id) — the Table 3 error baseline.
+double activation_ideal(double x, ActKind kind);
+
+/// Double-precision model including the approximation (PL chords, PLAN,
+/// interpolation, CORDIC schedule) but not fixed-point rounding.
+double activation_ref(double x, ActKind kind, FixedFormat fmt);
+
+std::string act_kind_name(ActKind kind);
+
+/// True for tanh-family (odd) activations; used by layer compilers.
+bool is_tanh(ActKind kind);
+bool is_sigmoid(ActKind kind);
+
+}  // namespace deepsecure::synth

@@ -1,0 +1,21 @@
+// Signed fixed-point divider (restoring shift-subtract). Used by the
+// CORDIC Tanh realization (sinh/cosh) and exposed as the DIV entry of
+// Table 3.
+#pragma once
+
+#include "synth/int_blocks.h"
+
+namespace deepsecure::synth {
+
+/// Unsigned integer division a / y, both n bits; returns the n-bit
+/// quotient (y == 0 yields all-ones, the natural output of the array).
+Bus div_unsigned(Builder& b, const Bus& a, const Bus& y);
+
+/// Signed division with quotient truncated toward zero.
+Bus div_signed(Builder& b, const Bus& a, const Bus& y);
+
+/// Fixed-point division: (a << frac) / y with signs handled; widths are
+/// managed internally so the pre-shift does not overflow.
+Bus div_fixed(Builder& b, const Bus& a, const Bus& y, size_t frac);
+
+}  // namespace deepsecure::synth

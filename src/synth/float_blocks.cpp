@@ -1,0 +1,359 @@
+#include "synth/float_blocks.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "synth/mult.h"
+
+namespace deepsecure::synth {
+namespace {
+
+struct Unpacked {
+  Bus man;   // m bits
+  Bus exp;   // e bits
+  Wire sign;
+  Bus mag;   // exponent|mantissa packed (m+e bits) — magnitude order
+};
+
+Unpacked unpack(const Bus& x, FloatFormat fmt) {
+  Unpacked u;
+  u.man = Bus(x.begin(), x.begin() + static_cast<ptrdiff_t>(fmt.man_bits));
+  u.exp = Bus(x.begin() + static_cast<ptrdiff_t>(fmt.man_bits),
+              x.begin() + static_cast<ptrdiff_t>(fmt.man_bits + fmt.exp_bits));
+  u.sign = x.back();
+  u.mag = Bus(x.begin(), x.end() - 1);
+  return u;
+}
+
+Bus pack(Builder& b, const Bus& man, const Bus& exp, Wire sign,
+         FloatFormat fmt) {
+  (void)b;
+  Bus out;
+  out.reserve(fmt.total_bits());
+  out.insert(out.end(), man.begin(), man.end());
+  out.insert(out.end(), exp.begin(), exp.end());
+  out.push_back(sign);
+  return out;
+}
+
+/// Zero the whole word when `is_zero` fires (canonical zero encoding).
+Bus zero_if(Builder& b, const Bus& x, Wire is_zero) {
+  Bus out(x.size());
+  const Wire keep = b.not_(is_zero);
+  for (size_t i = 0; i < x.size(); ++i) out[i] = b.and_(keep, x[i]);
+  return out;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Software reference (semantics mirrored by the circuits).
+
+SoftFloat SoftFloat::from_double(double x, FloatFormat fmt) {
+  SoftFloat f;
+  f.fmt = fmt;
+  if (x == 0.0 || !std::isfinite(x)) {
+    f.bits = 0;
+    return f;
+  }
+  const uint64_t sign = x < 0 ? 1 : 0;
+  const double ax = std::fabs(x);
+  int k = 0;
+  const double frac = std::frexp(ax, &k);  // ax = frac * 2^k, frac in [0.5,1)
+  int64_t exp_field = static_cast<int64_t>(k) - 1 + fmt.bias();
+  uint64_t man = static_cast<uint64_t>(
+      (2.0 * frac - 1.0) * static_cast<double>(1ull << fmt.man_bits));
+  if (man >= (1ull << fmt.man_bits)) man = (1ull << fmt.man_bits) - 1;
+  if (exp_field <= 0) {
+    f.bits = 0;  // flush to zero
+    return f;
+  }
+  if (exp_field > static_cast<int64_t>(fmt.max_exp())) {
+    exp_field = static_cast<int64_t>(fmt.max_exp());
+    man = (1ull << fmt.man_bits) - 1;  // saturate
+  }
+  f.bits = man | (static_cast<uint64_t>(exp_field) << fmt.man_bits) |
+           (sign << (fmt.man_bits + fmt.exp_bits));
+  return f;
+}
+
+double SoftFloat::to_double() const {
+  const uint64_t man = bits & ((1ull << fmt.man_bits) - 1);
+  const uint64_t exp = (bits >> fmt.man_bits) & ((1ull << fmt.exp_bits) - 1);
+  const uint64_t sign = bits >> (fmt.man_bits + fmt.exp_bits);
+  if (exp == 0) return 0.0;
+  const double m =
+      1.0 + static_cast<double>(man) / static_cast<double>(1ull << fmt.man_bits);
+  const double v =
+      m * std::pow(2.0, static_cast<double>(static_cast<int64_t>(exp) -
+                                            fmt.bias()));
+  return sign ? -v : v;
+}
+
+SoftFloat SoftFloat::mul(SoftFloat a, SoftFloat b) {
+  const FloatFormat fmt = a.fmt;
+  const size_t m = fmt.man_bits;
+  const uint64_t ea = (a.bits >> m) & ((1ull << fmt.exp_bits) - 1);
+  const uint64_t eb = (b.bits >> m) & ((1ull << fmt.exp_bits) - 1);
+  SoftFloat out;
+  out.fmt = fmt;
+  if (ea == 0 || eb == 0) return out;  // zero
+
+  const uint64_t sa = a.bits >> (m + fmt.exp_bits);
+  const uint64_t sb = b.bits >> (m + fmt.exp_bits);
+  const uint64_t ma = (a.bits & ((1ull << m) - 1)) | (1ull << m);
+  const uint64_t mb = (b.bits & ((1ull << m) - 1)) | (1ull << m);
+  const uint64_t p = ma * mb;  // in [2^2m, 2^(2m+2))
+  const bool top = (p >> (2 * m + 1)) & 1;
+  uint64_t man = top ? (p >> (m + 1)) : (p >> m);
+  man &= (1ull << m) - 1;
+  int64_t e = static_cast<int64_t>(ea) + static_cast<int64_t>(eb) -
+              fmt.bias() + (top ? 1 : 0);
+  if (e <= 0) return out;  // underflow -> zero
+  if (e > static_cast<int64_t>(fmt.max_exp())) {
+    e = static_cast<int64_t>(fmt.max_exp());
+    man = (1ull << m) - 1;
+  }
+  out.bits = man | (static_cast<uint64_t>(e) << m) |
+             ((sa ^ sb) << (m + fmt.exp_bits));
+  return out;
+}
+
+SoftFloat SoftFloat::add(SoftFloat a, SoftFloat b) {
+  const FloatFormat fmt = a.fmt;
+  const size_t m = fmt.man_bits;
+  const uint64_t mag_mask = (1ull << (m + fmt.exp_bits)) - 1;
+  uint64_t mag_a = a.bits & mag_mask;
+  uint64_t mag_b = b.bits & mag_mask;
+  uint64_t sa = a.bits >> (m + fmt.exp_bits);
+  uint64_t sb = b.bits >> (m + fmt.exp_bits);
+  if (mag_a < mag_b) {
+    std::swap(mag_a, mag_b);
+    std::swap(sa, sb);
+  }
+  const uint64_t ea = mag_a >> m;
+  const uint64_t eb = mag_b >> m;
+  SoftFloat out;
+  out.fmt = fmt;
+  if (ea == 0) return out;  // both zero (zero has the smallest magnitude)
+
+  const uint64_t big = (mag_a & ((1ull << m) - 1)) | (1ull << m);
+  uint64_t small = 0;
+  if (eb != 0) {
+    const uint64_t d = ea - eb;
+    small = d > m + 2 ? 0
+                      : (((mag_b & ((1ull << m) - 1)) | (1ull << m)) >> d);
+  }
+
+  const bool same_sign = sa == sb;
+  const uint64_t mval = same_sign ? big + small : big - small;
+  if (mval == 0) return out;  // exact cancellation
+
+  // Normalize: leading one to position m+1 within an (m+2)-bit window.
+  int h = 63;
+  while (((mval >> h) & 1) == 0) --h;
+  const int shift_left = static_cast<int>(m) + 1 - h;
+  uint64_t man;
+  if (shift_left <= 0)
+    man = mval >> (-shift_left);
+  else
+    man = mval << shift_left;
+  man &= (1ull << (m + 1)) - 1;  // drop the leading 1 at position m+1...
+  man >>= 1;                     // ...and align to m bits
+  int64_t e = static_cast<int64_t>(ea) + 1 -
+              (static_cast<int64_t>(m) + 2 - 1 - h);
+  // Equivalent: e = ea + (h - (m)) ... keep the direct form below.
+  e = static_cast<int64_t>(ea) + (h - static_cast<int64_t>(m));
+  if (e <= 0) return out;  // flush to zero
+  uint64_t man_final = man;
+  if (e > static_cast<int64_t>(fmt.max_exp())) {
+    e = static_cast<int64_t>(fmt.max_exp());
+    man_final = (1ull << m) - 1;
+  }
+  out.bits = man_final | (static_cast<uint64_t>(e) << m) |
+             (sa << (m + fmt.exp_bits));
+  return out;
+}
+
+bool SoftFloat::less_than(SoftFloat a, SoftFloat b) {
+  const FloatFormat fmt = a.fmt;
+  const size_t m = fmt.man_bits;
+  const uint64_t mag_mask = (1ull << (m + fmt.exp_bits)) - 1;
+  const uint64_t sa = a.bits >> (m + fmt.exp_bits);
+  const uint64_t sb = b.bits >> (m + fmt.exp_bits);
+  const uint64_t mag_a = a.bits & mag_mask;
+  const uint64_t mag_b = b.bits & mag_mask;
+  if (sa != sb) return sa == 1;  // negative < positive (note: -0 < +0)
+  return sa ? mag_b < mag_a : mag_a < mag_b;
+}
+
+// ----------------------------------------------------------------------
+// Circuits.
+
+Bus float_mul(Builder& b, const Bus& x, const Bus& y, FloatFormat fmt) {
+  const size_t m = fmt.man_bits;
+  const size_t e = fmt.exp_bits;
+  const Unpacked a = unpack(x, fmt);
+  const Unpacked c = unpack(y, fmt);
+
+  const Wire sign = b.xor_(a.sign, c.sign);
+  const Wire a_zero = is_zero(b, a.exp);
+  const Wire c_zero = is_zero(b, c.exp);
+  const Wire any_zero = b.or_(a_zero, c_zero);
+
+  // (1.ma) * (1.mc) at width 2m+2.
+  Bus ma = a.man;
+  ma.push_back(b.const_bit(true));
+  Bus mc = c.man;
+  mc.push_back(b.const_bit(true));
+  const size_t pw = 2 * m + 2;
+  const Bus p =
+      mult_fixed(b, zero_extend(b, ma, pw), zero_extend(b, mc, pw), 0);
+  const Wire top = p[2 * m + 1];
+
+  Bus man(m);
+  for (size_t i = 0; i < m; ++i)
+    man[i] = b.mux(top, p[m + 1 + i], p[m + i]);
+
+  // Exponent at width e+2 (signed headroom): ea + ec - bias + top.
+  const size_t ew = e + 2;
+  Bus exp_sum = add(b, zero_extend(b, a.exp, ew), zero_extend(b, c.exp, ew));
+  exp_sum = sub(b, exp_sum,
+                constant_bus(b, static_cast<uint64_t>(fmt.bias()), ew));
+  Bus top_bus = constant_bus(b, 0, ew);
+  top_bus[0] = top;
+  exp_sum = add(b, exp_sum, top_bus);
+
+  // Underflow (e <= 0) or operand zero -> canonical zero; overflow -> max.
+  const Wire neg_or_zero =
+      b.or_(sign_bit(exp_sum), is_zero(b, exp_sum));
+  const Wire overflow = lt_signed(
+      b, constant_bus(b, fmt.max_exp(), ew), exp_sum);
+  Bus exp_out = mux_bus(b, overflow, constant_bus(b, fmt.max_exp(), ew),
+                        exp_sum);
+  man = mux_bus(b, overflow, constant_bus(b, (1ull << m) - 1, m), man);
+
+  Bus out = pack(b, man, truncate(exp_out, e), sign, fmt);
+  return zero_if(b, out, b.or_(any_zero, neg_or_zero));
+}
+
+Bus float_add(Builder& b, const Bus& x, const Bus& y, FloatFormat fmt) {
+  const size_t m = fmt.man_bits;
+  const size_t e = fmt.exp_bits;
+  Unpacked a = unpack(x, fmt);
+  Unpacked c = unpack(y, fmt);
+
+  // Operand swap so |a| >= |b| (monotone packed magnitude).
+  const Wire swap = lt_unsigned(b, a.mag, c.mag);
+  const Bus mag_hi = mux_bus(b, swap, c.mag, a.mag);
+  const Bus mag_lo = mux_bus(b, swap, a.mag, c.mag);
+  const Wire s_hi = b.mux(swap, c.sign, a.sign);
+  const Wire s_lo = b.mux(swap, a.sign, c.sign);
+
+  const Bus man_hi(mag_hi.begin(), mag_hi.begin() + static_cast<ptrdiff_t>(m));
+  const Bus exp_hi(mag_hi.begin() + static_cast<ptrdiff_t>(m), mag_hi.end());
+  const Bus man_lo(mag_lo.begin(), mag_lo.begin() + static_cast<ptrdiff_t>(m));
+  const Bus exp_lo(mag_lo.begin() + static_cast<ptrdiff_t>(m), mag_lo.end());
+
+  const Wire hi_zero = is_zero(b, exp_hi);
+  const Wire lo_zero = is_zero(b, exp_lo);
+
+  // Align the smaller mantissa: shift right by d = exp_hi - exp_lo.
+  const Bus d = sub(b, exp_hi, exp_lo);  // non-negative by the swap
+  const size_t dbits = clog2(m + 3);
+  Bus d_low(dbits);
+  for (size_t i = 0; i < dbits; ++i) d_low[i] = d[i];
+  // d >= m+2 (high bits set or low field saturated) -> contributes 0.
+  Wire d_big = b.const_bit(false);
+  for (size_t i = dbits; i < e; ++i) d_big = b.or_(d_big, d[i]);
+  {
+    const Bus lim = constant_bus(b, m + 2, dbits);
+    d_big = b.or_(d_big, b.not_(lt_unsigned(b, d_low, lim)));
+  }
+
+  const size_t wm = m + 2;  // implicit-1 + carry headroom
+  Bus big = man_hi;
+  big.push_back(b.const_bit(true));
+  big = zero_extend(b, big, wm);
+  Bus small = man_lo;
+  small.push_back(b.const_bit(true));
+  small = zero_extend(b, small, wm);
+  small = shr_variable(b, small, d_low);
+  const Wire small_live = b.not_(b.or_(d_big, lo_zero));
+  for (auto& wbit : small) wbit = b.and_(wbit, small_live);
+
+  const Wire same_sign = b.xnor_(s_hi, s_lo);
+  const Bus msum = add(b, big, small);
+  const Bus mdiff = sub(b, big, small);
+  const Bus mval = mux_bus(b, same_sign, msum, mdiff);
+  const Wire m_zero = is_zero(b, mval);
+
+  // Normalize: put the leading one at position m+1.
+  const Bus lzc = leading_zero_count(b, mval);
+  const Bus norm = shl_variable(b, mval, lzc);
+  Bus man_out(m);
+  for (size_t i = 0; i < m; ++i) man_out[i] = norm[i + 1];
+
+  // exp = exp_hi + 1 - lzc, evaluated at width e+2 signed.
+  const size_t ew = e + 2;
+  Bus exp_out = zero_extend(b, exp_hi, ew);
+  exp_out = add(b, exp_out, constant_bus(b, 1, ew));
+  exp_out = sub(b, exp_out, zero_extend(b, lzc, ew));
+
+  const Wire underflow = b.or_(sign_bit(exp_out), is_zero(b, exp_out));
+  const Wire overflow =
+      lt_signed(b, constant_bus(b, fmt.max_exp(), ew), exp_out);
+  exp_out = mux_bus(b, overflow, constant_bus(b, fmt.max_exp(), ew), exp_out);
+  man_out =
+      mux_bus(b, overflow, constant_bus(b, (1ull << m) - 1, m), man_out);
+
+  Bus out = pack(b, man_out, truncate(exp_out, e), s_hi, fmt);
+  const Wire is_nothing = b.or_(b.or_(hi_zero, m_zero), underflow);
+  return zero_if(b, out, is_nothing);
+}
+
+Bus float_neg(Builder& b, const Bus& x, FloatFormat fmt) {
+  (void)fmt;
+  Bus out = x;
+  out.back() = b.not_(x.back());
+  return out;
+}
+
+Bus float_sub(Builder& b, const Bus& x, const Bus& y, FloatFormat fmt) {
+  return float_add(b, x, float_neg(b, y, fmt), fmt);
+}
+
+Wire float_lt(Builder& b, const Bus& x, const Bus& y, FloatFormat fmt) {
+  const Unpacked a = unpack(x, fmt);
+  const Unpacked c = unpack(y, fmt);
+  const Wire lt_mag = lt_unsigned(b, a.mag, c.mag);
+  const Wire gt_mag = lt_unsigned(b, c.mag, a.mag);
+  const Wire differ = b.xor_(a.sign, c.sign);
+  const Wire same_sign_lt = b.mux(a.sign, gt_mag, lt_mag);
+  return b.mux(differ, a.sign, same_sign_lt);
+}
+
+Bus float_relu(Builder& b, const Bus& x, FloatFormat fmt) {
+  (void)fmt;
+  return zero_if(b, x, x.back());
+}
+
+Bus float_dot(Builder& b, const std::vector<Bus>& x,
+              const std::vector<Bus>& w, FloatFormat fmt) {
+  if (x.size() != w.size() || x.empty())
+    throw std::invalid_argument("float_dot size mismatch");
+  std::vector<Bus> terms(x.size());
+  for (size_t i = 0; i < x.size(); ++i)
+    terms[i] = float_mul(b, x[i], w[i], fmt);
+  // Balanced adder tree (better error behaviour than a linear chain).
+  while (terms.size() > 1) {
+    std::vector<Bus> next;
+    for (size_t i = 0; i + 1 < terms.size(); i += 2)
+      next.push_back(float_add(b, terms[i], terms[i + 1], fmt));
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+}  // namespace deepsecure::synth

@@ -1,0 +1,60 @@
+// Floating-point GC blocks — the paper's Section 3.6 notes the library
+// "also provides support for Floating-point accuracy"; this module
+// realizes that claim with a compact IEEE-754-style format.
+//
+// Format (parameterizable; default is bfloat16-shaped: 1+8+7):
+//   [ sign | biased exponent (e bits) | mantissa (m bits, implicit 1) ]
+// Simplifications typical for secure-computation datapaths, documented
+// and mirrored exactly by the software reference model:
+//   * no subnormals: exponent 0 means the value 0 (mantissa ignored)
+//   * no NaN/Inf: overflow saturates to the largest finite value
+//   * round-toward-zero (truncation) after every operation
+//
+// Because magnitude comparison of this encoding is monotonic on the
+// packed (exponent|mantissa) integer, the adder's operand swap and the
+// comparator are plain unsigned comparisons — cheap in GC.
+#pragma once
+
+#include "synth/int_blocks.h"
+
+namespace deepsecure::synth {
+
+struct FloatFormat {
+  size_t exp_bits = 8;
+  size_t man_bits = 7;
+
+  size_t total_bits() const { return 1 + exp_bits + man_bits; }
+  int64_t bias() const { return (int64_t{1} << (exp_bits - 1)) - 1; }
+  uint64_t max_exp() const { return (uint64_t{1} << exp_bits) - 1; }
+};
+
+inline constexpr FloatFormat kBFloat16{8, 7};
+
+/// Software reference with identical semantics (truncation, flush to
+/// zero, saturation) — the oracle for the circuit tests.
+struct SoftFloat {
+  uint64_t bits = 0;  // packed little-endian: [man | exp | sign]
+  FloatFormat fmt;
+
+  static SoftFloat from_double(double x, FloatFormat fmt = kBFloat16);
+  double to_double() const;
+
+  static SoftFloat add(SoftFloat a, SoftFloat b);
+  static SoftFloat mul(SoftFloat a, SoftFloat b);
+  static bool less_than(SoftFloat a, SoftFloat b);  // total order, -0 == +0
+};
+
+/// Circuit blocks. Buses are fmt.total_bits wide, packed as
+/// bit 0..m-1 = mantissa, m..m+e-1 = exponent, top bit = sign.
+Bus float_add(Builder& b, const Bus& x, const Bus& y, FloatFormat fmt);
+Bus float_sub(Builder& b, const Bus& x, const Bus& y, FloatFormat fmt);
+Bus float_mul(Builder& b, const Bus& x, const Bus& y, FloatFormat fmt);
+Wire float_lt(Builder& b, const Bus& x, const Bus& y, FloatFormat fmt);
+Bus float_relu(Builder& b, const Bus& x, FloatFormat fmt);
+Bus float_neg(Builder& b, const Bus& x, FloatFormat fmt);
+
+/// Floating-point dot product (the FC building block at float accuracy).
+Bus float_dot(Builder& b, const std::vector<Bus>& x,
+              const std::vector<Bus>& w, FloatFormat fmt);
+
+}  // namespace deepsecure::synth

@@ -1,0 +1,70 @@
+// Fundamental GC-optimized arithmetic blocks (Section 3.4).
+//
+// Every block minimizes non-XOR gates under the free-XOR cost model:
+//   * full adder: 1 AND + 4 XOR (Boyar-Peralta form)
+//   * n-bit adder: n-1 AND (carry out of the top bit is never computed)
+//   * comparator: one (n+1)-bit subtraction, sign bit only
+//   * 2:1 bus mux: 1 AND per bit
+// Constant operands fold to even fewer gates automatically (the builder
+// removes ANDs/XORs with constants), which is what makes constant-
+// coefficient adders (CORDIC) and constant tables (LUT) cheap.
+#pragma once
+
+#include "synth/bus.h"
+
+namespace deepsecure::synth {
+
+/// a + b + cin; widths must match; result has the same width (mod 2^n).
+/// If `cout` is non-null it receives the carry out of the top bit (this
+/// costs one extra AND).
+Bus add_full(Builder& b, const Bus& a, const Bus& y, Wire cin,
+             Wire* cout = nullptr);
+
+Bus add(Builder& b, const Bus& a, const Bus& y);
+Bus sub(Builder& b, const Bus& a, const Bus& y);
+Bus negate(Builder& b, const Bus& a);
+
+/// Signed/unsigned comparison predicates.
+Wire lt_signed(Builder& b, const Bus& a, const Bus& y);
+Wire lt_unsigned(Builder& b, const Bus& a, const Bus& y);
+Wire eq(Builder& b, const Bus& a, const Bus& y);
+/// Sign bit (MSB) of a signed bus — free.
+inline Wire sign_bit(const Bus& a) { return a.back(); }
+Wire is_zero(Builder& b, const Bus& a);
+
+/// sel ? t : f, element-wise.
+Bus mux_bus(Builder& b, Wire sel, const Bus& t, const Bus& f);
+
+/// |a| for signed a (two's complement; INT_MIN maps to itself).
+Bus abs_signed(Builder& b, const Bus& a);
+
+/// |a| with the single non-representable corner (-2^(n-1), whose negation
+/// wraps to itself) clamped to 2^(n-1)-1. Table/CORDIC indexing uses this.
+Bus abs_clamped(Builder& b, const Bus& a);
+
+/// max(a, b) signed — the pooling/Softmax primitive.
+Bus max_signed(Builder& b, const Bus& a, const Bus& y);
+
+/// ReLU: max(0, a). One AND per output bit: every bit is masked by the
+/// complement of the sign bit (this is the paper's "ReLu as multiplexer"
+/// realization, 15 non-XOR at 16 bits since the output MSB is always 0
+/// only when... the mask keeps the MSB too, so n ANDs; the builder folds
+/// nothing here).
+Bus relu(Builder& b, const Bus& a);
+
+/// Saturating clamp of signed `a` into [lo_const, hi_const].
+Bus clamp_const(Builder& b, const Bus& a, int64_t lo, int64_t hi);
+
+/// Barrel shifter: logical right shift of `a` by the unsigned amount bus
+/// `k` (one mux stage per bit of k, so |k| * |a| AND gates).
+Bus shr_variable(Builder& b, const Bus& a, const Bus& k);
+
+/// Barrel shifter: logical left shift by the unsigned amount bus `k`.
+Bus shl_variable(Builder& b, const Bus& a, const Bus& k);
+
+/// Leading-zero count of `a` (viewed as an unsigned word): number of
+/// zero bits above the highest set bit; |a| when a == 0. The result bus
+/// is clog2(|a|+1) bits.
+Bus leading_zero_count(Builder& b, const Bus& a);
+
+}  // namespace deepsecure::synth

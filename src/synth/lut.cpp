@@ -1,0 +1,46 @@
+#include "synth/lut.h"
+
+#include <stdexcept>
+
+namespace deepsecure::synth {
+namespace {
+
+// Recursive mux tree on index bits [0, level). Selecting on the highest
+// bit first keeps subtree sharing maximal for smooth tables.
+Wire select_bit(Builder& b, const Bus& index, size_t level,
+                const std::vector<int64_t>& table, size_t base, size_t bit) {
+  if (level == 0) {
+    const size_t i = std::min(base, table.size() - 1);
+    const uint64_t v = static_cast<uint64_t>(table[i]);
+    return b.const_bit(((v >> bit) & 1u) != 0);
+  }
+  const Wire lo = select_bit(b, index, level - 1, table, base, bit);
+  const Wire hi = select_bit(b, index, level - 1, table,
+                             base + (size_t{1} << (level - 1)), bit);
+  return b.mux(index[level - 1], hi, lo);
+}
+
+}  // namespace
+
+Bus lut(Builder& b, const Bus& index, const std::vector<int64_t>& table,
+        size_t out_bits) {
+  if (table.empty()) throw std::invalid_argument("lut: empty table");
+  Bus out(out_bits);
+  for (size_t bit = 0; bit < out_bits; ++bit)
+    out[bit] = select_bit(b, index, index.size(), table, 0, bit);
+  return out;
+}
+
+std::vector<int64_t> tabulate(double (*f)(double), size_t index_bits,
+                              size_t frac, FixedFormat fmt) {
+  const size_t entries = size_t{1} << index_bits;
+  std::vector<int64_t> table(entries);
+  const double scale = static_cast<double>(1ull << frac);
+  for (size_t i = 0; i < entries; ++i) {
+    const double x = static_cast<double>(i) / scale;
+    table[i] = Fixed::from_double(f(x), fmt).raw();
+  }
+  return table;
+}
+
+}  // namespace deepsecure::synth

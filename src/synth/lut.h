@@ -1,0 +1,28 @@
+// Look-up-table circuit: a MUX tree over constant leaves.
+//
+// Combined with the builder's constant folding + structural hashing this
+// reproduces what a synthesis tool does to a truth table: muxes whose
+// leaves agree collapse, constant leaves reduce muxes to AND/OR/NOT/wire,
+// and shared subtrees across output bits are emitted once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/int_blocks.h"
+
+namespace deepsecure::synth {
+
+/// index: k-bit unsigned bus. table: 2^k entries (missing entries are
+/// treated as the last provided entry). Each entry is emitted as an
+/// out_bits-wide two's-complement constant.
+Bus lut(Builder& b, const Bus& index, const std::vector<int64_t>& table,
+        size_t out_bits);
+
+/// Tabulate f over the index domain [0, 2^index_bits) where the index is
+/// interpreted as an unsigned fixed-point value with `frac` fractional
+/// bits; outputs are rounded to `fmt`.
+std::vector<int64_t> tabulate(double (*f)(double), size_t index_bits,
+                              size_t frac, FixedFormat fmt);
+
+}  // namespace deepsecure::synth

@@ -1,0 +1,58 @@
+#include "synth/mult.h"
+
+#include <stdexcept>
+
+namespace deepsecure::synth {
+
+Bus mult_fixed(Builder& b, const Bus& a, const Bus& y, size_t frac) {
+  if (a.size() != y.size())
+    throw std::invalid_argument("mult width mismatch");
+  const size_t n = a.size();
+  const size_t w = n + frac;  // accumulate mod 2^(n+frac)
+
+  // Two's-complement trick: with a, y sign-extended to width w,
+  //   a*y mod 2^w = sum_{i<n} y_i*(a << i)  +  y_{n-1}*((-a) << n) mod 2^w
+  // because the sign-extension rows i >= n collapse to -a*2^n.
+  const Bus a_ext = sign_extend(a, w);
+  const Bus neg_a = negate(b, a_ext);
+
+  Bus acc = constant_bus(b, 0, w);
+  bool acc_zero = true;
+  auto accumulate = [&](const Bus& row) {
+    // Skip rows the builder folded to all-zero (constant multiplier bits);
+    // adding them would still emit carry logic.
+    bool all_zero = true;
+    for (Wire wr : row) all_zero = all_zero && (wr == kConst0);
+    if (all_zero) return;
+    if (acc_zero) {
+      acc = row;
+      acc_zero = false;
+    } else {
+      acc = add(b, acc, row);
+    }
+  };
+
+  for (size_t i = 0; i < n && i < w; ++i) {
+    // Partial product y_i * (a_ext << i): bits below i are zero.
+    Bus row(w, b.const_bit(false));
+    for (size_t j = i; j < w; ++j) row[j] = b.and_(y[i], a_ext[j - i]);
+    accumulate(row);
+  }
+  if (n < w) {
+    Bus row(w, b.const_bit(false));
+    for (size_t j = n; j < w; ++j) row[j] = b.and_(y[n - 1], neg_a[j - n]);
+    accumulate(row);
+  }
+
+  // Result window [frac, frac + n).
+  Bus out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = acc[frac + i];
+  return out;
+}
+
+Bus mult_const_fixed(Builder& b, const Bus& a, double c, FixedFormat fmt) {
+  const Bus cb = constant_fixed(b, c, fmt);
+  return mult_fixed(b, a, cb, fmt.frac_bits);
+}
+
+}  // namespace deepsecure::synth

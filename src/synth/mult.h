@@ -1,0 +1,26 @@
+// Signed multiplier blocks with the fixed-point truncation window.
+//
+// The paper's enhanced matrix-vector multiplication supports signed
+// operands (vs. TinyGarble's unsigned realization). Our multiplier is a
+// two's-complement array multiplier computed modulo 2^(n+frac): partial
+// products are accumulated at width n+frac and the result window
+// [frac, frac+n) is returned, which matches `Fixed::operator*` exactly.
+#pragma once
+
+#include "synth/int_blocks.h"
+
+namespace deepsecure::synth {
+
+/// Fixed-point multiply: n-bit a, y -> n-bit (a*y) >> frac.
+Bus mult_fixed(Builder& b, const Bus& a, const Bus& y, size_t frac);
+
+/// Integer multiply returning the low n bits (frac = 0 window).
+inline Bus mult_low(Builder& b, const Bus& a, const Bus& y) {
+  return mult_fixed(b, a, y, 0);
+}
+
+/// Multiply by a public constant; the builder folds away zero partial
+/// products, so sparse constants (power-of-two slopes etc.) are cheap.
+Bus mult_const_fixed(Builder& b, const Bus& a, double c, FixedFormat fmt);
+
+}  // namespace deepsecure::synth

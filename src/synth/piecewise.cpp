@@ -1,0 +1,183 @@
+#include "synth/piecewise.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "synth/lut.h"
+#include "synth/mult.h"
+
+namespace deepsecure::synth {
+namespace {
+
+struct PlSegment {
+  double upper;  // segment covers [prev.upper, upper)
+  double slope;
+  double intercept;
+};
+
+// Seven chords of tanh on [0, 4), saturation to 1 beyond (the paper's
+// "seven different lines for x >= 0" construction).
+const std::vector<PlSegment>& tanh_pl_segments() {
+  static const std::vector<PlSegment> segs = [] {
+    const double bp[] = {0.0, 0.4, 0.8, 1.2, 1.7, 2.3, 3.0, 4.0};
+    std::vector<PlSegment> s;
+    for (int i = 0; i + 1 < 8; ++i) {
+      const double x0 = bp[i], x1 = bp[i + 1];
+      const double slope = (std::tanh(x1) - std::tanh(x0)) / (x1 - x0);
+      const double intercept = std::tanh(x0) - slope * x0;
+      s.push_back({x1, slope, intercept});
+    }
+    return s;
+  }();
+  return segs;
+}
+
+}  // namespace
+
+Bus segment_interp(Builder& b, const Bus& x_unsigned, double range,
+                   size_t segments, double (*f)(double), FixedFormat fmt) {
+  if ((segments & (segments - 1)) != 0)
+    throw std::invalid_argument("segments must be a power of two");
+  const size_t frac = fmt.frac_bits;
+  const double seg_width = range / static_cast<double>(segments);
+  const double raw_per_seg = seg_width * static_cast<double>(1ull << frac);
+  const size_t shift = static_cast<size_t>(std::llround(std::log2(raw_per_seg)));
+  if (std::abs(raw_per_seg - std::pow(2.0, static_cast<double>(shift))) > 1e-9)
+    throw std::invalid_argument("range/segments must be 2^k raw units");
+  const size_t index_bits = clog2(segments);
+  if (shift + index_bits > x_unsigned.size())
+    throw std::invalid_argument("input bus too narrow for interp domain");
+
+  // Endpoint and rise tables; f must be monotone non-decreasing so the
+  // rise fits in an unsigned narrow bus.
+  std::vector<int64_t> y0(segments), dy(segments);
+  int64_t max_dy = 0;
+  for (size_t i = 0; i < segments; ++i) {
+    const double x0 = static_cast<double>(i) * seg_width;
+    const double x1 = x0 + seg_width;
+    const int64_t a = Fixed::from_double(f(x0), fmt).raw();
+    const int64_t c = Fixed::from_double(f(x1), fmt).raw();
+    if (c < a) throw std::invalid_argument("segment_interp needs monotone f");
+    y0[i] = a;
+    dy[i] = c - a;
+    max_dy = std::max(max_dy, dy[i]);
+  }
+  const size_t dy_bits = std::max<size_t>(1, clog2(static_cast<size_t>(max_dy) + 1));
+
+  Bus index(index_bits), delta(shift);
+  for (size_t i = 0; i < index_bits; ++i) index[i] = x_unsigned[shift + i];
+  for (size_t i = 0; i < shift; ++i) delta[i] = x_unsigned[i];
+
+  const Bus base = lut(b, index, y0, fmt.total_bits);
+  const Bus rise = lut(b, index, dy, dy_bits);
+
+  // (rise * delta) >> shift at width dy_bits + shift; both operands are
+  // zero-extended so the signed multiplier sees non-negative values.
+  const size_t w = dy_bits + shift + 1;
+  const Bus rise_w = zero_extend(b, rise, w);
+  const Bus delta_w = zero_extend(b, delta, w);
+  Bus prod = mult_fixed(b, rise_w, delta_w, shift);
+  // prod <= max_dy; widen/narrow to format width.
+  if (prod.size() < fmt.total_bits)
+    prod = zero_extend(b, prod, fmt.total_bits);
+  else
+    prod = truncate(prod, fmt.total_bits);
+
+  return add(b, base, prod);
+}
+
+Bus tanh_seg(Builder& b, const Bus& x, FixedFormat fmt) {
+  // Full |x| domain [0, 2^int_bits) with 1/32-wide segments: for the
+  // default Q(16,12) this is 256 segments over [0, 8), giving a maximum
+  // interpolation error of h^2 max|f''|/8 ~ 9.4e-5 (~0.01%).
+  const double range = std::pow(2.0, static_cast<double>(fmt.int_bits()));
+  const size_t segments = size_t{1} << (fmt.int_bits() + 5);
+  const Bus a = abs_clamped(b, x);
+  const Bus y = segment_interp(b, a, range, segments, ref_tanh, fmt);
+  return mux_bus(b, sign_bit(x), negate(b, y), y);
+}
+
+Bus sigmoid_seg(Builder& b, const Bus& x, FixedFormat fmt) {
+  const double range = std::pow(2.0, static_cast<double>(fmt.int_bits()));
+  const size_t segments = size_t{1} << (fmt.int_bits() + 4);
+  const Bus a = abs_clamped(b, x);
+  const Bus y = segment_interp(b, a, range, segments, ref_sigmoid, fmt);
+  const Bus one = constant_fixed(b, 1.0, fmt);
+  return mux_bus(b, sign_bit(x), sub(b, one, y), y);
+}
+
+Bus tanh_pl(Builder& b, const Bus& x, FixedFormat fmt) {
+  const auto& segs = tanh_pl_segments();
+  const Bus a = abs_clamped(b, x);
+
+  // Select slope/intercept by comparing |x| against segment bounds from
+  // the innermost segment outward, then one shared multiply-add.
+  Bus slope = constant_fixed(b, 0.0, fmt);      // saturation region
+  Bus intercept = constant_fixed(b, 1.0, fmt);  // y = 1 beyond the last bound
+  for (size_t i = segs.size(); i-- > 0;) {
+    const Bus bound = constant_fixed(b, segs[i].upper, fmt);
+    const Wire in_seg = lt_signed(b, a, bound);
+    slope = mux_bus(b, in_seg, constant_fixed(b, segs[i].slope, fmt), slope);
+    intercept =
+        mux_bus(b, in_seg, constant_fixed(b, segs[i].intercept, fmt), intercept);
+  }
+  const Bus prod = mult_fixed(b, a, slope, fmt.frac_bits);
+  const Bus y = add(b, prod, intercept);
+  return mux_bus(b, sign_bit(x), negate(b, y), y);
+}
+
+Bus sigmoid_plan(Builder& b, const Bus& x, FixedFormat fmt) {
+  const Bus a = abs_clamped(b, x);
+
+  const Bus t1 = add(b, sar_const(a, 2), constant_fixed(b, 0.5, fmt));
+  const Bus t2 = add(b, sar_const(a, 3), constant_fixed(b, 0.625, fmt));
+  const Bus t3 = add(b, sar_const(a, 5), constant_fixed(b, 0.84375, fmt));
+  const Bus one = constant_fixed(b, 1.0, fmt);
+
+  const Wire c1 = lt_signed(b, a, constant_fixed(b, 1.0, fmt));
+  const Wire c2 = lt_signed(b, a, constant_fixed(b, 2.375, fmt));
+  const Wire c3 = lt_signed(b, a, constant_fixed(b, 5.0, fmt));
+
+  Bus y = mux_bus(b, c3, t3, one);
+  y = mux_bus(b, c2, t2, y);
+  y = mux_bus(b, c1, t1, y);
+  return mux_bus(b, sign_bit(x), sub(b, one, y), y);
+}
+
+double ref_tanh_pl(double x) {
+  const double a = std::abs(x);
+  double y = 1.0;
+  for (const PlSegment& s : tanh_pl_segments()) {
+    if (a < s.upper) {
+      y = s.slope * a + s.intercept;
+      break;
+    }
+  }
+  return x < 0 ? -y : y;
+}
+
+double ref_sigmoid_plan(double x) {
+  const double a = std::abs(x);
+  double y;
+  if (a < 1.0)
+    y = a / 4.0 + 0.5;
+  else if (a < 2.375)
+    y = a / 8.0 + 0.625;
+  else if (a < 5.0)
+    y = a / 32.0 + 0.84375;
+  else
+    y = 1.0;
+  return x < 0 ? 1.0 - y : y;
+}
+
+double ref_segment_interp(double x, double range, size_t segments,
+                          double (*f)(double)) {
+  const double a = std::abs(x);
+  const double w = range / static_cast<double>(segments);
+  const size_t i = std::min(static_cast<size_t>(a / w), segments - 1);
+  const double x0 = static_cast<double>(i) * w;
+  const double t = (a - x0) / w;
+  return f(x0) + t * (f(x0 + w) - f(x0));
+}
+
+}  // namespace deepsecure::synth

@@ -1,0 +1,45 @@
+// Piece-wise approximations of the DL non-linearities.
+//
+//  * segment_interp — 128-segment linear interpolation with tabulated
+//    endpoints/deltas; our stand-in for the paper's Boolean-minimized
+//    Tanh2.10.12 / Sigmoid3.10.12 blocks (same error budget, comparable
+//    cost; see DESIGN.md substitution #1).
+//  * tanh_pl — few-segment piece-wise-linear Tanh (paper's TanhPL).
+//  * sigmoid_plan — the PLAN approximation (Amin et al. 1997), all slopes
+//    powers of two so every multiply is a shift (paper's SigmoidPLAN).
+#pragma once
+
+#include "synth/int_blocks.h"
+
+namespace deepsecure::synth {
+
+/// Linear interpolation of f over [0, range) split into `segments`
+/// (power of two) pieces. `x` must be an unsigned bus (abs applied by the
+/// caller) in the given fixed format. Output in the same format.
+Bus segment_interp(Builder& b, const Bus& x_unsigned, double range,
+                   size_t segments, double (*f)(double), FixedFormat fmt);
+
+/// Tanh via sign symmetry + segment_interp on |x| (clamped to [0,4)).
+Bus tanh_seg(Builder& b, const Bus& x, FixedFormat fmt);
+/// Sigmoid via sigmoid(-x) = 1 - sigmoid(x) + segment_interp on |x|.
+Bus sigmoid_seg(Builder& b, const Bus& x, FixedFormat fmt);
+
+/// Coarse piece-wise-linear Tanh (8 chords on [0,4), odd-extended).
+Bus tanh_pl(Builder& b, const Bus& x, FixedFormat fmt);
+
+/// PLAN sigmoid:
+///   y = 1                      |x| >= 5
+///   y = |x|/32 + 0.84375       2.375 <= |x| < 5
+///   y = |x|/8  + 0.625         1 <= |x| < 2.375
+///   y = |x|/4  + 0.5           0 <= |x| < 1
+/// reflected through (0, 0.5) for negative x.
+Bus sigmoid_plan(Builder& b, const Bus& x, FixedFormat fmt);
+
+// Double-precision reference models of the approximations, used to
+// separate approximation error from representation error in Table 3.
+double ref_tanh_pl(double x);
+double ref_sigmoid_plan(double x);
+double ref_segment_interp(double x, double range, size_t segments,
+                          double (*f)(double));
+
+}  // namespace deepsecure::synth

@@ -1,0 +1,29 @@
+#include "synth/softmax.h"
+
+#include <stdexcept>
+
+namespace deepsecure::synth {
+
+Bus argmax(Builder& b, const std::vector<Bus>& values) {
+  if (values.empty()) throw std::invalid_argument("argmax of nothing");
+  const size_t idx_bits = std::max<size_t>(1, clog2(values.size()));
+
+  Bus best = values[0];
+  Bus best_idx = constant_bus(b, 0, idx_bits);
+  for (size_t i = 1; i < values.size(); ++i) {
+    const Wire gt = lt_signed(b, best, values[i]);  // strictly greater
+    best = mux_bus(b, gt, values[i], best);
+    best_idx = mux_bus(b, gt, constant_bus(b, i, idx_bits), best_idx);
+  }
+  return best_idx;
+}
+
+Bus argmax_onehot(Builder& b, const std::vector<Bus>& values) {
+  const Bus idx = argmax(b, values);
+  Bus onehot(values.size());
+  for (size_t i = 0; i < values.size(); ++i)
+    onehot[i] = eq(b, idx, constant_bus(b, i, idx.size()));
+  return onehot;
+}
+
+}  // namespace deepsecure::synth

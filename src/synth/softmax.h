@@ -1,0 +1,18 @@
+// Softmax output layer realized as argmax (Section 4.2): Softmax is
+// monotone, so the inference label is the index of the maximum logit.
+// A linear chain of CMP+MUX blocks tracks the running maximum and its
+// index — the paper's (n-1) * (CMP + MUX) construction.
+#pragma once
+
+#include "synth/int_blocks.h"
+
+namespace deepsecure::synth {
+
+/// Binary index (clog2(n) bits) of the maximum of `values` (signed
+/// buses of equal width). Ties resolve to the lower index.
+Bus argmax(Builder& b, const std::vector<Bus>& values);
+
+/// One-hot variant (n wires); costs one extra comparator pass.
+Bus argmax_onehot(Builder& b, const std::vector<Bus>& values);
+
+}  // namespace deepsecure::synth

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "baseline/cryptonets.h"
+#include "data/synthetic.h"
+
+namespace deepsecure::baseline {
+namespace {
+
+TEST(CryptoNets, BatchedDelayModel) {
+  EXPECT_DOUBLE_EQ(cryptonets_delay_s(0), 0.0);
+  EXPECT_DOUBLE_EQ(cryptonets_delay_s(1), 570.11);
+  EXPECT_DOUBLE_EQ(cryptonets_delay_s(8192), 570.11);
+  EXPECT_DOUBLE_EQ(cryptonets_delay_s(8193), 2 * 570.11);
+  EXPECT_DOUBLE_EQ(cryptonets_delay_s(3 * 8192), 3 * 570.11);
+}
+
+TEST(CryptoNets, PaperCrossovers) {
+  // Figure 6: DeepSecure w/o pre-processing crosses at ~288 samples
+  // (570.11 / 1.98) and with pre-processing at ~2590 (570.11 / 0.22).
+  EXPECT_EQ(crossover_samples(1.98), 287u);
+  EXPECT_EQ(crossover_samples(0.22), 2591u);
+}
+
+TEST(CryptoNets, DeepSecureWinsBelowCrossover) {
+  const double per_sample = 1.98;
+  const size_t cross = crossover_samples(per_sample);
+  EXPECT_LT(deepsecure_delay_s(cross - 1, per_sample),
+            cryptonets_delay_s(cross - 1));
+  EXPECT_GT(deepsecure_delay_s(cross + 2, per_sample),
+            cryptonets_delay_s(cross + 2));
+}
+
+TEST(CryptoNets, SquareActivationLosesAccuracy) {
+  // The privacy/utility trade-off argument: on data needing a saturating
+  // non-linearity, the polynomial (square) network underperforms.
+  data::SyntheticConfig cfg;
+  cfg.features = 24;
+  cfg.classes = 4;
+  cfg.samples = 320;
+  cfg.subspace_rank = 5;
+  cfg.noise = 0.08;
+  cfg.class_sep = 0.55;
+  cfg.seed = 77;
+  const nn::Dataset all = data::make_subspace_dataset(cfg);
+  const nn::Split split = nn::split_dataset(all, 0.75);
+
+  nn::TrainConfig tc;
+  tc.epochs = 14;
+  const UtilityComparison cmp =
+      compare_utility(split.train, split.test, 12, nn::Act::kTanh, tc);
+
+  EXPECT_GT(cmp.accuracy_true_act, 0.7f);
+  // GC evaluates the true activation, so DeepSecure keeps the higher
+  // accuracy; the HE-constrained square network must not exceed it
+  // meaningfully.
+  EXPECT_GE(cmp.accuracy_true_act + 0.02f, cmp.accuracy_square_act);
+}
+
+}  // namespace
+}  // namespace deepsecure::baseline

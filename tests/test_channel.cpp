@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/mem_channel.h"
+#include "net/party.h"
+#include "support/bits.h"
+
+namespace deepsecure {
+namespace {
+
+TEST(MemChannel, RoundTripAndCounters) {
+  auto pair = make_channel_pair();
+  const std::string msg = "hello garbled world";
+  std::thread t([&] { pair.a->send_bytes(msg.data(), msg.size()); });
+  std::string got(msg.size(), '\0');
+  pair.b->recv_bytes(got.data(), got.size());
+  t.join();
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(pair.a->bytes_sent(), msg.size());
+  EXPECT_EQ(pair.b->bytes_received(), msg.size());
+  EXPECT_EQ(pair.b->bytes_sent(), 0u);
+}
+
+TEST(MemChannel, TypedHelpers) {
+  auto pair = make_channel_pair();
+  std::thread t([&] {
+    pair.a->send_u64(0xDEADBEEFCAFEull);
+    pair.a->send_block(Block{1, 2});
+    pair.a->send_bits({1, 0, 1, 1, 0, 0, 0, 1, 1});
+  });
+  EXPECT_EQ(pair.b->recv_u64(), 0xDEADBEEFCAFEull);
+  EXPECT_EQ(pair.b->recv_block(), (Block{1, 2}));
+  const BitVec bits = pair.b->recv_bits();
+  t.join();
+  EXPECT_EQ(bits, (BitVec{1, 0, 1, 1, 0, 0, 0, 1, 1}));
+}
+
+TEST(MemChannel, BackpressureDoesNotDeadlock) {
+  auto pair = make_channel_pair();
+  // Push well past the queue cap while the peer drains slowly.
+  const size_t total = 200ull << 20;  // 200 MB
+  std::thread producer([&] {
+    std::vector<uint8_t> chunk(1 << 20, 0xAB);
+    for (size_t sent = 0; sent < total; sent += chunk.size())
+      pair.a->send_bytes(chunk.data(), chunk.size());
+  });
+  std::vector<uint8_t> sink(4 << 20);
+  size_t got = 0;
+  while (got < total) {
+    const size_t take = std::min(sink.size(), total - got);
+    pair.b->recv_bytes(sink.data(), take);
+    got += take;
+  }
+  producer.join();
+  EXPECT_EQ(pair.a->bytes_sent(), total);
+}
+
+TEST(RunTwoParty, CollectsStatsAndOutput) {
+  int a_saw = 0, b_saw = 0;
+  const auto stats = run_two_party(
+      [&](Channel& ch) {
+        ch.send_u64(7);
+        a_saw = static_cast<int>(ch.recv_u64());
+      },
+      [&](Channel& ch) {
+        b_saw = static_cast<int>(ch.recv_u64());
+        ch.send_u64(9);
+      });
+  EXPECT_EQ(a_saw, 9);
+  EXPECT_EQ(b_saw, 7);
+  EXPECT_EQ(stats.a_to_b_bytes, 8u);
+  EXPECT_EQ(stats.b_to_a_bytes, 8u);
+}
+
+TEST(RunTwoParty, PeerErrorPropagatesInsteadOfDeadlocking) {
+  EXPECT_THROW(
+      run_two_party(
+          [&](Channel&) { throw std::runtime_error("alice failed"); },
+          [&](Channel& ch) {
+            uint8_t b;
+            ch.recv_bytes(&b, 1);  // would block forever without close()
+          }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace deepsecure

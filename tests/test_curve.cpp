@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ed25519.h"
+#include "crypto/fe25519.h"
+#include "crypto/prg.h"
+
+namespace deepsecure {
+namespace {
+
+using F = Fe25519;
+using P = Ed25519Point;
+
+F rand_fe(Prg& prg) {
+  uint8_t bytes[32];
+  prg.fill_bytes(bytes, sizeof(bytes));
+  bytes[31] &= 0x7F;
+  return F::from_bytes(bytes);
+}
+
+Ed25519Scalar rand_scalar(Prg& prg) {
+  Ed25519Scalar s{};
+  prg.fill_bytes(s.data(), s.size());
+  s[31] &= 0x7F;
+  return s;
+}
+
+TEST(Fe25519, FieldAxioms) {
+  Prg prg(Block{1, 1});
+  for (int i = 0; i < 20; ++i) {
+    const F a = rand_fe(prg), b = rand_fe(prg), c = rand_fe(prg);
+    EXPECT_TRUE(F::eq(F::add(a, b), F::add(b, a)));
+    EXPECT_TRUE(F::eq(F::mul(a, b), F::mul(b, a)));
+    EXPECT_TRUE(F::eq(F::mul(a, F::add(b, c)),
+                      F::add(F::mul(a, b), F::mul(a, c))));
+    EXPECT_TRUE(F::eq(F::add(a, F::neg(a)), F::zero()));
+    EXPECT_TRUE(F::eq(F::sub(a, b), F::add(a, F::neg(b))));
+  }
+}
+
+TEST(Fe25519, InverseIsInverse) {
+  Prg prg(Block{2, 2});
+  for (int i = 0; i < 10; ++i) {
+    const F a = rand_fe(prg);
+    if (a.is_zero()) continue;
+    EXPECT_TRUE(F::eq(F::mul(a, F::invert(a)), F::one()));
+  }
+}
+
+TEST(Fe25519, BytesRoundTrip) {
+  Prg prg(Block{3, 3});
+  for (int i = 0; i < 20; ++i) {
+    const F a = rand_fe(prg);
+    uint8_t bytes[32];
+    a.to_bytes(bytes);
+    const F b = F::from_bytes(bytes);
+    EXPECT_TRUE(F::eq(a, b));
+  }
+}
+
+TEST(Fe25519, CanonicalReductionOfP) {
+  // p itself must serialize to zero.
+  uint8_t p_bytes[32] = {0xED, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                         0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                         0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                         0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  EXPECT_TRUE(F::from_bytes(p_bytes).is_zero());
+}
+
+TEST(Fe25519, CswapWorks) {
+  Prg prg(Block{4, 4});
+  F a = rand_fe(prg), b = rand_fe(prg);
+  const F a0 = a, b0 = b;
+  F::cswap(a, b, 0);
+  EXPECT_TRUE(F::eq(a, a0));
+  F::cswap(a, b, 1);
+  EXPECT_TRUE(F::eq(a, b0));
+  EXPECT_TRUE(F::eq(b, a0));
+}
+
+TEST(Ed25519, BasePointOnCurve) {
+  EXPECT_TRUE(P::base().on_curve());
+  EXPECT_TRUE(P::identity().on_curve());
+}
+
+TEST(Ed25519, GroupLaws) {
+  const P b = P::base();
+  const P b2a = P::dbl(b);
+  const P b2b = P::add(b, b);
+  EXPECT_TRUE(P::eq(b2a, b2b));
+  EXPECT_TRUE(b2a.on_curve());
+
+  // Associativity spot-check: (B+2B)+2B == B+(2B+2B).
+  const P lhs = P::add(P::add(b, b2a), b2a);
+  const P rhs = P::add(b, P::add(b2a, b2a));
+  EXPECT_TRUE(P::eq(lhs, rhs));
+
+  // Identity and inverse.
+  EXPECT_TRUE(P::eq(P::add(b, P::identity()), b));
+  EXPECT_TRUE(P::add(b, P::neg(b)).is_identity());
+}
+
+TEST(Ed25519, OrderAnnihilatesBase) {
+  const P lb = P::base_mul(ed25519_order());
+  EXPECT_TRUE(lb.is_identity());
+}
+
+TEST(Ed25519, ScalarMulMatchesRepeatedAdd) {
+  Ed25519Scalar five{};
+  five[0] = 5;
+  const P p5 = P::base_mul(five);
+  P acc = P::identity();
+  for (int i = 0; i < 5; ++i) acc = P::add(acc, P::base());
+  EXPECT_TRUE(P::eq(p5, acc));
+}
+
+TEST(Ed25519, DiffieHellmanAgreement) {
+  // The property the base OT relies on: a(bG) == b(aG).
+  Prg prg(Block{5, 5});
+  for (int i = 0; i < 4; ++i) {
+    const auto a = rand_scalar(prg);
+    const auto b = rand_scalar(prg);
+    const P ab = P::mul(P::base_mul(b), a);
+    const P ba = P::mul(P::base_mul(a), b);
+    EXPECT_TRUE(P::eq(ab, ba));
+  }
+}
+
+TEST(Ed25519, EncodeDecodeRoundTrip) {
+  Prg prg(Block{6, 6});
+  const P p = P::mul(P::base(), rand_scalar(prg));
+  const auto enc = p.encode();
+  const auto q = P::decode(enc.data());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_TRUE(P::eq(p, *q));
+}
+
+TEST(Ed25519, DecodeRejectsOffCurve) {
+  std::array<uint8_t, 64> junk{};
+  junk[0] = 2;  // x = 2, y = 0 is not on the curve
+  EXPECT_FALSE(P::decode(junk.data()).has_value());
+}
+
+}  // namespace
+}  // namespace deepsecure

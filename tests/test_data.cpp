@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+
+namespace deepsecure::data {
+namespace {
+
+TEST(Synthetic, ShapesMatchPaperBenchmarks) {
+  const auto isolet = make_isolet_like(52, 1);
+  EXPECT_EQ(isolet.x[0].size(), 617u);
+  EXPECT_EQ(isolet.num_classes, 26u);
+
+  const auto mnist = make_mnist_like(20, 1);
+  EXPECT_EQ(mnist.x[0].size(), 784u);
+  EXPECT_EQ(mnist.num_classes, 10u);
+
+  const auto har = make_har_like(19, 1);
+  EXPECT_EQ(har.x[0].size(), 5625u);
+  EXPECT_EQ(har.num_classes, 19u);
+}
+
+TEST(Synthetic, ValuesInUnitRangeAndLabelsBalanced) {
+  SyntheticConfig cfg;
+  cfg.features = 30;
+  cfg.classes = 5;
+  cfg.samples = 100;
+  const auto ds = make_subspace_dataset(cfg);
+  std::vector<int> counts(cfg.classes, 0);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    counts[ds.y[i]]++;
+    for (float v : ds.x[i]) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(Synthetic, DeterministicBySeed) {
+  SyntheticConfig cfg;
+  cfg.samples = 10;
+  const auto a = make_subspace_dataset(cfg);
+  const auto b = make_subspace_dataset(cfg);
+  EXPECT_EQ(a.x[3], b.x[3]);
+  cfg.seed = 99;
+  const auto c = make_subspace_dataset(cfg);
+  EXPECT_NE(a.x[3], c.x[3]);
+}
+
+TEST(Synthetic, LowRankStructureExists) {
+  // The generator's premise: class samples concentrate near a low-dim
+  // subspace. Verify residual after projecting onto a few same-class
+  // samples is much smaller than the sample norm.
+  SyntheticConfig cfg;
+  cfg.features = 40;
+  cfg.classes = 2;
+  cfg.samples = 60;
+  cfg.subspace_rank = 3;
+  cfg.noise = 0.005;
+  const auto ds = make_subspace_dataset(cfg);
+
+  // Centered class-0 samples: x_i - x_0 should be ~rank-3.
+  // Cheap proxy: the span of 8 samples should absorb a 9th.
+  std::vector<const nn::VecF*> class0;
+  for (size_t i = 0; i < ds.size(); ++i)
+    if (ds.y[i] == 0) class0.push_back(&ds.x[i]);
+  ASSERT_GE(class0.size(), 10u);
+
+  // Gram-Schmidt over first 8 vectors, then residual of the 9th.
+  std::vector<std::vector<double>> basis;
+  auto ortho = [&](std::vector<double> v) {
+    for (const auto& u : basis) {
+      double p = 0;
+      for (size_t i = 0; i < v.size(); ++i) p += u[i] * v[i];
+      for (size_t i = 0; i < v.size(); ++i) v[i] -= p * u[i];
+    }
+    return v;
+  };
+  for (int k = 0; k < 8; ++k) {
+    std::vector<double> v(class0[k]->begin(), class0[k]->end());
+    v = ortho(v);
+    double n = 0;
+    for (double x : v) n += x * x;
+    n = std::sqrt(n);
+    if (n > 1e-9) {
+      for (auto& x : v) x /= n;
+      basis.push_back(v);
+    }
+  }
+  std::vector<double> probe(class0[9]->begin(), class0[9]->end());
+  double n0 = 0;
+  for (double x : probe) n0 += x * x;
+  const auto r = ortho(probe);
+  double nr = 0;
+  for (double x : r) nr += x * x;
+  EXPECT_LT(std::sqrt(nr / n0), 0.2);  // >96% of energy in the span
+}
+
+}  // namespace
+}  // namespace deepsecure::data

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/fixed_point.h"
+#include "support/rng.h"
+
+namespace deepsecure {
+namespace {
+
+TEST(FixedFormat, DefaultMatchesPaper) {
+  // 1 sign + 3 integer + 12 fractional bits (Section 4.2).
+  EXPECT_EQ(kDefaultFormat.total_bits, 16u);
+  EXPECT_EQ(kDefaultFormat.frac_bits, 12u);
+  EXPECT_EQ(kDefaultFormat.int_bits(), 3u);
+  EXPECT_DOUBLE_EQ(kDefaultFormat.resolution(), 1.0 / 4096.0);
+}
+
+TEST(Fixed, RoundTripWithinHalfLsb) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_uniform(-7.9, 7.9);
+    const Fixed f = Fixed::from_double(x);
+    EXPECT_NEAR(f.to_double(), x, kDefaultFormat.resolution() / 2 + 1e-12);
+  }
+}
+
+TEST(Fixed, SaturatesAtBounds) {
+  const Fixed hi = Fixed::from_double(100.0);
+  const Fixed lo = Fixed::from_double(-100.0);
+  EXPECT_EQ(hi.raw(), 32767);
+  EXPECT_EQ(lo.raw(), -32768);
+}
+
+TEST(Fixed, BitsRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Fixed f = Fixed::from_double(rng.next_uniform(-8, 8));
+    EXPECT_EQ(Fixed::from_bits(f.to_bits()), f);
+  }
+}
+
+TEST(Fixed, AdditionMatchesDouble) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.next_uniform(-3, 3), b = rng.next_uniform(-3, 3);
+    const Fixed fa = Fixed::from_double(a), fb = Fixed::from_double(b);
+    EXPECT_NEAR((fa + fb).to_double(), a + b, 2 * kDefaultFormat.resolution());
+  }
+}
+
+TEST(Fixed, MultiplicationTruncates) {
+  const Fixed a = Fixed::from_double(1.5);
+  const Fixed b = Fixed::from_double(2.25);
+  EXPECT_NEAR((a * b).to_double(), 3.375, kDefaultFormat.resolution());
+  // Truncation is toward negative infinity (arithmetic shift).
+  const Fixed c = Fixed::from_raw(-1) * Fixed::from_raw(1);
+  EXPECT_EQ(c.raw(), -1);  // (-1 * 1) >> 12 = -1 under floor semantics
+}
+
+TEST(Fixed, WrapAroundSemantics) {
+  const Fixed a = Fixed::from_double(7.9);
+  const Fixed sum = a + a;  // 15.8 wraps in Q(16,12)
+  EXPECT_LT(sum.to_double(), 0.0);
+}
+
+TEST(Fixed, OtherFormats) {
+  const FixedFormat f20{20, 14};
+  const Fixed a = Fixed::from_double(1.25, f20);
+  EXPECT_NEAR(a.to_double(), 1.25, 1e-4);
+  EXPECT_EQ(a.to_bits().size(), 20u);
+}
+
+TEST(RefMath, TanhSigmoid) {
+  EXPECT_NEAR(ref_tanh(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(ref_sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(ref_tanh(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(ref_sigmoid(-100.0), 0.0, 1e-12);
+}
+
+TEST(RefMath, CordicSinhCoshConverges) {
+  for (double z : {-1.0, -0.5, 0.0, 0.3, 1.0}) {
+    const auto r = ref_cordic_sinh_cosh(z, 20);
+    EXPECT_NEAR(r.sinh, std::sinh(z), 1e-5) << "z=" << z;
+    EXPECT_NEAR(r.cosh, std::cosh(z), 1e-5) << "z=" << z;
+  }
+}
+
+}  // namespace
+}  // namespace deepsecure

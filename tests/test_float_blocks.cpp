@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/float_blocks.h"
+#include "test_util.h"
+
+namespace deepsecure::synth {
+namespace {
+
+constexpr FloatFormat kFmt = kBFloat16;
+
+BitVec to_bits(const SoftFloat& f) {
+  return deepsecure::to_bits(f.bits, f.fmt.total_bits());
+}
+
+SoftFloat from_bits(const BitVec& bits, FloatFormat fmt) {
+  SoftFloat f;
+  f.fmt = fmt;
+  f.bits = deepsecure::from_bits(bits);
+  return f;
+}
+
+double rel_err(double got, double want) {
+  if (want == 0.0) return std::abs(got);
+  return std::abs(got - want) / std::abs(want);
+}
+
+TEST(SoftFloat, RoundTripAndPrecision) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_uniform(-100, 100);
+    const SoftFloat f = SoftFloat::from_double(x, kFmt);
+    // bfloat16-ish: 7 mantissa bits -> <1% relative error.
+    EXPECT_LT(rel_err(f.to_double(), x), 1.0 / 128.0) << x;
+  }
+  EXPECT_EQ(SoftFloat::from_double(0.0, kFmt).bits, 0u);
+  EXPECT_EQ(SoftFloat::from_double(0.0, kFmt).to_double(), 0.0);
+}
+
+TEST(SoftFloat, ArithmeticTracksDouble) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_uniform(-50, 50);
+    const double y = rng.next_uniform(-50, 50);
+    const SoftFloat fx = SoftFloat::from_double(x, kFmt);
+    const SoftFloat fy = SoftFloat::from_double(y, kFmt);
+    const double sum = SoftFloat::add(fx, fy).to_double();
+    const double prod = SoftFloat::mul(fx, fy).to_double();
+    // Compare against exact arithmetic on the *rounded* operands (the
+    // conversion error itself is the caller's, and cancellation can
+    // amplify it arbitrarily). Alignment + normalization truncation
+    // lose at most ~1 ulp of each operand and of the result.
+    const double xs = fx.to_double(), ys = fy.to_double();
+    const double ulp_budget =
+        (std::abs(xs) + std::abs(ys) + std::abs(xs + ys)) / 128.0 + 1e-30;
+    EXPECT_LT(std::abs(sum - (xs + ys)), 2.0 * ulp_budget) << x << "+" << y;
+    EXPECT_LT(rel_err(prod, xs * ys), 0.02) << x << "*" << y;
+    EXPECT_EQ(SoftFloat::less_than(fx, fy),
+              fx.to_double() < fy.to_double());
+  }
+}
+
+TEST(SoftFloat, EdgeCases) {
+  const SoftFloat zero = SoftFloat::from_double(0.0, kFmt);
+  const SoftFloat one = SoftFloat::from_double(1.0, kFmt);
+  EXPECT_EQ(SoftFloat::add(zero, one).to_double(), 1.0);
+  EXPECT_EQ(SoftFloat::add(one, zero).to_double(), 1.0);
+  EXPECT_EQ(SoftFloat::mul(zero, one).to_double(), 0.0);
+  // Exact cancellation.
+  const SoftFloat neg_one = SoftFloat::from_double(-1.0, kFmt);
+  EXPECT_EQ(SoftFloat::add(one, neg_one).to_double(), 0.0);
+  // Underflow flushes to zero.
+  const SoftFloat tiny = SoftFloat::from_double(1e-45, kFmt);
+  EXPECT_EQ(tiny.to_double(), 0.0);
+  // Overflow saturates (stays finite).
+  const SoftFloat huge = SoftFloat::from_double(1e40, kFmt);
+  const SoftFloat sq = SoftFloat::mul(huge, huge);
+  EXPECT_TRUE(std::isfinite(sq.to_double()));
+  EXPECT_GT(sq.to_double(), 1e38);
+}
+
+// ---- circuit vs software reference (bit-exact) ------------------------
+
+struct FloatCircuits {
+  Circuit add, mul, lt, relu;
+};
+
+const FloatCircuits& circuits() {
+  static const FloatCircuits c = [] {
+    FloatCircuits f;
+    {
+      Builder b;
+      const Bus x = input_bus(b, Party::kGarbler, kFmt.total_bits());
+      const Bus y = input_bus(b, Party::kEvaluator, kFmt.total_bits());
+      b.outputs(float_add(b, x, y, kFmt));
+      f.add = b.build();
+    }
+    {
+      Builder b;
+      const Bus x = input_bus(b, Party::kGarbler, kFmt.total_bits());
+      const Bus y = input_bus(b, Party::kEvaluator, kFmt.total_bits());
+      b.outputs(float_mul(b, x, y, kFmt));
+      f.mul = b.build();
+    }
+    {
+      Builder b;
+      const Bus x = input_bus(b, Party::kGarbler, kFmt.total_bits());
+      const Bus y = input_bus(b, Party::kEvaluator, kFmt.total_bits());
+      b.output(float_lt(b, x, y, kFmt));
+      f.lt = b.build();
+    }
+    {
+      Builder b;
+      const Bus x = input_bus(b, Party::kGarbler, kFmt.total_bits());
+      b.outputs(float_relu(b, x, kFmt));
+      f.relu = b.build();
+    }
+    return f;
+  }();
+  return c;
+}
+
+SoftFloat rand_float(Rng& rng) {
+  // Mix of magnitudes, signs and exact zeros.
+  const int pick = static_cast<int>(rng.next_below(10));
+  double v;
+  if (pick == 0)
+    v = 0.0;
+  else if (pick < 4)
+    v = rng.next_uniform(-2, 2);
+  else if (pick < 7)
+    v = rng.next_uniform(-1000, 1000);
+  else
+    v = rng.next_uniform(-0.01, 0.01);
+  return SoftFloat::from_double(v, kFmt);
+}
+
+TEST(FloatCircuit, AddMatchesReferenceBitExact) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const SoftFloat a = rand_float(rng);
+    const SoftFloat b = rand_float(rng);
+    const BitVec out = circuits().add.eval(to_bits(a), to_bits(b));
+    const SoftFloat want = SoftFloat::add(a, b);
+    EXPECT_EQ(from_bits(out, kFmt).bits, want.bits)
+        << a.to_double() << " + " << b.to_double() << " -> "
+        << from_bits(out, kFmt).to_double() << " vs " << want.to_double();
+  }
+}
+
+TEST(FloatCircuit, MulMatchesReferenceBitExact) {
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const SoftFloat a = rand_float(rng);
+    const SoftFloat b = rand_float(rng);
+    const BitVec out = circuits().mul.eval(to_bits(a), to_bits(b));
+    const SoftFloat want = SoftFloat::mul(a, b);
+    EXPECT_EQ(from_bits(out, kFmt).bits, want.bits)
+        << a.to_double() << " * " << b.to_double();
+  }
+}
+
+TEST(FloatCircuit, CompareAndRelu) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const SoftFloat a = rand_float(rng);
+    const SoftFloat b = rand_float(rng);
+    const BitVec lt = circuits().lt.eval(to_bits(a), to_bits(b));
+    EXPECT_EQ(lt[0] != 0, SoftFloat::less_than(a, b))
+        << a.to_double() << " < " << b.to_double();
+
+    const BitVec r = circuits().relu.eval(to_bits(a), {});
+    const double want = a.to_double() > 0 ? a.to_double() : 0.0;
+    EXPECT_EQ(from_bits(r, kFmt).to_double(), want);
+  }
+}
+
+TEST(FloatCircuit, DotProductTracksDouble) {
+  const size_t n = 8;
+  Builder b;
+  std::vector<Bus> xs(n), ws(n);
+  for (auto& bus : xs) bus = input_bus(b, Party::kGarbler, kFmt.total_bits());
+  for (auto& bus : ws) bus = input_bus(b, Party::kEvaluator, kFmt.total_bits());
+  b.outputs(float_dot(b, xs, ws, kFmt));
+  const Circuit c = b.build();
+
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVec xbits, wbits;
+    double want = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const SoftFloat x = SoftFloat::from_double(rng.next_uniform(-1, 1), kFmt);
+      const SoftFloat w = SoftFloat::from_double(rng.next_uniform(-1, 1), kFmt);
+      want += x.to_double() * w.to_double();
+      const BitVec xb = to_bits(x), wb = to_bits(w);
+      xbits.insert(xbits.end(), xb.begin(), xb.end());
+      wbits.insert(wbits.end(), wb.begin(), wb.end());
+    }
+    const double got = from_bits(c.eval(xbits, wbits), kFmt).to_double();
+    EXPECT_NEAR(got, want, 0.1) << "trial " << trial;
+  }
+}
+
+TEST(FloatCircuit, GateBudgetsReported) {
+  // Float ops are several times costlier than fixed point — the reason
+  // the paper (and we) default to Q(16,12).
+  const auto add_cost = circuits().add.stats();
+  const auto mul_cost = circuits().mul.stats();
+  EXPECT_GT(add_cost.num_and, 100u);
+  EXPECT_LT(add_cost.num_and, 2000u);
+  EXPECT_GT(mul_cost.num_and, 100u);
+  EXPECT_LT(mul_cost.num_and, 2000u);
+}
+
+}  // namespace
+}  // namespace deepsecure::synth

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "synth/int_blocks.h"
+#include "test_util.h"
+
+namespace deepsecure::synth {
+namespace {
+
+using test::pack_fixed;
+using test::random_fixed;
+using test::unpack_fixed;
+
+// Build a two-operand block circuit and evaluate it on raw values.
+template <typename Fn>
+int64_t eval_binary(Fn&& fn, int64_t a, int64_t b, FixedFormat fmt) {
+  Builder bld;
+  const Bus x = input_fixed(bld, Party::kGarbler, fmt);
+  const Bus y = input_fixed(bld, Party::kEvaluator, fmt);
+  bld.outputs(fn(bld, x, y));
+  const Circuit c = bld.build();
+  const BitVec out = c.eval(Fixed::from_raw(a, fmt).to_bits(),
+                            Fixed::from_raw(b, fmt).to_bits());
+  return Fixed::from_bits(out, fmt).raw();
+}
+
+template <typename Fn>
+int eval_predicate(Fn&& fn, int64_t a, int64_t b, FixedFormat fmt) {
+  Builder bld;
+  const Bus x = input_fixed(bld, Party::kGarbler, fmt);
+  const Bus y = input_fixed(bld, Party::kEvaluator, fmt);
+  bld.output(fn(bld, x, y));
+  const Circuit c = bld.build();
+  const BitVec out = c.eval(Fixed::from_raw(a, fmt).to_bits(),
+                            Fixed::from_raw(b, fmt).to_bits());
+  return out[0];
+}
+
+class IntBlocksSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IntBlocksSweep, AddSubNegateRandomized) {
+  const size_t width = GetParam();
+  const FixedFormat fmt{width, width / 2};
+  Rng rng(width);
+  for (int i = 0; i < 50; ++i) {
+    const int64_t a = Fixed::from_raw(static_cast<int64_t>(rng.next_u64()), fmt).raw();
+    const int64_t b = Fixed::from_raw(static_cast<int64_t>(rng.next_u64()), fmt).raw();
+    EXPECT_EQ(eval_binary([](Builder& bl, const Bus& x, const Bus& y) {
+                return add(bl, x, y);
+              }, a, b, fmt),
+              (Fixed::from_raw(a, fmt) + Fixed::from_raw(b, fmt)).raw());
+    EXPECT_EQ(eval_binary([](Builder& bl, const Bus& x, const Bus& y) {
+                return sub(bl, x, y);
+              }, a, b, fmt),
+              (Fixed::from_raw(a, fmt) - Fixed::from_raw(b, fmt)).raw());
+    EXPECT_EQ(eval_binary([](Builder& bl, const Bus& x, const Bus&) {
+                return negate(bl, x);
+              }, a, b, fmt),
+              Fixed::from_raw(-a, fmt).raw());
+  }
+}
+
+TEST_P(IntBlocksSweep, ComparatorsRandomized) {
+  const size_t width = GetParam();
+  const FixedFormat fmt{width, width / 2};
+  Rng rng(width + 100);
+  for (int i = 0; i < 50; ++i) {
+    const int64_t a = Fixed::from_raw(static_cast<int64_t>(rng.next_u64()), fmt).raw();
+    const int64_t b = i % 7 == 0
+                          ? a  // hit the equality path regularly
+                          : Fixed::from_raw(static_cast<int64_t>(rng.next_u64()), fmt).raw();
+    EXPECT_EQ(eval_predicate([](Builder& bl, const Bus& x, const Bus& y) {
+                return lt_signed(bl, x, y);
+              }, a, b, fmt),
+              a < b ? 1 : 0);
+    EXPECT_EQ(eval_predicate([](Builder& bl, const Bus& x, const Bus& y) {
+                return eq(bl, x, y);
+              }, a, b, fmt),
+              a == b ? 1 : 0);
+    const uint64_t ua = mask_bits(static_cast<uint64_t>(a), width);
+    const uint64_t ub = mask_bits(static_cast<uint64_t>(b), width);
+    EXPECT_EQ(eval_predicate([](Builder& bl, const Bus& x, const Bus& y) {
+                return lt_unsigned(bl, x, y);
+              }, a, b, fmt),
+              ua < ub ? 1 : 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IntBlocksSweep,
+                         ::testing::Values(4, 8, 16, 24, 32));
+
+TEST(IntBlocks, ExhaustiveAdd4Bit) {
+  const FixedFormat fmt{4, 0};
+  for (int a = -8; a < 8; ++a)
+    for (int b = -8; b < 8; ++b)
+      EXPECT_EQ(eval_binary([](Builder& bl, const Bus& x, const Bus& y) {
+                  return add(bl, x, y);
+                }, a, b, fmt),
+                Fixed::from_raw(a + b, fmt).raw())
+          << a << "+" << b;
+}
+
+TEST(IntBlocks, MuxAbsMaxRelu) {
+  const FixedFormat fmt = kDefaultFormat;
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t a = random_fixed(rng, fmt).raw();
+    const int64_t b = random_fixed(rng, fmt).raw();
+    EXPECT_EQ(eval_binary([](Builder& bl, const Bus& x, const Bus& y) {
+                return max_signed(bl, x, y);
+              }, a, b, fmt),
+              std::max(a, b));
+    EXPECT_EQ(eval_binary([](Builder& bl, const Bus& x, const Bus&) {
+                return relu(bl, x);
+              }, a, b, fmt),
+              a > 0 ? a : 0);
+    EXPECT_EQ(eval_binary([](Builder& bl, const Bus& x, const Bus&) {
+                return abs_signed(bl, x);
+              }, a, b, fmt),
+              std::abs(a));
+  }
+}
+
+TEST(IntBlocks, AbsClampedHandlesIntMin) {
+  const FixedFormat fmt = kDefaultFormat;
+  EXPECT_EQ(eval_binary([](Builder& bl, const Bus& x, const Bus&) {
+              return abs_clamped(bl, x);
+            }, -32768, 0, fmt),
+            32767);
+  EXPECT_EQ(eval_binary([](Builder& bl, const Bus& x, const Bus&) {
+              return abs_clamped(bl, x);
+            }, -5, 0, fmt),
+            5);
+}
+
+TEST(IntBlocks, ClampConst) {
+  const FixedFormat fmt = kDefaultFormat;
+  for (int64_t v : {-30000ll, -100ll, 0ll, 100ll, 30000ll}) {
+    EXPECT_EQ(eval_binary([](Builder& bl, const Bus& x, const Bus&) {
+                return clamp_const(bl, x, -100, 100);
+              }, v, 0, fmt),
+              std::clamp<int64_t>(v, -100, 100));
+  }
+}
+
+TEST(IntBlocks, ShiftsAreFree) {
+  Builder bld;
+  const Bus x = input_fixed(bld, Party::kGarbler, kDefaultFormat);
+  bld.outputs(sar_const(shl_const(bld, x, 3), 3));
+  const Circuit c = bld.build();
+  EXPECT_EQ(c.stats().num_and, 0u);
+  // shl then sar truncates the top 3 bits and sign-extends.
+  const BitVec out = c.eval(Fixed::from_raw(0x0123).to_bits(), {});
+  EXPECT_EQ(Fixed::from_bits(out).raw(), 0x0123);
+}
+
+TEST(IntBlocks, GateBudgets) {
+  // The GC-optimized budgets the library is designed around: an n-bit
+  // adder is n-1 ANDs, ReLU is n-1 ANDs, a MUX bus is n ANDs, a signed
+  // comparator is n ANDs.
+  const FixedFormat fmt = kDefaultFormat;
+  {
+    Builder bld;
+    const Bus x = input_fixed(bld, Party::kGarbler, fmt);
+    const Bus y = input_fixed(bld, Party::kEvaluator, fmt);
+    bld.outputs(add(bld, x, y));
+    EXPECT_EQ(bld.and_count(), 15u);
+  }
+  {
+    Builder bld;
+    const Bus x = input_fixed(bld, Party::kGarbler, fmt);
+    bld.outputs(relu(bld, x));
+    EXPECT_EQ(bld.and_count(), 15u);  // paper Table 3: ReLu = 15 non-XOR
+  }
+  {
+    Builder bld;
+    const Bus x = input_fixed(bld, Party::kGarbler, fmt);
+    const Bus y = input_fixed(bld, Party::kEvaluator, fmt);
+    bld.output(lt_signed(bld, x, y));
+    EXPECT_EQ(bld.and_count(), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace deepsecure::synth

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "gc/ot.h"
+#include "net/party.h"
+#include "support/rng.h"
+
+namespace deepsecure {
+namespace {
+
+TEST(BaseOt, TransfersChosenMessage) {
+  Rng rng(1);
+  const size_t n = 8;
+  std::vector<std::pair<Block, Block>> msgs(n);
+  BitVec choices(n);
+  for (size_t i = 0; i < n; ++i) {
+    msgs[i] = {Block{rng.next_u64(), rng.next_u64()},
+               Block{rng.next_u64(), rng.next_u64()}};
+    choices[i] = rng.next_bool();
+  }
+
+  std::vector<Block> received;
+  run_two_party(
+      [&](Channel& ch) {
+        Prg prg(Block{11, 0});
+        base_ot_send(ch, msgs, prg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{22, 0});
+        received = base_ot_recv(ch, choices, prg);
+      });
+
+  ASSERT_EQ(received.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    const Block want = choices[i] ? msgs[i].second : msgs[i].first;
+    EXPECT_EQ(received[i], want) << "i=" << i;
+    // And the unchosen message must differ (sanity that we didn't get both).
+    const Block other = choices[i] ? msgs[i].first : msgs[i].second;
+    EXPECT_NE(received[i], other);
+  }
+}
+
+TEST(OtExtension, LargeBatch) {
+  Rng rng(2);
+  const size_t m = 1000;
+  std::vector<std::pair<Block, Block>> msgs(m);
+  BitVec choices(m);
+  for (size_t i = 0; i < m; ++i) {
+    msgs[i] = {Block{rng.next_u64(), i}, Block{rng.next_u64(), ~i}};
+    choices[i] = rng.next_bool();
+  }
+
+  std::vector<Block> received;
+  run_two_party(
+      [&](Channel& ch) {
+        Prg prg(Block{33, 0});
+        OtExtSender sender(ch);
+        sender.setup(prg);
+        sender.send(msgs);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{44, 0});
+        OtExtReceiver receiver(ch);
+        receiver.setup(prg);
+        received = receiver.recv(choices);
+      });
+
+  ASSERT_EQ(received.size(), m);
+  for (size_t i = 0; i < m; ++i)
+    EXPECT_EQ(received[i], choices[i] ? msgs[i].second : msgs[i].first);
+}
+
+TEST(OtExtension, MultipleBatchesReuseSetup) {
+  Rng rng(3);
+  std::vector<std::vector<std::pair<Block, Block>>> batches;
+  std::vector<BitVec> choices;
+  for (size_t b = 0; b < 3; ++b) {
+    const size_t m = 50 + 37 * b;
+    batches.emplace_back(m);
+    choices.emplace_back(m);
+    for (size_t i = 0; i < m; ++i) {
+      batches[b][i] = {Block{rng.next_u64(), 0}, Block{rng.next_u64(), 1}};
+      choices[b][i] = rng.next_bool();
+    }
+  }
+
+  std::vector<std::vector<Block>> received(3);
+  run_two_party(
+      [&](Channel& ch) {
+        Prg prg(Block{55, 0});
+        OtExtSender sender(ch);
+        sender.setup(prg);
+        for (const auto& batch : batches) sender.send(batch);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{66, 0});
+        OtExtReceiver receiver(ch);
+        receiver.setup(prg);
+        for (const auto& ch_bits : choices)
+          received[&ch_bits - choices.data()] = receiver.recv(ch_bits);
+      });
+
+  for (size_t b = 0; b < 3; ++b)
+    for (size_t i = 0; i < choices[b].size(); ++i)
+      EXPECT_EQ(received[b][i],
+                choices[b][i] ? batches[b][i].second : batches[b][i].first);
+}
+
+TEST(OtExtension, CorrelatedVariantDeliversLabels) {
+  Rng rng(4);
+  const size_t m = 200;
+  Block delta{rng.next_u64(), rng.next_u64()};
+  delta.lo |= 1;
+  std::vector<Block> zeros(m);
+  BitVec choices(m);
+  for (size_t i = 0; i < m; ++i) {
+    zeros[i] = Block{rng.next_u64(), rng.next_u64()};
+    choices[i] = rng.next_bool();
+  }
+
+  std::vector<Block> received;
+  run_two_party(
+      [&](Channel& ch) {
+        Prg prg(Block{77, 0});
+        OtExtSender sender(ch);
+        sender.setup(prg);
+        sender.send_correlated(zeros, delta);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{88, 0});
+        OtExtReceiver receiver(ch);
+        receiver.setup(prg);
+        received = receiver.recv(choices);
+      });
+
+  for (size_t i = 0; i < m; ++i)
+    EXPECT_EQ(received[i], choices[i] ? (zeros[i] ^ delta) : zeros[i]);
+}
+
+TEST(OtExtension, UnreadySendThrows) {
+  auto pair = make_channel_pair();
+  OtExtSender sender(*pair.a);
+  EXPECT_THROW(sender.send({{kZeroBlock, kZeroBlock}}), std::logic_error);
+  OtExtReceiver receiver(*pair.b);
+  EXPECT_THROW(receiver.recv({1}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace deepsecure

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "preprocess/projection.h"
+
+namespace deepsecure::preprocess {
+namespace {
+
+TEST(Linalg, MatrixBasics) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  const Matrix at = a.transpose();
+  EXPECT_EQ(at.at(0, 1), 3);
+  const Matrix p = a * Matrix::identity(2);
+  EXPECT_EQ(p.at(1, 0), 3);
+  EXPECT_NEAR(a.frobenius(), std::sqrt(30.0), 1e-12);
+}
+
+TEST(Linalg, LeastSquaresRecoversCoefficients) {
+  Rng rng(1);
+  Matrix a(20, 3);
+  for (size_t c = 0; c < 3; ++c)
+    for (size_t r = 0; r < 20; ++r) a.at(r, c) = rng.next_gaussian();
+  const std::vector<double> want{1.5, -2.0, 0.25};
+  std::vector<double> b(20, 0.0);
+  for (size_t r = 0; r < 20; ++r)
+    for (size_t c = 0; c < 3; ++c) b[r] += a.at(r, c) * want[c];
+  const auto got = least_squares(a, b);
+  ASSERT_EQ(got.size(), 3u);
+  for (size_t c = 0; c < 3; ++c) EXPECT_NEAR(got[c], want[c], 1e-6);
+  EXPECT_NEAR(projection_residual(a, b), 0.0, 1e-6);
+}
+
+TEST(Linalg, OrthonormalBasisProperties) {
+  Rng rng(2);
+  Matrix a(10, 4);
+  for (size_t c = 0; c < 4; ++c)
+    for (size_t r = 0; r < 10; ++r) a.at(r, c) = rng.next_gaussian();
+  // Append a dependent column: col0 + col1.
+  std::vector<double> dep(10);
+  for (size_t r = 0; r < 10; ++r) dep[r] = a.at(r, 0) + a.at(r, 1);
+  a.append_col(dep);
+
+  const Matrix u = orthonormal_basis(a);
+  EXPECT_EQ(u.cols(), 4u);  // dependent column dropped
+  for (size_t i = 0; i < u.cols(); ++i)
+    for (size_t j = 0; j < u.cols(); ++j) {
+      const double d = dot(u.col(i), u.col(j));
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+TEST(Linalg, ProjectorIsIdempotentAndSymmetric) {
+  // Proposition 3.1: W = D(D^T D)^-1 D^T = U U^T.
+  Rng rng(3);
+  Matrix d(12, 3);
+  for (size_t c = 0; c < 3; ++c)
+    for (size_t r = 0; r < 12; ++r) d.at(r, c) = rng.next_gaussian();
+  const Matrix w = projector(d);
+  // Symmetric.
+  for (size_t i = 0; i < 12; ++i)
+    for (size_t j = 0; j < 12; ++j)
+      EXPECT_NEAR(w.at(i, j), w.at(j, i), 1e-9);
+  // Idempotent: W^2 = W.
+  const Matrix w2 = w * w;
+  EXPECT_NEAR((w2 - w).frobenius(), 0.0, 1e-8);
+  // Fixes vectors in span(D).
+  const std::vector<double> v = d.col(1);
+  Matrix vm(12, 1);
+  vm.set_col(0, v);
+  const Matrix pv = w * vm;
+  for (size_t i = 0; i < 12; ++i) EXPECT_NEAR(pv.at(i, 0), v[i], 1e-9);
+}
+
+TEST(Projection, LearnsCompactDictionaryOnSubspaceData) {
+  data::SyntheticConfig cfg;
+  cfg.features = 60;
+  cfg.classes = 4;
+  cfg.samples = 200;
+  cfg.subspace_rank = 4;
+  cfg.noise = 0.01;
+  cfg.seed = 21;
+  const nn::Dataset ds = data::make_subspace_dataset(cfg);
+
+  ProjectionConfig pc;
+  pc.gamma = 0.15;
+  const ProjectionResult res = learn_projection(ds, pc);
+
+  EXPECT_EQ(res.input_dim, 60u);
+  EXPECT_GT(res.embed_dim, 0u);
+  // Union of 4 rank-4 subspaces (+offsets) => dictionary far below m.
+  EXPECT_LT(res.embed_dim, 35u);
+
+  // Residuals of fresh samples against the learned subspace are small.
+  data::SyntheticConfig fresh = cfg;
+  fresh.seed = 21;  // same distribution
+  const nn::Dataset ds2 = data::make_subspace_dataset(fresh);
+  for (size_t i = 0; i < 10; ++i) {
+    const nn::VecF full = res.project_full(ds2.x[i]);
+    double num = 0, den = 0;
+    for (size_t r = 0; r < full.size(); ++r) {
+      num += std::pow(static_cast<double>(full[r] - ds2.x[i][r]), 2);
+      den += std::pow(static_cast<double>(ds2.x[i][r]), 2);
+    }
+    EXPECT_LT(std::sqrt(num / den), pc.gamma + 0.05);
+  }
+}
+
+TEST(Projection, EmbedPreservesSeparability) {
+  data::SyntheticConfig cfg;
+  cfg.features = 50;
+  cfg.classes = 3;
+  cfg.samples = 240;
+  cfg.seed = 22;
+  const nn::Dataset ds = data::make_subspace_dataset(cfg);
+  ProjectionConfig pc;
+  pc.gamma = 0.2;
+  const ProjectionResult res = learn_projection(ds, pc);
+  const nn::Dataset emb = res.embed(ds);
+  ASSERT_EQ(emb.size(), ds.size());
+  EXPECT_EQ(emb.x[0].size(), res.embed_dim);
+
+  // Train a small classifier on the embedding; separability must survive.
+  Rng rng(5);
+  nn::Network net(nn::Shape{1, 1, res.embed_dim});
+  net.dense(12, rng).act(nn::Act::kReLU).dense(3, rng);
+  nn::TrainConfig tc;
+  tc.epochs = 12;
+  nn::train(net, emb, tc);
+  EXPECT_GT(nn::accuracy(net, emb), 0.85f);
+}
+
+TEST(Projection, GammaControlsDictionarySize) {
+  data::SyntheticConfig cfg;
+  cfg.features = 40;
+  cfg.samples = 150;
+  cfg.seed = 23;
+  const nn::Dataset ds = make_subspace_dataset(cfg);
+  ProjectionConfig loose, tight;
+  loose.gamma = 0.5;
+  tight.gamma = 0.05;
+  const auto rl = learn_projection(ds, loose);
+  const auto rt = learn_projection(ds, tight);
+  EXPECT_LE(rl.embed_dim, rt.embed_dim);
+}
+
+TEST(Projection, MaxDictCapRespected) {
+  data::SyntheticConfig cfg;
+  cfg.features = 40;
+  cfg.samples = 200;
+  cfg.subspace_rank = 30;  // high-rank data wants a big dictionary
+  cfg.noise = 0.2;
+  cfg.seed = 24;
+  const nn::Dataset ds = make_subspace_dataset(cfg);
+  ProjectionConfig pc;
+  pc.gamma = 0.01;
+  pc.max_dict = 10;
+  const auto res = learn_projection(ds, pc);
+  EXPECT_LE(res.embed_dim, 10u);
+}
+
+}  // namespace
+}  // namespace deepsecure::preprocess

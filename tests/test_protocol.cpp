@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "gc/protocol.h"
+#include "net/party.h"
+#include "synth/layer_circuits.h"
+#include "synth/matvec.h"
+#include "test_util.h"
+
+namespace deepsecure {
+namespace {
+
+using synth::ActKind;
+using synth::ActLayer;
+using synth::ArgmaxLayer;
+using synth::FcLayer;
+using synth::ModelSpec;
+using synth::Shape3;
+using test::pack_fixed;
+using test::random_fixed;
+
+constexpr FixedFormat kFmt = kDefaultFormat;
+
+// Full protocol run (OT included) over a chain of circuits.
+BitVec protocol_run(const std::vector<Circuit>& chain, const BitVec& data,
+                    const BitVec& weights, SessionTrace* garbler_trace = nullptr) {
+  BitVec client_out, server_out;
+  run_two_party(
+      [&](Channel& ch) {
+        GarblerSession session(ch, Block{2024, 6});
+        client_out = session.run_chain(chain, data);
+        if (garbler_trace != nullptr) *garbler_trace = session.trace();
+      },
+      [&](Channel& ch) {
+        EvaluatorSession session(ch);
+        server_out = session.run_chain(chain, weights);
+      });
+  EXPECT_EQ(client_out, server_out);
+  return client_out;
+}
+
+TEST(Protocol, SingleCircuitMatchesPlaintext) {
+  const Circuit c = synth::make_matvec_circuit(4, 2, kFmt);
+  Rng rng(1);
+  std::vector<Fixed> x, w;
+  for (int i = 0; i < 4; ++i) x.push_back(random_fixed(rng, kFmt, 0.1));
+  for (int i = 0; i < 8; ++i) w.push_back(random_fixed(rng, kFmt, 0.1));
+  const BitVec data = pack_fixed(x), weights = pack_fixed(w);
+
+  const BitVec expect = c.eval(data, weights);
+  const BitVec got = protocol_run({c}, data, weights);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Protocol, ChainedLayersCarryLabels) {
+  ModelSpec spec;
+  spec.name = "chain";
+  spec.input = Shape3{1, 1, 6};
+  spec.layers.push_back(FcLayer{5, {}, true});
+  spec.layers.push_back(ActLayer{ActKind::kReLU});
+  spec.layers.push_back(FcLayer{3, {}, true});
+  spec.layers.push_back(ArgmaxLayer{});
+  const auto layers = synth::compile_model_layers(spec);
+  const Circuit mono = synth::compile_model(spec);
+
+  Rng rng(2);
+  std::vector<Fixed> x, w;
+  for (size_t i = 0; i < 6; ++i) x.push_back(random_fixed(rng, kFmt, 0.2));
+  for (size_t i = 0; i < synth::model_weight_count(spec); ++i)
+    w.push_back(random_fixed(rng, kFmt, 0.2));
+  const BitVec data = pack_fixed(x), weights = pack_fixed(w);
+
+  const BitVec expect = mono.eval(data, weights);
+  SessionTrace trace;
+  const BitVec got = protocol_run(layers, data, weights, &trace);
+  EXPECT_EQ(got, expect);
+  // One phase per layer; OT setup tracked separately.
+  EXPECT_EQ(trace.phases.size(), layers.size());
+  EXPECT_GT(trace.setup_s, 0.0);
+  EXPECT_GT(trace.sum_garble(), 0.0);
+}
+
+TEST(Protocol, TanhNetworkEndToEnd) {
+  ModelSpec spec;
+  spec.name = "tanh_net";
+  spec.input = Shape3{1, 1, 4};
+  spec.layers.push_back(FcLayer{3, {}, true});
+  spec.layers.push_back(ActLayer{ActKind::kTanhSeg});
+  spec.layers.push_back(FcLayer{2, {}, true});
+  spec.layers.push_back(ArgmaxLayer{});
+  const Circuit mono = synth::compile_model(spec);
+
+  Rng rng(3);
+  std::vector<Fixed> x, w;
+  for (size_t i = 0; i < 4; ++i) x.push_back(random_fixed(rng, kFmt, 0.3));
+  for (size_t i = 0; i < synth::model_weight_count(spec); ++i)
+    w.push_back(random_fixed(rng, kFmt, 0.3));
+  const BitVec data = pack_fixed(x), weights = pack_fixed(w);
+
+  const BitVec got = protocol_run({mono}, data, weights);
+  EXPECT_EQ(got, mono.eval(data, weights));
+}
+
+TEST(Protocol, SequentialMacMatchesPlaintext) {
+  const Circuit step = synth::make_mac_step_circuit(kFmt);
+  Rng rng(4);
+  const size_t cycles = 7;
+  std::vector<Fixed> x, w;
+  for (size_t i = 0; i < cycles; ++i) {
+    x.push_back(random_fixed(rng, kFmt, 0.15));
+    w.push_back(random_fixed(rng, kFmt, 0.15));
+  }
+  const BitVec data = pack_fixed(x), weights = pack_fixed(w);
+  const BitVec expect = eval_sequential(step, cycles, data, weights);
+
+  BitVec client_out, server_out;
+  run_two_party(
+      [&](Channel& ch) {
+        GarblerSession session(ch, Block{5, 5});
+        client_out = session.run_sequential(step, cycles, data);
+      },
+      [&](Channel& ch) {
+        EvaluatorSession session(ch);
+        server_out = session.run_sequential(step, cycles, weights);
+      });
+  EXPECT_EQ(client_out, expect);
+  EXPECT_EQ(server_out, expect);
+}
+
+TEST(Protocol, CommunicationDominatedByTables) {
+  const Circuit c = synth::make_matvec_circuit(8, 4, kFmt);
+  Rng rng(6);
+  std::vector<Fixed> x, w;
+  for (int i = 0; i < 8; ++i) x.push_back(random_fixed(rng, kFmt, 0.1));
+  for (int i = 0; i < 32; ++i) w.push_back(random_fixed(rng, kFmt, 0.1));
+
+  uint64_t a_to_b = 0;
+  const auto stats = run_two_party(
+      [&](Channel& ch) {
+        GarblerSession session(ch, Block{7, 7});
+        session.run_chain({c}, pack_fixed(x));
+      },
+      [&](Channel& ch) {
+        EvaluatorSession session(ch);
+        session.run_chain({c}, pack_fixed(w));
+      });
+  a_to_b = stats.a_to_b_bytes;
+  // Garbled tables alone are 32 bytes per AND gate.
+  EXPECT_GT(a_to_b, c.stats().table_bytes());
+  EXPECT_LT(a_to_b, c.stats().table_bytes() * 3 / 2);
+}
+
+}  // namespace
+}  // namespace deepsecure

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "support/bits.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+namespace deepsecure {
+namespace {
+
+TEST(Bits, RoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 0xDEADull, 0xFFFFull, 0x8000ull}) {
+    EXPECT_EQ(from_bits(to_bits(v, 16)), v & 0xFFFF);
+  }
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(sign_extend(0x7FFF, 16), 32767);
+  EXPECT_EQ(sign_extend(0xFFFF, 16), -1);
+  EXPECT_EQ(sign_extend(0x0, 16), 0);
+  EXPECT_EQ(sign_extend(0b100, 3), -4);
+}
+
+TEST(Bits, MaskAndClog2) {
+  EXPECT_EQ(mask_bits(0xFFFFFFFFFFFFFFFFull, 8), 0xFFull);
+  EXPECT_EQ(clog2(1), 0u);
+  EXPECT_EQ(clog2(2), 1u);
+  EXPECT_EQ(clog2(3), 2u);
+  EXPECT_EQ(clog2(1024), 10u);
+  EXPECT_EQ(clog2(1025), 11u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, BoundedUniform) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.next_below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian(1.0, 2.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, PermutationIsBijection) {
+  Rng rng(3);
+  auto p = rng.permutation(100);
+  std::vector<int> seen(100, 0);
+  for (size_t v : p) seen[v]++;
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Table, FormatsAligned) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2.5"});
+  const std::string s = t.to_string("Title");
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_EQ(TablePrinter::num(1.005, 2), "1.00");
+  EXPECT_EQ(TablePrinter::count(42), "42");
+}
+
+}  // namespace
+}  // namespace deepsecure

@@ -1,0 +1,41 @@
+// Shared helpers for circuit-level tests: build a single-block circuit,
+// evaluate it in plaintext, and compare against a reference function.
+#pragma once
+
+#include <functional>
+
+#include "circuit/builder.h"
+#include "fixed/fixed_point.h"
+#include "support/rng.h"
+
+namespace deepsecure::test {
+
+/// Evaluate a circuit whose inputs/outputs are fixed-point buses.
+/// garbler/evaluator values are packed in declaration order.
+inline BitVec pack_fixed(const std::vector<Fixed>& vals) {
+  BitVec bits;
+  for (const Fixed& v : vals) {
+    const BitVec b = v.to_bits();
+    bits.insert(bits.end(), b.begin(), b.end());
+  }
+  return bits;
+}
+
+inline std::vector<Fixed> unpack_fixed(const BitVec& bits, FixedFormat fmt) {
+  std::vector<Fixed> vals;
+  for (size_t i = 0; i + fmt.total_bits <= bits.size(); i += fmt.total_bits) {
+    const BitVec b(bits.begin() + static_cast<ptrdiff_t>(i),
+                   bits.begin() + static_cast<ptrdiff_t>(i + fmt.total_bits));
+    vals.push_back(Fixed::from_bits(b, fmt));
+  }
+  return vals;
+}
+
+/// Random fixed value roughly uniform over the representable range
+/// scaled by `span` (0 < span <= 1).
+inline Fixed random_fixed(Rng& rng, FixedFormat fmt, double span = 1.0) {
+  const double lim = fmt.max_value() * span;
+  return Fixed::from_double(rng.next_uniform(-lim, lim), fmt);
+}
+
+}  // namespace deepsecure::test
