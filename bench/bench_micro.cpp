@@ -2,11 +2,14 @@
 // operations (base-OT cost), OT extension, netlist construction.
 #include <benchmark/benchmark.h>
 
+#include "circuit/bench_circuits.h"
 #include "crypto/aes128.h"
 #include "crypto/ed25519.h"
 #include "crypto/prg.h"
 #include "crypto/sha256.h"
+#include "gc/garble.h"
 #include "gc/ot.h"
+#include "net/null_channel.h"
 #include "net/party.h"
 #include "synth/activation.h"
 #include "synth/mult.h"
@@ -42,6 +45,56 @@ void BM_GcHash(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GcHash);
+
+void BM_GcHashBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Block> in(n), out(n);
+  Prg prg(Block{5, 6});
+  prg.next_blocks(in.data(), n);
+  std::vector<uint64_t> tweaks(n);
+  for (size_t i = 0; i < n; ++i) tweaks[i] = i;
+  for (auto _ : state) {
+    gc_hash_batch(in.data(), tweaks.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["hashes/s"] = benchmark::Counter(
+      static_cast<double>(n) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GcHashBatch)->Arg(1024);
+
+// Garbling throughput in AND-gates/s, scalar vs batched pipeline, on two
+// circuit shapes: "wide" (independent ANDs, full batch windows — the
+// matvec/popcount regime) and "chain" (each AND feeds the next, window
+// size 1 — the ripple-carry worst case where batching cannot help).
+void garble_throughput(benchmark::State& state, const Circuit& c,
+                       GcPipeline pipeline) {
+  NullChannel ch;
+  Garbler warm(ch, Block{1, 1}, pipeline);
+  const Labels gz = warm.fresh_zeros(c.garbler_inputs.size());
+  const Labels ez = warm.fresh_zeros(c.evaluator_inputs.size());
+  (void)c.gc_flush_points();  // schedule precomputed, as in the online phase
+  for (auto _ : state) {
+    Garbler g(ch, Block{1, 1}, pipeline);
+    benchmark::DoNotOptimize(g.garble(c, gz, ez, {}));
+  }
+  state.counters["ANDgates/s"] = benchmark::Counter(
+      static_cast<double>(c.stats().num_and) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GarbleWide(benchmark::State& state) {
+  static const Circuit c = bench_circuits::wide_and(1 << 14);
+  garble_throughput(state, c, state.range(0) ? GcPipeline::kBatched
+                                             : GcPipeline::kScalar);
+}
+BENCHMARK(BM_GarbleWide)->Arg(0)->Arg(1)->ArgNames({"batched"});
+
+void BM_GarbleChain(benchmark::State& state) {
+  static const Circuit c = bench_circuits::and_chain(1 << 12);
+  garble_throughput(state, c, state.range(0) ? GcPipeline::kBatched
+                                             : GcPipeline::kScalar);
+}
+BENCHMARK(BM_GarbleChain)->Arg(0)->Arg(1)->ArgNames({"batched"});
 
 void BM_Sha256_1KiB(benchmark::State& state) {
   std::vector<uint8_t> data(1024, 0xAB);

@@ -5,6 +5,7 @@
 
 #include "circuit/builder.h"
 #include "gc/garble.h"
+#include "net/null_channel.h"
 #include "net/party.h"
 
 using namespace deepsecure;
@@ -66,20 +67,7 @@ void BM_GarbleOnlyNonXor(benchmark::State& state) {
   const size_t gates = static_cast<size_t>(state.range(0));
   const Circuit c = make_chain(gates, true);
 
-  // A sink channel that swallows tables without a peer.
-  class NullChannel final : public Channel {
-   public:
-    void send_bytes(const void*, size_t n) override { sent_ += n; }
-    void recv_bytes(void*, size_t) override {
-      throw std::logic_error("null channel cannot receive");
-    }
-    uint64_t bytes_sent() const override { return sent_; }
-    uint64_t bytes_received() const override { return 0; }
-    void reset_counters() override { sent_ = 0; }
-
-   private:
-    uint64_t sent_ = 0;
-  } sink;
+  NullChannel sink;  // swallows tables without a peer
 
   Garbler g(sink, Block{3, 4});
   const Labels zeros = g.fresh_zeros(c.garbler_inputs.size());

@@ -1,0 +1,46 @@
+// Synthetic netlists with known batching behavior, shared by the GC
+// benchmarks and the batched-pipeline regression tests so both exercise
+// the exact same circuit shapes.
+#pragma once
+
+#include <vector>
+
+#include "circuit/builder.h"
+
+namespace deepsecure::bench_circuits {
+
+/// Independent AND gates (none reads another AND's output): no
+/// dependency flush, so batch windows only drain at capacity / end of
+/// circuit. The builder CSEs structurally identical gates, so distinct
+/// operands come from a free XOR chain over the inputs (consecutive
+/// chain pairs are distinct).
+inline Circuit wide_and(size_t n_gates) {
+  Builder b;
+  std::vector<Wire> in;
+  for (int i = 0; i < 16; ++i) in.push_back(b.input(Party::kGarbler));
+  for (int i = 0; i < 16; ++i) in.push_back(b.input(Party::kEvaluator));
+  std::vector<Wire> chain;
+  chain.push_back(in[0]);
+  for (size_t i = 1; i <= n_gates; ++i)
+    chain.push_back(b.xor_(chain.back(), in[i % in.size()]));
+  std::vector<Wire> outs;
+  for (size_t g = 0; g < n_gates; ++g)
+    outs.push_back(b.and_(chain[g], chain[g + 1]));
+  for (size_t i = 0; i < 8 && i < outs.size(); ++i)
+    b.output(outs[outs.size() - 1 - i]);
+  return b.build();
+}
+
+/// A chain where every AND reads the previous AND's output (via a free
+/// XOR): the batch window must flush before every chained gate — the
+/// ripple-carry worst case, window size 1.
+inline Circuit and_chain(size_t depth) {
+  Builder b;
+  Wire acc = b.input(Party::kGarbler);
+  const Wire y = b.input(Party::kEvaluator);
+  for (size_t i = 0; i < depth; ++i) acc = b.and_(acc, b.xor_(acc, y));
+  b.output(acc);
+  return b.build();
+}
+
+}  // namespace deepsecure::bench_circuits

@@ -1,8 +1,73 @@
 #include "circuit/circuit.h"
 
+#include <mutex>
 #include <stdexcept>
 
 namespace deepsecure {
+namespace {
+
+// Dependency scan behind Circuit::gc_flush_points(). Simulates the
+// batched garbling walk with an unbounded window: a gate that reads the
+// output of a still-pending AND forces a drain right before it runs.
+// Runtime capacity flushes only shrink the pending set, so this schedule
+// stays sufficient (extra flushes are harmless no-ops for correctness and
+// never change the table byte stream, which is emitted in gate order).
+std::vector<uint32_t> compute_flush_points(const Circuit& c) {
+  std::vector<uint32_t> points;
+  std::vector<uint8_t> pending(c.num_wires, 0);
+  std::vector<Wire> marked;  // wires set since the last flush point
+  for (uint32_t i = 0; i < c.gates.size(); ++i) {
+    const Gate& g = c.gates[i];
+    if (!marked.empty() && (pending[g.a] || pending[g.b])) {
+      points.push_back(i);
+      for (Wire w : marked) pending[w] = 0;
+      marked.clear();
+    }
+    if (g.op == GateOp::kAnd) {
+      pending[g.out] = 1;
+      marked.push_back(g.out);
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<uint32_t>> Circuit::gc_flush_points() const {
+  // The mutex is process-wide (Circuit must stay copyable) but is never
+  // held across the O(gates) scan, so unrelated circuits initializing
+  // concurrently only contend for pointer reads/writes. Concurrent first
+  // calls may both compute; one result wins, both are correct.
+  static std::mutex mu;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (gc_flush_cache_ && gc_flush_cache_gates_ == gates.size())
+      return gc_flush_cache_;
+  }
+  auto computed =
+      std::make_shared<const std::vector<uint32_t>>(compute_flush_points(*this));
+  std::lock_guard<std::mutex> lock(mu);
+  if (!gc_flush_cache_ || gc_flush_cache_gates_ != gates.size()) {
+    gc_flush_cache_ = std::move(computed);
+    gc_flush_cache_gates_ = gates.size();
+  }
+  return gc_flush_cache_;
+}
+
+Circuit& Circuit::operator=(const Circuit& o) {
+  if (this == &o) return *this;
+  name = o.name;
+  gates = o.gates;
+  garbler_inputs = o.garbler_inputs;
+  evaluator_inputs = o.evaluator_inputs;
+  state_inputs = o.state_inputs;
+  state_next = o.state_next;
+  outputs = o.outputs;
+  num_wires = o.num_wires;
+  gc_flush_cache_.reset();  // recomputed lazily; see header
+  gc_flush_cache_gates_ = 0;
+  return *this;
+}
 
 CircuitStats Circuit::stats() const {
   CircuitStats s;

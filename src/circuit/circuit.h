@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,17 @@ struct CircuitStats {
 
 class Circuit {
  public:
+  Circuit() = default;
+  // Copies do NOT inherit the flush-schedule cache: reading another
+  // circuit's mutable cache members outside gc_flush_points()'s lock
+  // would race with a concurrent garbler warming that cache. The copy
+  // recomputes lazily on first batched garbling. Moves transfer it
+  // (moving an object in concurrent use is already a caller bug).
+  Circuit(const Circuit& o) { *this = o; }
+  Circuit& operator=(const Circuit& o);
+  Circuit(Circuit&&) = default;
+  Circuit& operator=(Circuit&&) = default;
+
   std::string name;
 
   std::vector<Gate> gates;               // topological order
@@ -71,6 +83,20 @@ class Circuit {
   /// Throws std::logic_error when gates are not topologically ordered,
   /// reference out-of-range wires, or inputs alias each other.
   void validate() const;
+
+  /// Flush schedule for the batched garbling pipeline: the sorted gate
+  /// indices before which a pending AND-hash window must be drained
+  /// because that gate reads a wire produced by a still-pending AND.
+  /// Computed lazily from `gates` and cached (thread-safe), so repeated
+  /// garblings of the same netlist — the online phase — skip the
+  /// dependency scan. A gate-count change (e.g. appending gates after a
+  /// garbling) invalidates the cache, but in-place edits that keep the
+  /// count are undetected — treat `gates` as frozen once garbling starts.
+  std::shared_ptr<const std::vector<uint32_t>> gc_flush_points() const;
+
+ private:
+  mutable std::shared_ptr<const std::vector<uint32_t>> gc_flush_cache_;
+  mutable size_t gc_flush_cache_gates_ = 0;
 };
 
 /// Multi-cycle (sequential) execution of a folded circuit. The state is

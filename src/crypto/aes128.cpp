@@ -1,5 +1,6 @@
 #include "crypto/aes128.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 
@@ -170,6 +171,50 @@ Block gc_hash(Block x, uint64_t tweak) {
 Block gc_hash2(Block x, Block y, uint64_t tweak) {
   const Block k = x.gf_double() ^ y.gf_double().gf_double() ^ Block{tweak, 0};
   return aes128_encrypt(fixed_garbling_key(), k) ^ k;
+}
+
+namespace {
+// Chunk size for the batched hashes: large enough to keep the 8-wide
+// AES-NI pipeline saturated, small enough to stay in L1 (and on the
+// stack). Counted in blocks.
+constexpr size_t kHashChunk = 128;
+}  // namespace
+
+void gc_hash_batch(const Block* inputs, const uint64_t* tweaks, Block* out,
+                   size_t n) {
+  const Aes128Key& key = fixed_garbling_key();
+  Block k[kHashChunk];
+  for (size_t base = 0; base < n; base += kHashChunk) {
+    const size_t m = std::min(kHashChunk, n - base);
+    for (size_t i = 0; i < m; ++i)
+      k[i] = inputs[base + i].gf_double() ^ Block{tweaks[base + i], 0};
+    std::memcpy(out + base, k, m * sizeof(Block));
+    aes128_encrypt_batch(key, out + base, m);
+    for (size_t i = 0; i < m; ++i) out[base + i] ^= k[i];
+  }
+}
+
+void gc_hash_and_quads(const Block* a0, const Block* b0, Block delta,
+                       const uint64_t* tweaks, Block* out, size_t n) {
+  const Aes128Key& key = fixed_garbling_key();
+  const Block d2 = delta.gf_double();
+  constexpr size_t kGateChunk = kHashChunk / 4;
+  Block k[kHashChunk];
+  for (size_t base = 0; base < n; base += kGateChunk) {
+    const size_t m = std::min(kGateChunk, n - base);
+    for (size_t i = 0; i < m; ++i) {
+      const size_t g = base + i;
+      const Block ka = a0[g].gf_double() ^ Block{tweaks[2 * g], 0};
+      const Block kb = b0[g].gf_double() ^ Block{tweaks[2 * g + 1], 0};
+      k[4 * i + 0] = ka;
+      k[4 * i + 1] = ka ^ d2;
+      k[4 * i + 2] = kb;
+      k[4 * i + 3] = kb ^ d2;
+    }
+    std::memcpy(out + 4 * base, k, 4 * m * sizeof(Block));
+    aes128_encrypt_batch(key, out + 4 * base, 4 * m);
+    for (size_t i = 0; i < 4 * m; ++i) out[4 * base + i] ^= k[i];
+  }
 }
 
 }  // namespace deepsecure

@@ -46,6 +46,25 @@ Block gc_hash(Block x, uint64_t tweak);
 /// Two-input variant used by the evaluator-side half gate.
 Block gc_hash2(Block x, Block y, uint64_t tweak);
 
+/// Batched fixed-key hash: out[i] = H(inputs[i], tweaks[i]). Routed
+/// through aes128_encrypt_batch so the AES-NI pipeline (and the software
+/// fallback) apply; `inputs` may alias `out`.
+void gc_hash_batch(const Block* inputs, const uint64_t* tweaks, Block* out,
+                   size_t n);
+
+/// Garbler-side batch helper for half-gates AND windows. For gate i with
+/// input zero-labels a0[i], b0[i] and tweaks tweaks[2i] (generator half),
+/// tweaks[2i+1] (evaluator half), writes the four hashes the half-gates
+/// construction consumes:
+///   out[4i+0] = H(a0[i],         tweaks[2i])
+///   out[4i+1] = H(a0[i] ^ delta, tweaks[2i])
+///   out[4i+2] = H(b0[i],         tweaks[2i+1])
+///   out[4i+3] = H(b0[i] ^ delta, tweaks[2i+1])
+/// The ^delta halves reuse 2(X^delta) = 2X ^ 2delta, so only 2n doublings
+/// are computed for the 4n hash inputs.
+void gc_hash_and_quads(const Block* a0, const Block* b0, Block delta,
+                       const uint64_t* tweaks, Block* out, size_t n);
+
 namespace detail {
 // Software backend entry points (exposed for cross-checking in tests).
 Block aes128_encrypt_soft(const Aes128Key& key, Block pt);

@@ -1,5 +1,6 @@
 #include "crypto/prg.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -33,12 +34,17 @@ void Prg::next_blocks(Block* out, size_t n) {
 }
 
 void Prg::fill_bytes(void* dst, size_t n) {
+  // Counter-block chunks through the batched AES kernel; same keystream
+  // (and therefore identical bytes) as the old one-block-at-a-time loop.
+  constexpr size_t kChunk = 128;
+  Block buf[kChunk];
   auto* p = static_cast<uint8_t*>(dst);
   while (n >= 16) {
-    const Block b = next_block();
-    b.to_bytes(p);
-    p += 16;
-    n -= 16;
+    const size_t m = std::min(n / 16, kChunk);
+    next_blocks(buf, m);
+    for (size_t i = 0; i < m; ++i) buf[i].to_bytes(p + 16 * i);
+    p += 16 * m;
+    n -= 16 * m;
   }
   if (n > 0) {
     uint8_t tmp[16];
@@ -49,13 +55,18 @@ void Prg::fill_bytes(void* dst, size_t n) {
 
 std::vector<uint8_t> Prg::expand_bits(size_t n) {
   std::vector<uint8_t> bits(n);
+  constexpr size_t kChunk = 128;  // blocks per batch = 16 Kibit
+  Block buf[kChunk];
   size_t i = 0;
   while (i < n) {
-    const Block b = next_block();
-    for (int half = 0; half < 2 && i < n; ++half) {
-      const uint64_t word = half == 0 ? b.lo : b.hi;
-      for (int j = 0; j < 64 && i < n; ++j, ++i)
-        bits[i] = static_cast<uint8_t>((word >> j) & 1u);
+    const size_t m = std::min((n - i + 127) / 128, kChunk);
+    next_blocks(buf, m);
+    for (size_t blk = 0; blk < m; ++blk) {
+      for (int half = 0; half < 2 && i < n; ++half) {
+        const uint64_t word = half == 0 ? buf[blk].lo : buf[blk].hi;
+        for (int j = 0; j < 64 && i < n; ++j, ++i)
+          bits[i] = static_cast<uint8_t>((word >> j) & 1u);
+      }
     }
   }
   return bits;

@@ -1,0 +1,45 @@
+// Shared driver for the batched hashing pipeline's gate walk. Garbler
+// and Evaluator defer exactly the same AND gates, so the flush schedule
+// and capacity policy must stay in lock-step between them — this template
+// is the single place that logic lives.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "gc/garble.h"
+
+namespace deepsecure {
+
+/// Walk `c.gates` in order. XOR gates invoke `on_xor(g)` immediately
+/// (free-XOR). AND gates invoke `on_and(g)` to enqueue into the pending
+/// window; `flush()` drains it — called at the circuit's precomputed
+/// dependency flush points, at `kGcMaxBatchWindow` pending gates, and
+/// after the last gate. `flush()` must be a no-op on an empty window.
+template <typename XorFn, typename AndFn, typename FlushFn>
+void gc_batched_walk(const Circuit& c, XorFn&& on_xor, AndFn&& on_and,
+                     FlushFn&& flush) {
+  const auto flush_points = c.gc_flush_points();
+  const uint32_t* fp = flush_points->data();
+  const uint32_t* fp_end = fp + flush_points->size();
+
+  size_t window = 0;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(c.gates.size()); ++i) {
+    if (fp != fp_end && *fp == i) {
+      flush();
+      window = 0;
+      ++fp;
+    }
+    const Gate& g = c.gates[i];
+    if (g.op == GateOp::kXor) {
+      on_xor(g);
+      continue;
+    }
+    on_and(g);
+    if (++window == kGcMaxBatchWindow) {
+      flush();
+      window = 0;
+    }
+  }
+  flush();
+}
+
+}  // namespace deepsecure

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/aes128.h"
+#include "gc/batch_walk.h"
 #include "gc/block_io.h"
 
 namespace deepsecure {
@@ -28,6 +29,24 @@ Labels Evaluator::evaluate(const Circuit& c, const Labels& garbler_labels,
 
   BlockReader tables(ch_);
   tables.expect(2 * c.stats().num_and);
+  if (pipeline_ == GcPipeline::kScalar)
+    evaluate_gates_scalar(c, w, tables);
+  else
+    evaluate_gates_batched(c, w, tables);
+
+  if (state_next != nullptr) {
+    state_next->resize(c.state_next.size());
+    for (size_t i = 0; i < c.state_next.size(); ++i)
+      (*state_next)[i] = w[c.state_next[i]];
+  }
+  Labels out(c.outputs.size());
+  for (size_t i = 0; i < c.outputs.size(); ++i) out[i] = w[c.outputs[i]];
+  return out;
+}
+
+// Retained scalar reference path (see garbler.cpp for rationale).
+void Evaluator::evaluate_gates_scalar(const Circuit& c, Labels& w,
+                                      BlockReader& tables) {
   for (const Gate& g : c.gates) {
     if (g.op == GateOp::kXor) {
       w[g.out] = w[g.a] ^ w[g.b];
@@ -46,15 +65,55 @@ Labels Evaluator::evaluate(const Circuit& c, const Labels& garbler_labels,
     if (wb.lsb()) wec ^= te ^ wa;
     w[g.out] = wgc ^ wec;
   }
+}
 
-  if (state_next != nullptr) {
-    state_next->resize(c.state_next.size());
-    for (size_t i = 0; i < c.state_next.size(); ++i)
-      (*state_next)[i] = w[c.state_next[i]];
-  }
-  Labels out(c.outputs.size());
-  for (size_t i = 0; i < c.outputs.size(); ++i) out[i] = w[c.outputs[i]];
-  return out;
+// Batched pipeline, mirroring Garbler::garble_gates_batched: the same
+// flush schedule applies because both sides defer exactly the AND gates.
+// Two hashes per gate; table rows are consumed at enqueue time, which
+// keeps the read stream in gate order regardless of flush timing.
+void Evaluator::evaluate_gates_batched(const Circuit& c, Labels& w,
+                                       BlockReader& tables) {
+  std::vector<Block> ins, tabs, hashes;  // 2 entries per pending gate
+  std::vector<uint64_t> tweaks;
+  std::vector<Wire> outs;
+  ins.reserve(2 * kGcMaxBatchWindow);
+  tabs.reserve(2 * kGcMaxBatchWindow);
+  hashes.reserve(2 * kGcMaxBatchWindow);
+  tweaks.reserve(2 * kGcMaxBatchWindow);
+  outs.reserve(kGcMaxBatchWindow);
+
+  auto flush = [&]() {
+    const size_t n = outs.size();
+    if (n == 0) return;
+    hashes.resize(2 * n);
+    gc_hash_batch(ins.data(), tweaks.data(), hashes.data(), 2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      const Block wa = ins[2 * i];
+      Block wgc = hashes[2 * i];
+      if (wa.lsb()) wgc ^= tabs[2 * i];
+      Block wec = hashes[2 * i + 1];
+      if (ins[2 * i + 1].lsb()) wec ^= tabs[2 * i + 1] ^ wa;
+      w[outs[i]] = wgc ^ wec;
+    }
+    ins.clear();
+    tabs.clear();
+    tweaks.clear();
+    outs.clear();
+  };
+
+  gc_batched_walk(
+      c,
+      [&](const Gate& g) { w[g.out] = w[g.a] ^ w[g.b]; },  // free-XOR
+      [&](const Gate& g) {
+        ins.push_back(w[g.a]);
+        ins.push_back(w[g.b]);
+        tweaks.push_back(tweak_++);
+        tweaks.push_back(tweak_++);
+        tabs.push_back(tables.get());
+        tabs.push_back(tables.get());
+        outs.push_back(g.out);
+      },
+      flush);
 }
 
 Labels Evaluator::recv_active(size_t n) {

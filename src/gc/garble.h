@@ -15,14 +15,28 @@
 
 namespace deepsecure {
 
+class BlockWriter;
+class BlockReader;
+
 /// Wire labels, indexed like the corresponding input/output vectors.
 using Labels = std::vector<Block>;
+
+/// Hashing pipeline selection. kBatched accumulates AND gates into a
+/// window and hashes it through the pipelined AES batch kernel; kScalar
+/// is the retained per-gate reference path. Tweaks are assigned at
+/// enqueue time and tables are emitted in gate order, so both pipelines
+/// produce byte-identical garbled tables for the same seed.
+enum class GcPipeline : uint8_t { kBatched, kScalar };
+
+/// Max AND gates per batch window. Bounds scratch memory (the garbler
+/// hashes 4 blocks per gate) while amortizing the AES pipeline fill.
+inline constexpr size_t kGcMaxBatchWindow = 1024;
 
 class Garbler {
  public:
   /// `seed` drives all label sampling (pass entropy for real use,
   /// a constant for reproducible tests).
-  Garbler(Channel& ch, Block seed);
+  Garbler(Channel& ch, Block seed, GcPipeline pipeline = GcPipeline::kBatched);
 
   Block delta() const { return delta_; }
 
@@ -52,15 +66,20 @@ class Garbler {
   uint64_t gates_garbled() const { return tweak_ / 2; }
 
  private:
+  void garble_gates_scalar(const Circuit& c, Labels& w, BlockWriter& tables);
+  void garble_gates_batched(const Circuit& c, Labels& w, BlockWriter& tables);
+
   Channel& ch_;
   Prg prg_;
   Block delta_;
+  GcPipeline pipeline_;
   uint64_t tweak_ = 0;
 };
 
 class Evaluator {
  public:
-  explicit Evaluator(Channel& ch) : ch_(ch) {}
+  explicit Evaluator(Channel& ch, GcPipeline pipeline = GcPipeline::kBatched)
+      : ch_(ch), pipeline_(pipeline) {}
 
   /// Evaluate `c` with active labels for all inputs, consuming the
   /// garbled tables from the channel. Returns active output labels.
@@ -78,7 +97,11 @@ class Evaluator {
   BitVec decode_with_info(const Labels& labels);
 
  private:
+  void evaluate_gates_scalar(const Circuit& c, Labels& w, BlockReader& tables);
+  void evaluate_gates_batched(const Circuit& c, Labels& w, BlockReader& tables);
+
   Channel& ch_;
+  GcPipeline pipeline_;
   uint64_t tweak_ = 0;
 };
 

@@ -3,11 +3,13 @@
 #include <stdexcept>
 
 #include "crypto/aes128.h"
+#include "gc/batch_walk.h"
 #include "gc/block_io.h"
 
 namespace deepsecure {
 
-Garbler::Garbler(Channel& ch, Block seed) : ch_(ch), prg_(seed) {
+Garbler::Garbler(Channel& ch, Block seed, GcPipeline pipeline)
+    : ch_(ch), prg_(seed), pipeline_(pipeline) {
   delta_ = prg_.next_block();
   delta_.lo |= 1;  // point-and-permute: lsb(delta) = 1
 }
@@ -43,6 +45,27 @@ Labels Garbler::garble(const Circuit& c, const Labels& garbler_zeros,
     w[c.state_inputs[i]] = state_zeros[i];
 
   BlockWriter tables(ch_);
+  if (pipeline_ == GcPipeline::kScalar)
+    garble_gates_scalar(c, w, tables);
+  else
+    garble_gates_batched(c, w, tables);
+  tables.flush();
+
+  if (state_next != nullptr) {
+    state_next->resize(c.state_next.size());
+    for (size_t i = 0; i < c.state_next.size(); ++i)
+      (*state_next)[i] = w[c.state_next[i]];
+  }
+  Labels out(c.outputs.size());
+  for (size_t i = 0; i < c.outputs.size(); ++i) out[i] = w[c.outputs[i]];
+  return out;
+}
+
+// Retained scalar reference path: one gc_hash call per hash. Kept for
+// cross-checking the batched pipeline (byte-identical tables) and as the
+// baseline in the garble-throughput benchmarks.
+void Garbler::garble_gates_scalar(const Circuit& c, Labels& w,
+                                  BlockWriter& tables) {
   for (const Gate& g : c.gates) {
     if (g.op == GateOp::kXor) {
       w[g.out] = w[g.a] ^ w[g.b];  // free-XOR
@@ -74,16 +97,69 @@ Labels Garbler::garble(const Circuit& c, const Labels& garbler_zeros,
     tables.put(te);
     w[g.out] = wg ^ we;
   }
-  tables.flush();
+}
 
-  if (state_next != nullptr) {
-    state_next->resize(c.state_next.size());
-    for (size_t i = 0; i < c.state_next.size(); ++i)
-      (*state_next)[i] = w[c.state_next[i]];
-  }
-  Labels out(c.outputs.size());
-  for (size_t i = 0; i < c.outputs.size(); ++i) out[i] = w[c.outputs[i]];
-  return out;
+// Batched pipeline: AND gates are enqueued into a window whose hash
+// inputs {a0, a0^delta, b0, b0^delta} are expanded and hashed by
+// gc_hash_and_quads in one pipelined AES sweep. The window drains at the
+// circuit's precomputed flush points (a gate reading a still-pending AND
+// output), at capacity, and at the end of the gate list. Tweaks are
+// assigned at enqueue time and tables are emitted in enqueue (= gate)
+// order, so the byte stream is identical to the scalar schedule.
+void Garbler::garble_gates_batched(const Circuit& c, Labels& w,
+                                   BlockWriter& tables) {
+  std::vector<Block> a0s, b0s, hashes;
+  std::vector<uint64_t> tweaks;
+  std::vector<Wire> outs;
+  a0s.reserve(kGcMaxBatchWindow);
+  b0s.reserve(kGcMaxBatchWindow);
+  hashes.reserve(4 * kGcMaxBatchWindow);
+  tweaks.reserve(2 * kGcMaxBatchWindow);
+  outs.reserve(kGcMaxBatchWindow);
+
+  auto flush = [&]() {
+    const size_t n = outs.size();
+    if (n == 0) return;
+    hashes.resize(4 * n);
+    gc_hash_and_quads(a0s.data(), b0s.data(), delta_, tweaks.data(),
+                      hashes.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      const Block a0 = a0s[i];
+      const Block ha0 = hashes[4 * i + 0];
+      const Block ha1 = hashes[4 * i + 1];
+      const Block hb0 = hashes[4 * i + 2];
+      const Block hb1 = hashes[4 * i + 3];
+
+      Block tg = ha0 ^ ha1;
+      if (b0s[i].lsb()) tg ^= delta_;
+      Block wg = ha0;
+      if (a0.lsb()) wg ^= tg;
+
+      const Block te = hb0 ^ hb1 ^ a0;
+      Block we = hb0;
+      if (b0s[i].lsb()) we ^= te ^ a0;
+
+      tables.put(tg);
+      tables.put(te);
+      w[outs[i]] = wg ^ we;
+    }
+    a0s.clear();
+    b0s.clear();
+    tweaks.clear();
+    outs.clear();
+  };
+
+  gc_batched_walk(
+      c,
+      [&](const Gate& g) { w[g.out] = w[g.a] ^ w[g.b]; },  // free-XOR
+      [&](const Gate& g) {
+        a0s.push_back(w[g.a]);
+        b0s.push_back(w[g.b]);
+        tweaks.push_back(tweak_++);
+        tweaks.push_back(tweak_++);
+        outs.push_back(g.out);
+      },
+      flush);
 }
 
 void Garbler::send_active(const BitVec& bits, const Labels& zeros) {

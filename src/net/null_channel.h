@@ -1,0 +1,26 @@
+// Byte sink for one-sided benchmarks and tests: swallows (and counts)
+// everything sent, throws on receive. Lets a Garbler run at full rate
+// with no evaluator on the other end.
+#pragma once
+
+#include <stdexcept>
+
+#include "net/channel.h"
+
+namespace deepsecure {
+
+class NullChannel final : public Channel {
+ public:
+  void send_bytes(const void*, size_t n) override { sent_ += n; }
+  void recv_bytes(void*, size_t) override {
+    throw std::logic_error("NullChannel cannot receive");
+  }
+  uint64_t bytes_sent() const override { return sent_; }
+  uint64_t bytes_received() const override { return 0; }
+  void reset_counters() override { sent_ = 0; }
+
+ private:
+  uint64_t sent_ = 0;
+};
+
+}  // namespace deepsecure

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+
 #include "crypto/aes128.h"
 #include "crypto/block.h"
 #include "crypto/prg.h"
@@ -86,6 +89,68 @@ TEST(Aes128, BatchMatchesSingle) {
   EXPECT_EQ(batch, expect);
 }
 
+class ForceSoftwareGuard {
+ public:
+  ForceSoftwareGuard() { aes128_force_software(true); }
+  ~ForceSoftwareGuard() { aes128_force_software(false); }
+};
+
+TEST(GcHash, BatchMatchesScalar) {
+  for (const bool soft : {false, true}) {
+    SCOPED_TRACE(soft ? "software" : "runtime-default");
+    std::optional<ForceSoftwareGuard> guard;
+    if (soft) guard.emplace();
+    Prg prg(Block{21, 12});
+    std::vector<Block> in(133);
+    prg.next_blocks(in.data(), in.size());
+    std::vector<uint64_t> tweaks(in.size());
+    for (size_t i = 0; i < tweaks.size(); ++i) tweaks[i] = 1000 + 3 * i;
+    std::vector<Block> out(in.size());
+    gc_hash_batch(in.data(), tweaks.data(), out.data(), in.size());
+    for (size_t i = 0; i < in.size(); ++i)
+      ASSERT_EQ(out[i], gc_hash(in[i], tweaks[i])) << "i=" << i;
+  }
+}
+
+TEST(GcHash, BatchSupportsInPlaceAliasing) {
+  Prg prg(Block{8, 15});
+  std::vector<Block> buf(50);
+  prg.next_blocks(buf.data(), buf.size());
+  const std::vector<Block> in = buf;
+  std::vector<uint64_t> tweaks(buf.size());
+  for (size_t i = 0; i < tweaks.size(); ++i) tweaks[i] = i;
+  gc_hash_batch(buf.data(), tweaks.data(), buf.data(), buf.size());
+  for (size_t i = 0; i < buf.size(); ++i)
+    ASSERT_EQ(buf[i], gc_hash(in[i], tweaks[i])) << "i=" << i;
+}
+
+TEST(GcHash, AndQuadsMatchScalarHashes) {
+  for (const bool soft : {false, true}) {
+    SCOPED_TRACE(soft ? "software" : "runtime-default");
+    std::optional<ForceSoftwareGuard> guard;
+    if (soft) guard.emplace();
+    Prg prg(Block{77, 99});
+    const size_t n = 41;  // exercises chunk boundary + tail
+    Block delta = prg.next_block();
+    delta.lo |= 1;
+    std::vector<Block> a0(n), b0(n);
+    prg.next_blocks(a0.data(), n);
+    prg.next_blocks(b0.data(), n);
+    std::vector<uint64_t> tweaks(2 * n);
+    for (size_t i = 0; i < 2 * n; ++i) tweaks[i] = 5000 + i;
+    std::vector<Block> out(4 * n);
+    gc_hash_and_quads(a0.data(), b0.data(), delta, tweaks.data(), out.data(),
+                      n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[4 * i + 0], gc_hash(a0[i], tweaks[2 * i])) << i;
+      ASSERT_EQ(out[4 * i + 1], gc_hash(a0[i] ^ delta, tweaks[2 * i])) << i;
+      ASSERT_EQ(out[4 * i + 2], gc_hash(b0[i], tweaks[2 * i + 1])) << i;
+      ASSERT_EQ(out[4 * i + 3], gc_hash(b0[i] ^ delta, tweaks[2 * i + 1]))
+          << i;
+    }
+  }
+}
+
 TEST(GcHash, TweakSeparation) {
   const Block x{42, 17};
   EXPECT_NE(gc_hash(x, 0), gc_hash(x, 1));
@@ -131,6 +196,46 @@ TEST(Prg, ExpandBitsBalanced) {
   size_t ones = 0;
   for (uint8_t b : bits) ones += b;
   EXPECT_NEAR(static_cast<double>(ones), 5000.0, 300.0);
+}
+
+// fill_bytes batches through next_blocks now; the keystream must remain
+// exactly the per-block counter stream (protocol transcripts depend on it).
+TEST(Prg, FillBytesMatchesBlockStream) {
+  for (const size_t n : {size_t{5}, size_t{16}, size_t{2048 + 7}}) {
+    Prg a(Block{4, 2}), b(Block{4, 2});
+    std::vector<uint8_t> got(n);
+    a.fill_bytes(got.data(), n);
+    std::vector<uint8_t> expect(n);
+    size_t off = 0;
+    while (off < n) {
+      uint8_t tmp[16];
+      b.next_block().to_bytes(tmp);
+      const size_t m = std::min<size_t>(16, n - off);
+      std::copy(tmp, tmp + m, expect.begin() + static_cast<ptrdiff_t>(off));
+      off += m;
+    }
+    EXPECT_EQ(got, expect) << "n=" << n;
+  }
+}
+
+TEST(Prg, ExpandBitsMatchesBlockStream) {
+  for (const size_t n : {size_t{1}, size_t{128}, size_t{16384 + 13}}) {
+    Prg a(Block{6, 6}), b(Block{6, 6});
+    const auto got = a.expand_bits(n);
+    std::vector<uint8_t> expect(n);
+    size_t i = 0;
+    while (i < n) {
+      const Block blk = b.next_block();
+      for (int half = 0; half < 2 && i < n; ++half) {
+        const uint64_t word = half == 0 ? blk.lo : blk.hi;
+        for (int j = 0; j < 64 && i < n; ++j, ++i)
+          expect[i] = static_cast<uint8_t>((word >> j) & 1u);
+      }
+    }
+    EXPECT_EQ(got, expect) << "n=" << n;
+    // Both consumed the same number of counter blocks.
+    EXPECT_EQ(a.next_block(), b.next_block());
+  }
 }
 
 TEST(Prg, OsEntropyDistinct) {
