@@ -1,0 +1,59 @@
+// Shared demo model for the secure_server / secure_client example pair.
+// The architecture (this spec) is public knowledge in the protocol; the
+// weights are the *server's* private inputs and the sample is the
+// *client's* — here both are derived from fixed seeds so the two
+// binaries can run standalone and still agree on the handshake
+// fingerprint and produce checkable results.
+#pragma once
+
+#include <vector>
+
+#include "fixed/fixed_point.h"
+#include "support/bits.h"
+#include "support/rng.h"
+#include "synth/layer_circuits.h"
+
+namespace demo {
+
+using namespace deepsecure;
+
+/// A small MLP: 16 features -> FC 12 -> ReLU -> FC 4 -> argmax.
+inline synth::ModelSpec demo_spec() {
+  synth::ModelSpec spec;
+  spec.name = "demo_mlp";
+  spec.input = synth::Shape3{1, 1, 16};
+  spec.layers.push_back(synth::FcLayer{12, {}, true});
+  spec.layers.push_back(synth::ActLayer{synth::ActKind::kReLU});
+  spec.layers.push_back(synth::FcLayer{4, {}, true});
+  spec.layers.push_back(synth::ArgmaxLayer{});
+  return spec;
+}
+
+inline Fixed random_weight(Rng& rng, FixedFormat fmt) {
+  // Small magnitudes keep the fixed-point datapath from saturating.
+  const double v = (static_cast<double>(rng.next_below(2001)) - 1000.0) / 5000.0;
+  return Fixed::from_double(v, fmt);
+}
+
+/// Server-side private weights (seeded, so the demo is reproducible).
+inline BitVec demo_weight_bits() {
+  const synth::ModelSpec spec = demo_spec();
+  Rng rng(20180624);  // DAC'18
+  BitVec bits;
+  for (size_t i = 0; i < synth::model_weight_count(spec); ++i) {
+    const BitVec b = random_weight(rng, spec.fmt).to_bits();
+    bits.insert(bits.end(), b.begin(), b.end());
+  }
+  return bits;
+}
+
+/// Client-side sample #k as raw floats.
+inline std::vector<float> demo_sample(size_t k) {
+  Rng rng(777 + k);
+  std::vector<float> x(16);
+  for (auto& v : x)
+    v = (static_cast<float>(rng.next_below(2001)) - 1000.0f) / 2500.0f;
+  return x;
+}
+
+}  // namespace demo

@@ -31,6 +31,31 @@ inline Circuit wide_and(size_t n_gates) {
   return b.build();
 }
 
+/// Chainable wide layer: `width` garbler inputs, `width` evaluator
+/// inputs, `n_gates` independent AND gates (wide batch windows, no
+/// dependency flushes until the outputs), and exactly `width` outputs so
+/// layer k's outputs feed layer k+1's garbler inputs in run_chain — the
+/// shape the streaming-overlap benchmarks chain.
+inline Circuit wide_chain_layer(size_t n_gates, size_t width = 64) {
+  Builder b;
+  std::vector<Wire> in;
+  for (size_t i = 0; i < width; ++i) in.push_back(b.input(Party::kGarbler));
+  for (size_t i = 0; i < width; ++i) in.push_back(b.input(Party::kEvaluator));
+  std::vector<Wire> chain;
+  chain.push_back(in[0]);
+  for (size_t i = 1; i <= n_gates; ++i)
+    chain.push_back(b.xor_(chain.back(), in[i % in.size()]));
+  std::vector<Wire> ands;
+  for (size_t g = 0; g < n_gates; ++g)
+    ands.push_back(b.and_(chain[g], chain[g + 1]));
+  // Outputs: the last `width` AND results (wrap if the layer is narrow).
+  std::vector<Wire> outs(width);
+  for (size_t i = 0; i < width; ++i)
+    outs[i] = ands[(ands.size() - 1 - i) % ands.size()];
+  b.outputs(outs);
+  return b.build();
+}
+
 /// A chain where every AND reads the previous AND's output (via a free
 /// XOR): the batch window must flush before every chained gate — the
 /// ripple-carry worst case, window size 1.

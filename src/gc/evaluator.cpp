@@ -27,9 +27,11 @@ Labels Evaluator::evaluate(const Circuit& c, const Labels& garbler_labels,
   for (size_t i = 0; i < state_labels.size(); ++i)
     w[c.state_inputs[i]] = state_labels[i];
 
-  BlockReader tables(ch_);
-  tables.expect(2 * c.stats().num_and);
-  if (pipeline_ == GcPipeline::kScalar)
+  // Framed mode self-describes (length-prefixed window frames), so the
+  // reader needs no total; monolithic mode must know the stream length.
+  BlockReader tables(ch_, 1 << 15, opt_.framed_tables);
+  if (!opt_.framed_tables) tables.expect(2 * c.stats().num_and);
+  if (opt_.pipeline == GcPipeline::kScalar)
     evaluate_gates_scalar(c, w, tables);
   else
     evaluate_gates_batched(c, w, tables);

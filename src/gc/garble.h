@@ -17,6 +17,7 @@ namespace deepsecure {
 
 class BlockWriter;
 class BlockReader;
+class ThreadPool;
 
 /// Wire labels, indexed like the corresponding input/output vectors.
 using Labels = std::vector<Block>;
@@ -32,11 +33,31 @@ enum class GcPipeline : uint8_t { kBatched, kScalar };
 /// hashes 4 blocks per gate) while amortizing the AES pipeline fill.
 inline constexpr size_t kGcMaxBatchWindow = 1024;
 
+/// Execution options for one GC endpoint. Both parties must agree on
+/// `framed_tables` (it changes the wire format); `pipeline` and `pool`
+/// are local choices that never affect the byte stream.
+struct GcOptions {
+  GcPipeline pipeline = GcPipeline::kBatched;
+  /// Length-prefixed table frames aligned to batch windows (see
+  /// block_io.h) — the streaming runtime's wire format. The framed
+  /// payload is byte-identical to the monolithic stream.
+  bool framed_tables = false;
+  /// Garbler-side shard pool: each batch window is split into contiguous
+  /// per-thread shards (independent sub-windows), hashed concurrently,
+  /// and emitted in gate order — byte-identical to single-threaded
+  /// garbling. nullptr = single-threaded. Not owned.
+  ThreadPool* pool = nullptr;
+  /// Windows smaller than this are not worth sharding (pool dispatch
+  /// overhead exceeds the hash work).
+  size_t min_shard_gates = 128;
+};
+
 class Garbler {
  public:
   /// `seed` drives all label sampling (pass entropy for real use,
   /// a constant for reproducible tests).
   Garbler(Channel& ch, Block seed, GcPipeline pipeline = GcPipeline::kBatched);
+  Garbler(Channel& ch, Block seed, const GcOptions& opt);
 
   Block delta() const { return delta_; }
 
@@ -72,14 +93,15 @@ class Garbler {
   Channel& ch_;
   Prg prg_;
   Block delta_;
-  GcPipeline pipeline_;
+  GcOptions opt_;
   uint64_t tweak_ = 0;
 };
 
 class Evaluator {
  public:
   explicit Evaluator(Channel& ch, GcPipeline pipeline = GcPipeline::kBatched)
-      : ch_(ch), pipeline_(pipeline) {}
+      : ch_(ch), opt_{.pipeline = pipeline} {}
+  Evaluator(Channel& ch, const GcOptions& opt) : ch_(ch), opt_(opt) {}
 
   /// Evaluate `c` with active labels for all inputs, consuming the
   /// garbled tables from the channel. Returns active output labels.
@@ -101,7 +123,7 @@ class Evaluator {
   void evaluate_gates_batched(const Circuit& c, Labels& w, BlockReader& tables);
 
   Channel& ch_;
-  GcPipeline pipeline_;
+  GcOptions opt_;
   uint64_t tweak_ = 0;
 };
 

@@ -5,11 +5,15 @@
 #include "crypto/aes128.h"
 #include "gc/batch_walk.h"
 #include "gc/block_io.h"
+#include "support/thread_pool.h"
 
 namespace deepsecure {
 
 Garbler::Garbler(Channel& ch, Block seed, GcPipeline pipeline)
-    : ch_(ch), prg_(seed), pipeline_(pipeline) {
+    : Garbler(ch, seed, GcOptions{.pipeline = pipeline}) {}
+
+Garbler::Garbler(Channel& ch, Block seed, const GcOptions& opt)
+    : ch_(ch), prg_(seed), opt_(opt) {
   delta_ = prg_.next_block();
   delta_.lo |= 1;  // point-and-permute: lsb(delta) = 1
 }
@@ -44,8 +48,8 @@ Labels Garbler::garble(const Circuit& c, const Labels& garbler_zeros,
   for (size_t i = 0; i < state_zeros.size(); ++i)
     w[c.state_inputs[i]] = state_zeros[i];
 
-  BlockWriter tables(ch_);
-  if (pipeline_ == GcPipeline::kScalar)
+  BlockWriter tables(ch_, 1 << 15, opt_.framed_tables);
+  if (opt_.pipeline == GcPipeline::kScalar)
     garble_gates_scalar(c, w, tables);
   else
     garble_gates_batched(c, w, tables);
@@ -106,14 +110,23 @@ void Garbler::garble_gates_scalar(const Circuit& c, Labels& w,
 // output), at capacity, and at the end of the gate list. Tweaks are
 // assigned at enqueue time and tables are emitted in enqueue (= gate)
 // order, so the byte stream is identical to the scalar schedule.
+//
+// With a ThreadPool, a draining window is split into contiguous
+// per-thread shards — independent sub-windows of the same flush
+// schedule, since every gate in the window reads only non-pending wires.
+// Each shard runs its own gc_hash_and_quads sweep over its slice of the
+// enqueue-ordered arrays into disjoint slices of the scratch buffers;
+// table rows still stream out serially in enqueue order afterwards, so
+// the transcript stays byte-identical to single-threaded garbling.
 void Garbler::garble_gates_batched(const Circuit& c, Labels& w,
                                    BlockWriter& tables) {
-  std::vector<Block> a0s, b0s, hashes;
+  std::vector<Block> a0s, b0s, hashes, tabs;
   std::vector<uint64_t> tweaks;
   std::vector<Wire> outs;
   a0s.reserve(kGcMaxBatchWindow);
   b0s.reserve(kGcMaxBatchWindow);
   hashes.reserve(4 * kGcMaxBatchWindow);
+  tabs.reserve(2 * kGcMaxBatchWindow);
   tweaks.reserve(2 * kGcMaxBatchWindow);
   outs.reserve(kGcMaxBatchWindow);
 
@@ -121,28 +134,38 @@ void Garbler::garble_gates_batched(const Circuit& c, Labels& w,
     const size_t n = outs.size();
     if (n == 0) return;
     hashes.resize(4 * n);
-    gc_hash_and_quads(a0s.data(), b0s.data(), delta_, tweaks.data(),
-                      hashes.data(), n);
-    for (size_t i = 0; i < n; ++i) {
-      const Block a0 = a0s[i];
-      const Block ha0 = hashes[4 * i + 0];
-      const Block ha1 = hashes[4 * i + 1];
-      const Block hb0 = hashes[4 * i + 2];
-      const Block hb1 = hashes[4 * i + 3];
+    tabs.resize(2 * n);
+    auto shard = [&](size_t lo, size_t hi) {
+      gc_hash_and_quads(a0s.data() + lo, b0s.data() + lo, delta_,
+                        tweaks.data() + 2 * lo, hashes.data() + 4 * lo,
+                        hi - lo);
+      for (size_t i = lo; i < hi; ++i) {
+        const Block a0 = a0s[i];
+        const Block ha0 = hashes[4 * i + 0];
+        const Block ha1 = hashes[4 * i + 1];
+        const Block hb0 = hashes[4 * i + 2];
+        const Block hb1 = hashes[4 * i + 3];
 
-      Block tg = ha0 ^ ha1;
-      if (b0s[i].lsb()) tg ^= delta_;
-      Block wg = ha0;
-      if (a0.lsb()) wg ^= tg;
+        Block tg = ha0 ^ ha1;
+        if (b0s[i].lsb()) tg ^= delta_;
+        Block wg = ha0;
+        if (a0.lsb()) wg ^= tg;
 
-      const Block te = hb0 ^ hb1 ^ a0;
-      Block we = hb0;
-      if (b0s[i].lsb()) we ^= te ^ a0;
+        const Block te = hb0 ^ hb1 ^ a0;
+        Block we = hb0;
+        if (b0s[i].lsb()) we ^= te ^ a0;
 
-      tables.put(tg);
-      tables.put(te);
-      w[outs[i]] = wg ^ we;
-    }
+        tabs[2 * i] = tg;
+        tabs[2 * i + 1] = te;
+        w[outs[i]] = wg ^ we;  // disjoint wires across shards
+      }
+    };
+    if (opt_.pool != nullptr)
+      opt_.pool->parallel_shards(n, opt_.min_shard_gates, shard);
+    else
+      shard(0, n);
+    for (size_t i = 0; i < 2 * n; ++i) tables.put(tabs[i]);
+    tables.mark_window();
     a0s.clear();
     b0s.clear();
     tweaks.clear();

@@ -14,11 +14,11 @@ BitVec slice(const BitVec& bits, size_t offset, size_t n) {
 
 }  // namespace
 
-GarblerSession::GarblerSession(Channel& ch, Block seed)
-    : ch_(ch), garbler_(ch, seed), ot_(ch), prg_(seed ^ Block{1, 0}) {}
+GarblerSession::GarblerSession(Channel& ch, Block seed, const GcOptions& opt)
+    : ch_(ch), garbler_(ch, seed, opt), ot_(ch), prg_(seed ^ Block{1, 0}) {}
 
-EvaluatorSession::EvaluatorSession(Channel& ch)
-    : ch_(ch), evaluator_(ch), ot_(ch),
+EvaluatorSession::EvaluatorSession(Channel& ch, const GcOptions& opt)
+    : ch_(ch), evaluator_(ch, opt), ot_(ch),
       prg_(Prg::from_os_entropy().next_block()) {}
 
 BitVec GarblerSession::run_chain(const std::vector<Circuit>& chain,

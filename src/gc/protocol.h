@@ -53,8 +53,9 @@ struct SessionTrace {
 class GarblerSession {
  public:
   /// `seed` feeds the label PRG (use Prg::from_os_entropy().next_block()
-  /// outside tests).
-  GarblerSession(Channel& ch, Block seed);
+  /// outside tests). `opt` selects pipeline, table framing, and the
+  /// garbling shard pool (see GcOptions); framing must match the peer.
+  GarblerSession(Channel& ch, Block seed, const GcOptions& opt = {});
 
   /// Run a chain of circuits. `data_bits` feed circuit 0's garbler
   /// inputs; circuit k>0 garbler inputs are bound to circuit k-1 outputs.
@@ -81,7 +82,7 @@ class GarblerSession {
 /// Server-side session (evaluator).
 class EvaluatorSession {
  public:
-  explicit EvaluatorSession(Channel& ch);
+  explicit EvaluatorSession(Channel& ch, const GcOptions& opt = {});
 
   /// Counterpart of run_chain: `weight_bits` are consumed circuit by
   /// circuit in declaration order of each circuit's evaluator inputs.

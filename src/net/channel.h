@@ -18,6 +18,17 @@ class Channel {
   virtual void send_bytes(const void* data, size_t n) = 0;
   virtual void recv_bytes(void* data, size_t n) = 0;
 
+  /// Receive at least `min_n` and at most `max_n` bytes, returning how
+  /// many arrived. Transports that can see "what is already available"
+  /// (TCP, the in-memory queue) override this so buffering wrappers can
+  /// read ahead without ever blocking for bytes the peer has not sent.
+  /// The default is the exact-read behavior.
+  virtual size_t recv_some(void* data, size_t min_n, size_t max_n) {
+    (void)max_n;
+    recv_bytes(data, min_n);
+    return min_n;
+  }
+
   // --- typed helpers -------------------------------------------------
   void send_block(Block b) {
     uint8_t buf[16];
@@ -29,11 +40,33 @@ class Channel {
     recv_bytes(buf, sizeof(buf));
     return Block::from_bytes(buf);
   }
+  // Bulk label transfer: one send/recv per staging chunk instead of one
+  // 16-byte channel call per block (which over TcpChannel is a syscall
+  // per block). Small runs serialize through a stack buffer; large runs
+  // pay one heap allocation for a single bulk transfer.
   void send_blocks(const Block* b, size_t n) {
-    for (size_t i = 0; i < n; ++i) send_block(b[i]);
+    constexpr size_t kStackBlocks = 256;  // 4 KiB on the stack
+    if (n <= kStackBlocks) {
+      uint8_t stage[kStackBlocks * 16];
+      for (size_t i = 0; i < n; ++i) b[i].to_bytes(stage + 16 * i);
+      if (n > 0) send_bytes(stage, n * 16);
+      return;
+    }
+    std::vector<uint8_t> stage(n * 16);
+    for (size_t i = 0; i < n; ++i) b[i].to_bytes(stage.data() + 16 * i);
+    send_bytes(stage.data(), stage.size());
   }
   void recv_blocks(Block* b, size_t n) {
-    for (size_t i = 0; i < n; ++i) b[i] = recv_block();
+    constexpr size_t kStackBlocks = 256;
+    if (n <= kStackBlocks) {
+      uint8_t stage[kStackBlocks * 16];
+      if (n > 0) recv_bytes(stage, n * 16);
+      for (size_t i = 0; i < n; ++i) b[i] = Block::from_bytes(stage + 16 * i);
+      return;
+    }
+    std::vector<uint8_t> stage(n * 16);
+    recv_bytes(stage.data(), stage.size());
+    for (size_t i = 0; i < n; ++i) b[i] = Block::from_bytes(stage.data() + 16 * i);
   }
   void send_u64(uint64_t v) { send_bytes(&v, sizeof(v)); }
   uint64_t recv_u64() {

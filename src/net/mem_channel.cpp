@@ -47,6 +47,31 @@ void MemChannel::close() {
   }
 }
 
+size_t MemChannel::recv_some(void* data, size_t min_n, size_t max_n) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  std::unique_lock<std::mutex> lock(in_->mu);
+  // Block only until min_n is satisfied; then take whatever extra is
+  // already queued (up to max_n) without waiting.
+  while (got < min_n) {
+    in_->cv.wait(lock,
+                 [&] { return in_->data.size() > in_->head || in_->closed; });
+    if (in_->data.size() == in_->head) throw ChannelClosed{};
+    const size_t avail = in_->data.size() - in_->head;
+    const size_t take = std::min(avail, max_n - got);
+    std::memcpy(p + got, in_->data.data() + in_->head, take);
+    in_->head += take;
+    got += take;
+    if (in_->head == in_->data.size()) {
+      in_->data.clear();
+      in_->head = 0;
+    }
+    in_->cv_space.notify_one();
+  }
+  received_ += got;
+  return got;
+}
+
 void MemChannel::recv_bytes(void* data, size_t n) {
   auto* p = static_cast<uint8_t*>(data);
   size_t got = 0;

@@ -36,6 +36,7 @@ class MemChannel final : public Channel {
  public:
   void send_bytes(const void* data, size_t n) override;
   void recv_bytes(void* data, size_t n) override;
+  size_t recv_some(void* data, size_t min_n, size_t max_n) override;
 
   /// Mark the outgoing direction closed; a peer blocked in recv_bytes
   /// with no pending data gets a ChannelClosed exception instead of

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -26,30 +27,70 @@ void set_nodelay(int fd) {
 
 }  // namespace
 
-TcpChannel TcpChannel::listen_and_accept(uint16_t port, uint16_t* bound_port) {
-  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (lfd < 0) die("socket");
+TcpListener::TcpListener(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) die("socket");
+  fd_.store(fd);
   int one = 1;
-  (void)setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
     die("bind");
-  if (bound_port != nullptr) {
-    socklen_t len = sizeof(addr);
-    if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
-      die("getsockname");
-    *bound_port = ntohs(addr.sin_port);
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    die("getsockname");
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd, backlog) != 0) die("listen");
+}
+
+TcpListener::TcpListener(TcpListener&& o) noexcept
+    : fd_(o.fd_.exchange(-1)), port_(o.port_) {}
+
+TcpListener::~TcpListener() {
+  // No accept() may be in flight at destruction time (the owner joins
+  // its accept thread first), so releasing the fd is safe here.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    (void)::shutdown(fd, SHUT_RDWR);
+    (void)::close(fd);
   }
-  if (::listen(lfd, 1) != 0) die("listen");
-  const int fd = ::accept(lfd, nullptr, nullptr);
-  ::close(lfd);
-  if (fd < 0) die("accept");
-  set_nodelay(fd);
-  return TcpChannel(fd);
+}
+
+TcpChannel TcpListener::accept() {
+  for (;;) {
+    const int lfd = fd_.load();
+    if (lfd < 0) throw std::runtime_error("tcp: accept on closed listener");
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return TcpChannel(fd);
+    }
+    // ECONNABORTED: the client reset while queued in the backlog — a
+    // per-connection event, not a listener failure; keep accepting.
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    throw std::runtime_error("tcp: accept: listener closed or failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+void TcpListener::close() {
+  // Shutdown only — the fd stays allocated until the destructor, so a
+  // concurrent accept() that already loaded the fd number cannot race
+  // against the kernel recycling it for an unrelated socket. shutdown()
+  // wakes a thread blocked in ::accept (EINVAL); later accepts fail the
+  // same way.
+  const int fd = fd_.load();
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+}
+
+TcpChannel TcpChannel::listen_and_accept(uint16_t port, uint16_t* bound_port) {
+  TcpListener listener(port, /*backlog=*/1);
+  if (bound_port != nullptr) *bound_port = listener.port();
+  return listener.accept();
 }
 
 TcpChannel TcpChannel::connect(const std::string& host, uint16_t port) {
@@ -82,6 +123,10 @@ TcpChannel::~TcpChannel() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void TcpChannel::shutdown() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
 void TcpChannel::send_bytes(const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
   size_t done = 0;
@@ -109,6 +154,24 @@ void TcpChannel::recv_bytes(void* data, size_t n) {
     done += static_cast<size_t>(r);
   }
   received_ += n;
+}
+
+size_t TcpChannel::recv_some(void* data, size_t min_n, size_t max_n) {
+  auto* p = static_cast<uint8_t*>(data);
+  size_t done = 0;
+  // Each recv() asks for everything still fitting in max_n; the kernel
+  // returns what has arrived, so we never block once min_n is satisfied.
+  while (done < min_n) {
+    const ssize_t r = ::recv(fd_, p + done, max_n - done, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      die("recv");
+    }
+    if (r == 0) throw std::runtime_error("tcp: peer closed connection");
+    done += static_cast<size_t>(r);
+  }
+  received_ += done;
+  return done;
 }
 
 }  // namespace deepsecure

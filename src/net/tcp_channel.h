@@ -3,8 +3,14 @@
 // protocol uses (the paper's LAN testbed). Blocking, stream-oriented,
 // with TCP_NODELAY so the request/response OT rounds are not delayed by
 // Nagle batching.
+//
+// TcpListener separates bind/listen from accept so a server can keep one
+// listening socket and accept many client sessions (runtime/server.h);
+// TcpChannel::listen_and_accept remains the one-shot convenience used by
+// the two-party tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -29,6 +35,12 @@ class TcpChannel final : public Channel {
 
   void send_bytes(const void* data, size_t n) override;
   void recv_bytes(void* data, size_t n) override;
+  size_t recv_some(void* data, size_t min_n, size_t max_n) override;
+
+  /// Shut both directions down without closing the fd. A thread blocked
+  /// in recv on this channel wakes with a "peer closed" error — the
+  /// server's forced-shutdown path for idle sessions.
+  void shutdown();
 
   uint64_t bytes_sent() const override { return sent_; }
   uint64_t bytes_received() const override { return received_; }
@@ -38,11 +50,42 @@ class TcpChannel final : public Channel {
   }
 
  private:
+  friend class TcpListener;
   explicit TcpChannel(int fd) : fd_(fd) {}
 
   int fd_ = -1;
   uint64_t sent_ = 0;
   uint64_t received_ = 0;
+};
+
+/// Reusable listening socket bound to loopback. accept() yields one
+/// connected TcpChannel per client; close() (from any thread) unblocks a
+/// pending accept, which then throws — the server shutdown path.
+class TcpListener {
+ public:
+  /// Bind + listen on `port` (0 = ephemeral) with the given backlog.
+  explicit TcpListener(uint16_t port, int backlog = 16);
+  TcpListener(TcpListener&& o) noexcept;
+  TcpListener& operator=(TcpListener&&) = delete;
+  ~TcpListener();
+
+  uint16_t port() const { return port_; }
+
+  /// Block until a client connects. Throws std::runtime_error once the
+  /// listener has been closed.
+  TcpChannel accept();
+
+  /// Stop accepting: shuts the listening socket down (waking a blocked
+  /// accept(), which then throws) but defers releasing the fd to the
+  /// destructor so a racing accept() can never touch a recycled fd.
+  /// Safe to call concurrently with accept() and idempotent.
+  void close();
+
+ private:
+  // Atomic: close() runs from the server's stop path while the accept
+  // thread is reading the fd.
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
 };
 
 }  // namespace deepsecure

@@ -1,0 +1,76 @@
+#include "runtime/client.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/prg.h"
+#include "runtime/frame.h"
+#include "support/bits.h"
+
+namespace deepsecure::runtime {
+
+InferenceClient::InferenceClient(const std::string& host, uint16_t port,
+                                 const synth::ModelSpec& spec,
+                                 ClientConfig cfg)
+    : chain_(synth::compile_model_layers(spec)),
+      fmt_(spec.fmt),
+      transport_(TcpChannel::connect(host, port)) {
+  const Block seed = cfg.seed == Block{}
+                         ? Prg::from_os_entropy().next_block()
+                         : cfg.seed;
+  garbler_ = std::make_unique<StreamingGarbler>(transport_, seed, cfg.stream);
+
+  Hello hello;
+  hello.fingerprint = chain_fingerprint(chain_);
+  hello.flags = SessionFlags{cfg.stream.framed_tables};
+  Channel& ch = garbler_->channel();
+  send_hello(ch, hello);
+  garbler_->channel().flush();
+  const Frame ack = recv_frame(ch);  // kError from the server throws here
+  if (ack.type != FrameType::kHelloAck || ack.payload.size() != 8)
+    throw std::runtime_error("client: bad handshake ack");
+  uint64_t echoed = 0;
+  std::memcpy(&echoed, ack.payload.data(), 8);
+  if (echoed != hello.fingerprint)
+    throw std::runtime_error("client: server echoed a different model chain");
+  open_ = true;
+}
+
+InferenceClient::~InferenceClient() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor during unwind: the transport may already be dead.
+  }
+}
+
+size_t InferenceClient::input_bits() const {
+  return chain_.empty() ? 0 : chain_.front().garbler_inputs.size();
+}
+
+size_t InferenceClient::infer(const std::vector<float>& sample) {
+  BitVec bits;
+  bits.reserve(sample.size() * fmt_.total_bits);
+  for (float v : sample) {
+    const BitVec b = Fixed::from_double(static_cast<double>(v), fmt_).to_bits();
+    bits.insert(bits.end(), b.begin(), b.end());
+  }
+  return from_bits(infer_bits(bits));
+}
+
+BitVec InferenceClient::infer_bits(const BitVec& data_bits) {
+  if (!open_) throw std::logic_error("client: session closed");
+  Channel& ch = garbler_->channel();
+  send_frame(ch, FrameType::kInfer);
+  return garbler_->run_chain(chain_, data_bits);
+}
+
+void InferenceClient::close() {
+  if (!open_) return;
+  open_ = false;
+  Channel& ch = garbler_->channel();
+  send_frame(ch, FrameType::kBye);
+  garbler_->channel().flush();
+}
+
+}  // namespace deepsecure::runtime

@@ -1,0 +1,62 @@
+// Client driver for the streaming inference server: the data owner
+// (Alice, garbler). Connects over TCP, performs the session handshake
+// (chain fingerprint + wire-format negotiation), and then runs any
+// number of secure inferences over one session — the base-OT setup and
+// the OT-extension state amortize across requests, and the garbled-table
+// stream is framed so the server evaluates while the client is still
+// garbling later windows.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fixed/fixed_point.h"
+#include "net/tcp_channel.h"
+#include "runtime/streaming.h"
+#include "synth/layer_circuits.h"
+
+namespace deepsecure::runtime {
+
+struct ClientConfig {
+  StreamConfig stream;
+  /// Label-PRG seed; zero draws from OS entropy (per-session seeds).
+  Block seed{};
+};
+
+class InferenceClient {
+ public:
+  /// `spec` is the public model architecture — the client compiles the
+  /// same chain the server compiled and the handshake cross-checks the
+  /// fingerprints.
+  InferenceClient(const std::string& host, uint16_t port,
+                  const synth::ModelSpec& spec, ClientConfig cfg = {});
+  ~InferenceClient();
+
+  InferenceClient(const InferenceClient&) = delete;
+  InferenceClient& operator=(const InferenceClient&) = delete;
+
+  /// One secure inference: encodes `sample` in the chain's fixed-point
+  /// format and returns the predicted label index.
+  size_t infer(const std::vector<float>& sample);
+
+  /// Raw-bit variant (caller did the encoding).
+  BitVec infer_bits(const BitVec& data_bits);
+
+  /// Phase timings accumulated across all inferences on this session.
+  const SessionTrace& trace() const { return garbler_->trace(); }
+
+  /// Orderly goodbye; further infer calls are invalid. Also run by the
+  /// destructor if still open.
+  void close();
+
+  size_t input_bits() const;
+
+ private:
+  std::vector<Circuit> chain_;
+  FixedFormat fmt_;
+  TcpChannel transport_;
+  std::unique_ptr<StreamingGarbler> garbler_;
+  bool open_ = false;
+};
+
+}  // namespace deepsecure::runtime

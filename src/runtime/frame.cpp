@@ -1,0 +1,112 @@
+#include "runtime/frame.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace deepsecure::runtime {
+namespace {
+
+constexpr size_t kMaxFrameBytes = 1 << 20;  // control frames are tiny
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  const size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  const size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+
+uint32_t get_u32(const std::vector<uint8_t>& in, size_t at) {
+  uint32_t v = 0;
+  std::memcpy(&v, in.data() + at, 4);
+  return v;
+}
+
+uint64_t get_u64(const std::vector<uint8_t>& in, size_t at) {
+  uint64_t v = 0;
+  std::memcpy(&v, in.data() + at, 8);
+  return v;
+}
+
+}  // namespace
+
+void send_frame(Channel& ch, FrameType type, const void* payload, size_t n) {
+  const uint8_t t = static_cast<uint8_t>(type);
+  const uint32_t len = static_cast<uint32_t>(n);
+  ch.send_bytes(&t, 1);
+  ch.send_bytes(&len, 4);
+  if (n > 0) ch.send_bytes(payload, n);
+}
+
+Frame recv_frame(Channel& ch) {
+  uint8_t t = 0;
+  uint32_t len = 0;
+  ch.recv_bytes(&t, 1);
+  ch.recv_bytes(&len, 4);
+  if (t < 1 || t > 5 || len > kMaxFrameBytes)
+    throw std::runtime_error("runtime: malformed session frame");
+  Frame f;
+  f.type = static_cast<FrameType>(t);
+  f.payload.resize(len);
+  if (len > 0) ch.recv_bytes(f.payload.data(), len);
+  if (f.type == FrameType::kError)
+    throw std::runtime_error(
+        "runtime: peer error: " +
+        std::string(f.payload.begin(), f.payload.end()));
+  return f;
+}
+
+void send_hello(Channel& ch, const Hello& h) {
+  std::vector<uint8_t> p;
+  put_u64(p, h.magic);
+  put_u32(p, h.version);
+  put_u64(p, h.fingerprint);
+  p.push_back(h.flags.encode());
+  send_frame(ch, FrameType::kHello, p.data(), p.size());
+}
+
+Hello parse_hello(const Frame& f) {
+  if (f.type != FrameType::kHello || f.payload.size() != 8 + 4 + 8 + 1)
+    throw std::runtime_error("runtime: bad hello frame");
+  Hello h;
+  h.magic = get_u64(f.payload, 0);
+  h.version = get_u32(f.payload, 8);
+  h.fingerprint = get_u64(f.payload, 12);
+  h.flags = SessionFlags::decode(f.payload[20]);
+  return h;
+}
+
+void send_error(Channel& ch, const std::string& reason) {
+  send_frame(ch, FrameType::kError, reason.data(), reason.size());
+}
+
+uint64_t chain_fingerprint(const std::vector<Circuit>& chain) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    // FNV-1a, one byte at a time over the u64.
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(chain.size());
+  for (const Circuit& c : chain) {
+    mix(c.num_wires);
+    mix(c.gates.size());
+    mix(c.garbler_inputs.size());
+    mix(c.evaluator_inputs.size());
+    mix(c.state_inputs.size());
+    mix(c.outputs.size());
+    for (const Gate& g : c.gates)
+      mix((uint64_t(g.a) << 32) ^ g.b ^ (uint64_t(g.out) << 16) ^
+          (uint64_t(static_cast<uint8_t>(g.op)) << 62));
+    for (Wire wire : c.outputs) mix(wire);
+  }
+  return h;
+}
+
+}  // namespace deepsecure::runtime

@@ -1,0 +1,77 @@
+// Session-level frame protocol for the streaming inference runtime.
+//
+// Two framing layers exist in the wire format:
+//   1. Garbled-table frames (gc/block_io.h): length-prefixed batch-window
+//      payloads inside one garbling pass — the data plane.
+//   2. Session frames (this header): typed control messages that bracket
+//      protocol runs — hello/ack handshake, per-inference request
+//      markers, orderly shutdown, and error reporting — the control
+//      plane of runtime/server.h and runtime/client.h.
+//
+// Session frame encoding (all integers little-endian/host, like every
+// other scalar this protocol ships):
+//   [u8 type][u32 payload_bytes][payload]
+//
+// The handshake pins down everything both endpoints must agree on
+// before protocol bytes flow: a protocol magic/version, a fingerprint
+// of the compiled circuit chain (architecture is public knowledge in
+// the paper's model — both sides compile it independently), and the
+// wire-format flags (framed tables). A mismatch yields a kError frame
+// and connection close instead of a byte-level desync mid-OT.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "net/channel.h"
+
+namespace deepsecure::runtime {
+
+inline constexpr uint64_t kProtocolMagic = 0x44535255'4e313031ull;  // "DSRUN101"
+inline constexpr uint32_t kProtocolVersion = 1;
+
+enum class FrameType : uint8_t {
+  kHello = 1,     // client -> server: magic, version, fingerprint, flags
+  kHelloAck = 2,  // server -> client: magic, fingerprint echo
+  kInfer = 3,     // client -> server: one inference follows (raw GC bytes)
+  kBye = 4,       // client -> server: orderly session end
+  kError = 5,     // either way: utf-8 reason, then close
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// Wire-format flags carried in the hello (must match on both ends).
+struct SessionFlags {
+  bool framed_tables = true;
+  uint8_t encode() const { return framed_tables ? 1u : 0u; }
+  static SessionFlags decode(uint8_t v) { return SessionFlags{(v & 1u) != 0}; }
+};
+
+struct Hello {
+  uint64_t magic = kProtocolMagic;
+  uint32_t version = kProtocolVersion;
+  uint64_t fingerprint = 0;
+  SessionFlags flags;
+};
+
+void send_frame(Channel& ch, FrameType type, const void* payload = nullptr,
+                size_t n = 0);
+Frame recv_frame(Channel& ch);
+
+void send_hello(Channel& ch, const Hello& h);
+Hello parse_hello(const Frame& f);
+
+/// Raise a std::runtime_error carrying `reason` on the peer and locally.
+void send_error(Channel& ch, const std::string& reason);
+
+/// FNV-1a over the full gate list and interface of every circuit in the
+/// chain: two endpoints that compiled different netlists (or different
+/// layer orders) disagree with overwhelming probability.
+uint64_t chain_fingerprint(const std::vector<Circuit>& chain);
+
+}  // namespace deepsecure::runtime

@@ -1,0 +1,189 @@
+#include "runtime/server.h"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "runtime/frame.h"
+
+namespace deepsecure::runtime {
+
+InferenceServer::InferenceServer(const synth::ModelSpec& spec, BitVec weights,
+                                 ServerConfig cfg)
+    : chain_(synth::compile_model_layers(spec)),
+      weights_(std::move(weights)),
+      cfg_(cfg),
+      fingerprint_(chain_fingerprint(chain_)),
+      listener_(cfg.port, /*backlog=*/64) {
+  size_t want = 0;
+  for (const Circuit& c : chain_) want += c.evaluator_inputs.size();
+  if (weights_.size() != want)
+    throw std::invalid_argument("InferenceServer: weight bit count mismatch");
+}
+
+InferenceServer::~InferenceServer() { stop(); }
+
+void InferenceServer::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void InferenceServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;  // claim the shutdown; start() is one-shot
+    stopping_ = true;
+  }
+  listener_.close();  // unblocks a pending accept()
+  slot_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<SessionHandle> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Wake handlers blocked in recv on idle sessions so join() below
+    // cannot hang on a client that never says goodbye. Registration
+    // happens under mu_ *before* the handler thread spawns, so every
+    // live session is visible here.
+    for (TcpChannel* t : active_transports_) t->shutdown();
+    handlers.swap(handlers_);
+  }
+  for (auto& h : handlers)
+    if (h.thread.joinable()) h.thread.join();
+}
+
+// Join handler threads whose sessions already finished. Caller holds
+// mu_; joins are near-instant because `done` is set in the handler's
+// final critical section.
+void InferenceServer::reap_finished_locked() {
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if (it->done->load() && it->thread.joinable()) {
+      it->thread.join();
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InferenceServer::accept_loop() {
+  for (;;) {
+    {
+      // Hold accepting until a session slot frees; pending clients wait
+      // in the listen backlog rather than being turned away.
+      std::unique_lock<std::mutex> lock(mu_);
+      slot_cv_.wait(lock, [this] {
+        return stopping_ || sessions_active_.load() < cfg_.max_sessions;
+      });
+      if (stopping_) return;
+      reap_finished_locked();
+    }
+    std::unique_ptr<TcpChannel> transport;
+    try {
+      transport = std::make_unique<TcpChannel>(listener_.accept());
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return;
+      }
+      // Transient accept failure (fd-limit spike): back off briefly —
+      // outside mu_, so session completions and stop() are not stalled —
+      // and keep serving instead of silently killing the accept loop.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    sessions_accepted_.fetch_add(1);
+    sessions_active_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {  // raced with stop(): drop the connection
+        sessions_active_.fetch_sub(1);
+        return;
+      }
+      // Register the transport before the thread exists so stop()'s
+      // forced-shutdown pass can never miss a live session.
+      active_transports_.push_back(transport.get());
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      SessionHandle h;
+      h.done = done;
+      h.thread = std::thread([this, t = std::move(transport), done]() mutable {
+        handle_session(std::move(t), done);
+      });
+      handlers_.push_back(std::move(h));
+    }
+  }
+}
+
+void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
+                                     std::shared_ptr<std::atomic<bool>> done) {
+  try {
+    BufferedChannel ch(*transport, cfg_.stream.channel_buffer);
+
+    // --- handshake ---------------------------------------------------
+    const Hello hello = parse_hello(recv_frame(ch));
+    const char* reject = nullptr;
+    if (hello.magic != kProtocolMagic || hello.version != kProtocolVersion)
+      reject = "protocol magic/version mismatch";
+    else if (hello.fingerprint != fingerprint_)
+      reject = "model chain fingerprint mismatch";
+    else if (hello.flags.framed_tables != cfg_.stream.framed_tables)
+      reject = "table framing mismatch";
+
+    if (reject != nullptr) {
+      sessions_rejected_.fetch_add(1);
+      send_error(ch, reject);
+      ch.flush();
+    } else {
+      uint8_t ack[8];
+      std::memcpy(ack, &fingerprint_, 8);
+      send_frame(ch, FrameType::kHelloAck, ack, sizeof(ack));
+      ch.flush();
+
+      // --- session loop: one EvaluatorSession (one OT setup), many
+      // inferences — the streaming amortization the paper's Figure 6
+      // assumes.
+      EvaluatorSession session(ch, cfg_.stream.gc_options(nullptr));
+      for (bool open = true; open;) {
+        const Frame f = recv_frame(ch);
+        switch (f.type) {
+          case FrameType::kInfer:
+            session.run_chain(chain_, weights_);
+            ch.flush();
+            inferences_served_.fetch_add(1);
+            break;
+          case FrameType::kBye:
+            open = false;
+            break;
+          default:
+            send_error(ch, "unexpected frame in session loop");
+            ch.flush();
+            open = false;
+            break;
+        }
+      }
+    }
+  } catch (...) {
+    // Peer vanished or sent garbage: drop the session, keep serving.
+  }
+  {
+    // Final critical section: unregister, free the slot, flag
+    // completion, and notify — all under mu_ so the accept loop's
+    // condition-variable wait cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = active_transports_.begin(); it != active_transports_.end();
+         ++it) {
+      if (*it == transport.get()) {
+        active_transports_.erase(it);
+        break;
+      }
+    }
+    sessions_active_.fetch_sub(1);
+    done->store(true);
+    slot_cv_.notify_all();
+  }
+}
+
+}  // namespace deepsecure::runtime

@@ -1,0 +1,96 @@
+// Multi-session secure-inference server — the deployment shape the
+// paper's scalability story implies: the model owner (Bob, evaluator)
+// loads one model, compiles its GC chain once, and serves many
+// concurrent client sessions over TCP, each with its own channel,
+// OT setup, and per-session label seeds on the client side.
+//
+// Concurrency model: one accept loop + one handler thread per connected
+// session, capped at `max_sessions` concurrent sessions (the accept
+// loop waits for a free slot before accepting more, so excess clients
+// queue in the listen backlog instead of being dropped). The compiled
+// chain is shared read-only across sessions; the per-circuit flush-point
+// cache is thread-safe (see Circuit::gc_flush_points).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_channel.h"
+#include "runtime/streaming.h"
+#include "synth/layer_circuits.h"
+
+namespace deepsecure::runtime {
+
+struct ServerConfig {
+  uint16_t port = 0;        // 0 = ephemeral (read back via port())
+  size_t max_sessions = 8;  // concurrent session cap
+  StreamConfig stream;
+};
+
+class InferenceServer {
+ public:
+  /// Compiles `spec` into the per-layer chain once; `weights` are the
+  /// server's private parameter bits in evaluator-input order (see
+  /// weight_bits() in core/deepsecure.h).
+  InferenceServer(const synth::ModelSpec& spec, BitVec weights,
+                  ServerConfig cfg = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Port actually bound (resolves ephemeral port 0).
+  uint16_t port() const { return listener_.port(); }
+
+  /// Spawn the accept loop. Returns immediately.
+  void start();
+
+  /// Close the listener, wait for in-flight sessions to finish, join all
+  /// threads. Idempotent.
+  void stop();
+
+  uint64_t sessions_accepted() const { return sessions_accepted_.load(); }
+  uint64_t sessions_active() const { return sessions_active_.load(); }
+  uint64_t inferences_served() const { return inferences_served_.load(); }
+  uint64_t sessions_rejected() const { return sessions_rejected_.load(); }
+
+ private:
+  // One per session: the thread plus a completion flag so finished
+  // handlers can be reaped (joined) while the server keeps running,
+  // bounding handlers_ at ~max_sessions instead of total-sessions.
+  struct SessionHandle {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void accept_loop();
+  void handle_session(std::unique_ptr<TcpChannel> transport,
+                      std::shared_ptr<std::atomic<bool>> done);
+  void reap_finished_locked();
+
+  std::vector<Circuit> chain_;
+  BitVec weights_;
+  ServerConfig cfg_;
+  uint64_t fingerprint_ = 0;
+
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::condition_variable slot_cv_;  // signaled when a session ends
+  std::vector<SessionHandle> handlers_;
+  std::vector<TcpChannel*> active_transports_;  // for forced shutdown
+  bool running_ = false;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> sessions_accepted_{0};
+  std::atomic<uint64_t> sessions_active_{0};
+  std::atomic<uint64_t> inferences_served_{0};
+  std::atomic<uint64_t> sessions_rejected_{0};
+};
+
+}  // namespace deepsecure::runtime

@@ -1,0 +1,48 @@
+#include "runtime/streaming.h"
+
+namespace deepsecure::runtime {
+
+StreamingGarbler::StreamingGarbler(Channel& transport, Block seed,
+                                   const StreamConfig& cfg)
+    : pool_(cfg.garble_threads > 0
+                ? std::make_unique<ThreadPool>(cfg.garble_threads)
+                : nullptr),
+      ch_(transport, cfg.channel_buffer),
+      session_(std::make_unique<GarblerSession>(ch_, seed,
+                                                cfg.gc_options(pool_.get()))) {}
+
+BitVec StreamingGarbler::run_chain(const std::vector<Circuit>& chain,
+                                   const BitVec& data_bits) {
+  const BitVec out = session_->run_chain(chain, data_bits);
+  ch_.flush();
+  return out;
+}
+
+BitVec StreamingGarbler::run_sequential(const Circuit& step, size_t cycles,
+                                        const BitVec& data_bits) {
+  const BitVec out = session_->run_sequential(step, cycles, data_bits);
+  ch_.flush();
+  return out;
+}
+
+StreamingEvaluator::StreamingEvaluator(Channel& transport,
+                                       const StreamConfig& cfg)
+    : ch_(transport, cfg.channel_buffer),
+      session_(std::make_unique<EvaluatorSession>(
+          ch_, cfg.gc_options(/*pool=*/nullptr))) {}
+
+BitVec StreamingEvaluator::run_chain(const std::vector<Circuit>& chain,
+                                     const BitVec& weight_bits) {
+  const BitVec out = session_->run_chain(chain, weight_bits);
+  ch_.flush();
+  return out;
+}
+
+BitVec StreamingEvaluator::run_sequential(const Circuit& step, size_t cycles,
+                                          const BitVec& weight_bits) {
+  const BitVec out = session_->run_sequential(step, cycles, weight_bits);
+  ch_.flush();
+  return out;
+}
+
+}  // namespace deepsecure::runtime

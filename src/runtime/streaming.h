@@ -1,0 +1,88 @@
+// Streaming pipelined execution engine — one endpoint of the garble →
+// transfer → eval pipeline.
+//
+// Composition (per endpoint):
+//
+//   transport Channel (TcpChannel / MemChannel)
+//     └─ BufferedChannel        small control messages coalesce
+//          └─ GarblerSession / EvaluatorSession
+//               with GcOptions{framed_tables, pool}
+//                 ├─ framed table stream: the garbler ships each
+//                 │  completed batch window as a length-prefixed frame
+//                 │  the moment it drains, and the evaluator consumes
+//                 │  frame by frame — garbling, transfer, and
+//                 │  evaluation of one circuit overlap in time
+//                 └─ ThreadPool: batch windows are sharded across
+//                    cores on the garbler side (byte-identical)
+//
+// This header is the composition layer the multi-session server, the
+// client driver, and the load-generator all build on.
+#pragma once
+
+#include <memory>
+
+#include "gc/protocol.h"
+#include "net/buffered_channel.h"
+#include "support/thread_pool.h"
+
+namespace deepsecure::runtime {
+
+struct StreamConfig {
+  GcPipeline pipeline = GcPipeline::kBatched;
+  /// Frame the garbled-table stream at batch-window granularity. Must
+  /// match the peer (negotiated in the session hello).
+  bool framed_tables = true;
+  /// Worker threads for garbler-side window sharding; 0 = garble on the
+  /// session thread only.
+  size_t garble_threads = 0;
+  /// BufferedChannel staging size for small protocol messages.
+  size_t channel_buffer = 1 << 16;
+
+  GcOptions gc_options(ThreadPool* pool) const {
+    GcOptions o;
+    o.pipeline = pipeline;
+    o.framed_tables = framed_tables;
+    o.pool = pool;
+    return o;
+  }
+};
+
+/// Client-side engine: owns the shard pool and the buffered channel, and
+/// drives a GarblerSession over them. The underlying transport must
+/// outlive this object.
+class StreamingGarbler {
+ public:
+  StreamingGarbler(Channel& transport, Block seed, const StreamConfig& cfg);
+
+  BitVec run_chain(const std::vector<Circuit>& chain, const BitVec& data_bits);
+  BitVec run_sequential(const Circuit& step, size_t cycles,
+                        const BitVec& data_bits);
+
+  const SessionTrace& trace() const { return session_->trace(); }
+  BufferedChannel& channel() { return ch_; }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;  // may be null (0 threads)
+  BufferedChannel ch_;
+  std::unique_ptr<GarblerSession> session_;
+};
+
+/// Server-side engine: evaluator role (the model owner in the paper).
+class StreamingEvaluator {
+ public:
+  StreamingEvaluator(Channel& transport, const StreamConfig& cfg);
+
+  BitVec run_chain(const std::vector<Circuit>& chain,
+                   const BitVec& weight_bits);
+  BitVec run_sequential(const Circuit& step, size_t cycles,
+                        const BitVec& weight_bits);
+
+  const SessionTrace& trace() const { return session_->trace(); }
+  BufferedChannel& channel() { return ch_; }
+
+ private:
+  BufferedChannel ch_;
+  std::unique_ptr<EvaluatorSession> session_;
+};
+
+}  // namespace deepsecure::runtime

@@ -1,0 +1,49 @@
+// Small fixed-size worker pool that shards garbling batch windows
+// across cores (GcOptions::pool, gc/garbler.cpp; owned per-endpoint by
+// runtime::StreamingGarbler). Deliberately minimal — a mutex-protected
+// task queue, no work stealing — because shard counts are tiny
+// (≤ cores) and tasks are coarse (thousands of AES calls each).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deepsecure {
+
+class ThreadPool {
+ public:
+  /// `threads` worker threads (0 is allowed: every parallel_shards call
+  /// then runs inline on the caller).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Partition [0, n_items) into contiguous shards of at least
+  /// `min_per_shard` items, run `fn(begin, end)` on each shard — workers
+  /// plus the calling thread — and wait for all shards to finish. The
+  /// first exception thrown by any shard is rethrown on the caller.
+  /// Shards are independent: `fn` must not touch another shard's range.
+  void parallel_shards(size_t n_items, size_t min_per_shard,
+                       const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace deepsecure

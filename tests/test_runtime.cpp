@@ -1,0 +1,285 @@
+// Streaming runtime regressions: the framed garbled-table stream must
+// reassemble to the exact monolithic byte stream, thread-pool-sharded
+// garbling must be byte-identical to single-threaded garbling (the
+// tweak/table-order invariant), and the streaming sessions must agree
+// with plaintext evaluation end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "circuit/bench_circuits.h"
+#include "circuit/builder.h"
+#include "gc/garble.h"
+#include "net/mem_channel.h"
+#include "runtime/frame.h"
+#include "runtime/streaming.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace deepsecure {
+namespace {
+
+// Sink channel recording every byte (garbling only sends).
+class RecordChannel : public Channel {
+ public:
+  void send_bytes(const void* data, size_t n) override {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes.insert(bytes.end(), p, p + n);
+  }
+  void recv_bytes(void*, size_t) override {
+    throw std::logic_error("RecordChannel: recv not supported");
+  }
+  uint64_t bytes_sent() const override { return bytes.size(); }
+  uint64_t bytes_received() const override { return 0; }
+  void reset_counters() override { bytes.clear(); }
+
+  std::vector<uint8_t> bytes;
+};
+
+std::vector<uint8_t> garble_stream(const Circuit& c, Block seed,
+                                   const GcOptions& opt) {
+  RecordChannel ch;
+  Garbler g(ch, seed, opt);
+  const Labels gz = g.fresh_zeros(c.garbler_inputs.size());
+  const Labels ez = g.fresh_zeros(c.evaluator_inputs.size());
+  g.garble(c, gz, ez, {});
+  return ch.bytes;
+}
+
+// Strip the [u32 len] frame headers from a framed garbling stream. The
+// first 32 bytes are the constant labels (sent raw ahead of the table
+// stream); everything after is length-prefixed frames.
+std::vector<uint8_t> deframe(const std::vector<uint8_t>& stream) {
+  constexpr size_t kConsts = 32;
+  if (stream.size() < kConsts) throw std::runtime_error("stream too short");
+  std::vector<uint8_t> out(stream.begin(), stream.begin() + kConsts);
+  size_t at = kConsts;
+  while (at < stream.size()) {
+    if (at + 4 > stream.size()) throw std::runtime_error("truncated header");
+    uint32_t len = 0;
+    std::memcpy(&len, stream.data() + at, 4);
+    at += 4;
+    if (len == 0 || len % 16 != 0 || at + len > stream.size())
+      throw std::runtime_error("malformed frame");
+    out.insert(out.end(), stream.begin() + static_cast<ptrdiff_t>(at),
+               stream.begin() + static_cast<ptrdiff_t>(at + len));
+    at += len;
+  }
+  return out;
+}
+
+Circuit random_mixed_circuit(Rng& rng, int n_gates) {
+  Builder b;
+  std::vector<Wire> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(b.input(Party::kGarbler));
+  for (int i = 0; i < 8; ++i) pool.push_back(b.input(Party::kEvaluator));
+  for (int g = 0; g < n_gates; ++g) {
+    const Wire a = pool[rng.next_below(pool.size())];
+    const Wire y = pool[rng.next_below(pool.size())];
+    switch (rng.next_below(4)) {
+      case 0: pool.push_back(b.xor_(a, y)); break;
+      case 1: pool.push_back(b.and_(a, y)); break;
+      case 2: pool.push_back(b.or_(a, y)); break;
+      default: pool.push_back(b.not_(a)); break;
+    }
+  }
+  for (int o = 0; o < 10; ++o)
+    b.output(pool[pool.size() - 1 - static_cast<size_t>(o)]);
+  return b.build();
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, ShardsCoverRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_shards(1000, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SmallRangesRunInline) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_shards(10, 128, [&](size_t lo, size_t hi) {
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 10u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesShardExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_shards(100, 1,
+                                    [&](size_t lo, size_t) {
+                                      if (lo == 0)
+                                        throw std::runtime_error("boom");
+                                    }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  int sum = 0;
+  pool.parallel_shards(7, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum, 21);
+}
+
+// ---------------------------------------------------------------------
+// Framed table stream
+
+TEST(RuntimeStream, FramesReassembleByteIdenticalSingleThread) {
+  GcOptions mono;  // defaults: batched, monolithic
+  GcOptions framed;
+  framed.framed_tables = true;
+  for (const Circuit& c :
+       {bench_circuits::wide_and(3 * kGcMaxBatchWindow + 17),
+        bench_circuits::and_chain(64)}) {
+    const auto plain = garble_stream(c, Block{7, 8}, mono);
+    const auto stream = garble_stream(c, Block{7, 8}, framed);
+    EXPECT_EQ(deframe(stream), plain) << c.name;
+    EXPECT_GT(stream.size(), plain.size());  // headers really exist
+  }
+}
+
+TEST(RuntimeStream, FramesReassembleByteIdenticalMultiThread) {
+  ThreadPool pool(3);
+  GcOptions mono;
+  GcOptions framed_mt;
+  framed_mt.framed_tables = true;
+  framed_mt.pool = &pool;
+  framed_mt.min_shard_gates = 8;  // force real sharding on small windows
+  Rng rng(515);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Circuit c = random_mixed_circuit(rng, 600);
+    const Block seed{rng.next_u64(), rng.next_u64()};
+    EXPECT_EQ(deframe(garble_stream(c, seed, framed_mt)),
+              garble_stream(c, seed, mono))
+        << "trial " << trial;
+  }
+}
+
+TEST(RuntimeStream, ThreadPoolGarblingByteIdenticalToSequential) {
+  // The retained sequential path vs 1-worker and 3-worker pools, on a
+  // circuit wide enough for multiple capacity windows.
+  const Circuit c = bench_circuits::wide_and(2 * kGcMaxBatchWindow + 311);
+  GcOptions seq;
+  const auto reference = garble_stream(c, Block{21, 42}, seq);
+  for (const size_t workers : {1u, 3u}) {
+    ThreadPool pool(workers);
+    GcOptions mt;
+    mt.pool = &pool;
+    mt.min_shard_gates = 16;
+    EXPECT_EQ(garble_stream(c, Block{21, 42}, mt), reference)
+        << workers << " workers";
+  }
+}
+
+TEST(RuntimeStream, XorOnlyCircuitProducesNoFrames) {
+  // Free-XOR-only netlist: no tables, so the framed stream must contain
+  // zero frames (just the constant labels) and still evaluate.
+  Builder b;
+  const Wire x = b.input(Party::kGarbler);
+  const Wire y = b.input(Party::kGarbler);
+  b.output(b.xor_(x, y));
+  const Circuit c = b.build();
+
+  GcOptions framed;
+  framed.framed_tables = true;
+  EXPECT_EQ(garble_stream(c, Block{1, 2}, framed).size(), 32u);
+
+  ChannelPair pair = make_channel_pair();
+  BitVec decoded;
+  std::thread g([&] {
+    Garbler gb(*pair.a, Block{1, 2}, framed);
+    const Labels gz = gb.fresh_zeros(2);
+    gb.send_active(BitVec{1, 1}, gz);
+    decoded = gb.decode_outputs(gb.garble(c, gz, {}, {}));
+  });
+  Evaluator ev(*pair.b, framed);
+  const Labels gl = ev.recv_active(2);
+  ev.send_outputs(ev.evaluate(c, gl, {}, {}));
+  g.join();
+  EXPECT_EQ(decoded, BitVec{0});
+}
+
+// ---------------------------------------------------------------------
+// Streaming sessions end to end (framed + sharded vs plaintext)
+
+TEST(RuntimeStream, StreamingSessionsMatchPlaintextChain) {
+  std::vector<Circuit> chain;
+  for (int l = 0; l < 3; ++l)
+    chain.push_back(bench_circuits::wide_chain_layer(512));
+
+  Rng rng(808);
+  BitVec data(chain.front().garbler_inputs.size());
+  for (auto& b : data) b = rng.next_bool();
+  BitVec weights;
+  for (const Circuit& c : chain)
+    for (size_t i = 0; i < c.evaluator_inputs.size(); ++i)
+      weights.push_back(rng.next_bool() ? 1 : 0);
+
+  BitVec expect = data;
+  size_t consumed = 0;
+  for (const Circuit& c : chain) {
+    const size_t n = c.evaluator_inputs.size();
+    const BitVec w(weights.begin() + static_cast<ptrdiff_t>(consumed),
+                   weights.begin() + static_cast<ptrdiff_t>(consumed + n));
+    consumed += n;
+    expect = c.eval(expect, w);
+  }
+
+  runtime::StreamConfig cfg;
+  cfg.garble_threads = 2;
+
+  ChannelPair pair = make_channel_pair();
+  BitVec got_g, got_e;
+  std::thread server([&] {
+    runtime::StreamingEvaluator eval(*pair.b, cfg);
+    got_e = eval.run_chain(chain, weights);
+  });
+  {
+    runtime::StreamingGarbler garbler(*pair.a, Block{31, 62}, cfg);
+    got_g = garbler.run_chain(chain, data);
+  }
+  server.join();
+  EXPECT_EQ(got_g, expect);
+  EXPECT_EQ(got_e, expect);
+}
+
+// ---------------------------------------------------------------------
+// Session frames + fingerprint
+
+TEST(RuntimeFrame, RoundTripAndErrorPropagation) {
+  ChannelPair pair = make_channel_pair();
+  runtime::Hello h;
+  h.fingerprint = 0xdeadbeefcafef00dull;
+  runtime::send_hello(*pair.a, h);
+  const runtime::Hello back = runtime::parse_hello(runtime::recv_frame(*pair.b));
+  EXPECT_EQ(back.magic, runtime::kProtocolMagic);
+  EXPECT_EQ(back.fingerprint, h.fingerprint);
+  EXPECT_TRUE(back.flags.framed_tables);
+
+  runtime::send_error(*pair.b, "nope");
+  EXPECT_THROW(runtime::recv_frame(*pair.a), std::runtime_error);
+}
+
+TEST(RuntimeFrame, FingerprintSeparatesChains) {
+  const std::vector<Circuit> a{bench_circuits::wide_and(100)};
+  const std::vector<Circuit> b{bench_circuits::wide_and(101)};
+  const std::vector<Circuit> a2{bench_circuits::wide_and(100)};
+  EXPECT_EQ(runtime::chain_fingerprint(a), runtime::chain_fingerprint(a2));
+  EXPECT_NE(runtime::chain_fingerprint(a), runtime::chain_fingerprint(b));
+}
+
+}  // namespace
+}  // namespace deepsecure
