@@ -4,8 +4,9 @@
 //
 //   ./loadgen_inference [--sessions N] [--requests M] [--threads T]
 //                       [--layers L] [--gates G] [--out FILE]
+//                       [--precomputed] [--strict-precomputed]
 //
-// Two measurements:
+// Measurements:
 //   1. overlap: one streaming session over TCP loopback garbling a
 //      chain of wide layers. Reports wall-clock vs the sum of the
 //      garble / transfer / eval phase times — streaming pipelining makes
@@ -14,7 +15,16 @@
 //   2. load: an InferenceServer serving N concurrent TCP sessions of M
 //      inferences each; reports sessions/sec, requests/sec and p50/p95
 //      per-inference latency.
+//   3. with --precomputed, the same load again from a warm MaterialPool
+//      (the offline/online split): artifacts are garbled and pushed
+//      ahead of the timed window, so each request is label transfer +
+//      evaluation only. Emits pooled vs on-demand p50/p95 side by side;
+//      --strict-precomputed fails the run when warm-pool p50 is not
+//      below the on-demand p50 (local acceptance gate — CI runs
+//      non-strict because shared runners make timing flaky).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -47,6 +57,10 @@ struct Args {
   // perf property should not train anyone to ignore a red smoke job.
   // The acceptance run uses --strict-overlap locally.
   bool strict_overlap = false;
+  // Also measure the warm-MaterialPool (offline/online split) load.
+  bool precomputed = false;
+  // Fail (exit 1) when warm-pool p50 >= on-demand p50.
+  bool strict_precomputed = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -64,6 +78,11 @@ Args parse_args(int argc, char** argv) {
     else if (k == "--gates") a.gates = std::stoul(next());
     else if (k == "--out") a.out = next();
     else if (k == "--strict-overlap") a.strict_overlap = true;
+    else if (k == "--precomputed") a.precomputed = true;
+    else if (k == "--strict-precomputed") {
+      a.precomputed = true;
+      a.strict_precomputed = true;
+    }
     else throw std::runtime_error("unknown flag " + k);
   }
   return a;
@@ -171,7 +190,9 @@ struct LoadResult {
   size_t sessions = 0, requests = 0;
   double wall_s = 0;
   double p50_ms = 0, p95_ms = 0;
+  double offline_s = 0;  // pooled mode: prefetch (offline phase) time
   uint64_t served = 0;
+  uint64_t pooled = 0;
   double requests_per_s() const { return wall_s > 0 ? double(served) / wall_s : 0; }
   double sessions_per_s() const {
     return wall_s > 0 ? double(sessions) / wall_s : 0;
@@ -189,7 +210,11 @@ synth::ModelSpec load_spec() {
   return spec;
 }
 
-LoadResult measure_load(const Args& args) {
+// One load sweep. `pooled` switches the clients to the offline/online
+// split: each session garbles its artifacts in the background, pushes
+// them to the server *before* the timed window (offline phase, recorded
+// separately), and the timed requests run the online phase only.
+LoadResult measure_load(const Args& args, bool pooled) {
   const synth::ModelSpec spec = load_spec();
   Rng rng(99);
   BitVec weights;
@@ -201,17 +226,52 @@ LoadResult measure_load(const Args& args) {
 
   runtime::ServerConfig scfg;
   scfg.max_sessions = std::max<size_t>(args.sessions, 1);
+  scfg.max_prefetch = std::max<size_t>(args.requests, 1);
   runtime::InferenceServer server(spec, weights, scfg);
   server.start();
 
   std::vector<std::vector<double>> latencies(args.sessions);
+  std::vector<double> offline(args.sessions, 0.0);
+  std::vector<std::exception_ptr> errors(args.sessions);
   std::vector<std::thread> clients;
+  // In pooled mode every session finishes its offline prefetch before
+  // the timed window opens, so wall_s / requests_per_s measure the
+  // online phase only (offline cost is reported as offline_prefetch_s).
+  std::atomic<size_t> warmed{0};
+  std::atomic<bool> go{!pooled};
   Stopwatch wall;
   for (size_t s = 0; s < args.sessions; ++s) {
     clients.emplace_back([&, s] {
+      try {
       runtime::ClientConfig ccfg;
       ccfg.seed = Block{1000 + s, 2000 + s};  // per-session PRG seed
+      if (pooled) {
+        ccfg.pool_target = args.requests;
+        ccfg.pool_producers = 2;
+        ccfg.auto_top_up = false;  // every timed request hits warm material
+      }
       runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
+      if (pooled) {
+        Stopwatch osw;
+        client.prefetch(args.requests);
+        offline[s] = osw.seconds();  // the actual offline push cost
+        // Separately, let the pool's background refill (triggered by
+        // the acquires above) finish, so no garbling competes for CPU
+        // inside the timed online window; this wait is bench hygiene,
+        // not offline-phase cost. Sleep-poll: spinning would steal
+        // cycles from the very producers being waited on. Deadlined: a
+        // parked producer failure is only rethrown on acquire, which
+        // this loop never calls — without a bound it would hang CI.
+        Stopwatch refill;
+        while (client.pool_ready() < args.requests) {
+          if (refill.seconds() > 120.0)
+            throw std::runtime_error("loadgen: pool refill stalled");
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        warmed.fetch_add(1);
+        while (!go.load())
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
       Rng srng(31 * s + 7);
       for (size_t r = 0; r < args.requests; ++r) {
         std::vector<float> x(8);
@@ -222,9 +282,24 @@ LoadResult measure_load(const Args& args) {
         latencies[s].push_back(sw.seconds() * 1e3);
       }
       client.close();
+      } catch (...) {
+        // A throw escaping the thread would terminate the process;
+        // park it (main rethrows after join) and, in pooled mode,
+        // unblock the warm barrier so the other sessions can finish.
+        errors[s] = std::current_exception();
+        warmed.fetch_add(1);
+      }
     });
   }
+  if (pooled) {
+    while (warmed.load() < args.sessions)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    wall.restart();  // timed window starts with every pool warm
+    go.store(true);
+  }
   for (auto& t : clients) t.join();
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
   LoadResult r;
   r.wall_s = wall.seconds();
   server.stop();
@@ -235,16 +310,23 @@ LoadResult measure_load(const Args& args) {
   r.sessions = args.sessions;
   r.requests = args.requests;
   r.served = server.inferences_served();
+  r.pooled = server.inferences_pooled();
+  // Sessions prefetch concurrently: the offline phase's wall cost is
+  // the slowest session's, not the sum.
+  for (double o : offline) r.offline_s = std::max(r.offline_s, o);
   if (!all.empty()) {
     r.p50_ms = all[all.size() / 2];
     r.p95_ms = all[std::min(all.size() - 1, (all.size() * 95) / 100)];
   }
   if (r.served != uint64_t(args.sessions * args.requests))
     throw std::runtime_error("loadgen: server served fewer inferences than sent");
+  if (pooled && r.pooled != r.served)
+    throw std::runtime_error("loadgen: pooled run fell back to on-demand");
   return r;
 }
 
-void emit_json(std::FILE* f, const OverlapResult& o, const LoadResult& l) {
+void emit_json(std::FILE* f, const OverlapResult& o, const LoadResult& l,
+               const LoadResult* pre) {
   std::fprintf(f, "{\n  \"bench\": \"loadgen_inference\",\n");
   std::fprintf(f,
                "  \"overlap\": {\"layers\": %zu, \"gates_per_layer\": %zu, "
@@ -258,10 +340,28 @@ void emit_json(std::FILE* f, const OverlapResult& o, const LoadResult& l) {
                "  \"load\": {\"sessions\": %zu, \"requests_per_session\": %zu, "
                "\"inferences\": %llu, \"wall_s\": %.6f, \"sessions_per_s\": "
                "%.3f, \"requests_per_s\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": "
-               "%.3f}\n}\n",
+               "%.3f}%s\n",
                l.sessions, l.requests,
                static_cast<unsigned long long>(l.served), l.wall_s,
-               l.sessions_per_s(), l.requests_per_s(), l.p50_ms, l.p95_ms);
+               l.sessions_per_s(), l.requests_per_s(), l.p50_ms, l.p95_ms,
+               pre != nullptr ? "," : "");
+  if (pre != nullptr) {
+    // Warm-pool run: p50/p95 cover the online phase only; the offline
+    // garbling + prefetch cost is reported beside it, not hidden.
+    std::fprintf(
+        f,
+        "  \"load_precomputed\": {\"sessions\": %zu, "
+        "\"requests_per_session\": %zu, \"inferences\": %llu, "
+        "\"pooled\": %llu, \"offline_prefetch_s\": %.6f, \"wall_s\": %.6f, "
+        "\"requests_per_s\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+        "\"p50_speedup_vs_ondemand\": %.3f}\n",
+        pre->sessions, pre->requests,
+        static_cast<unsigned long long>(pre->served),
+        static_cast<unsigned long long>(pre->pooled), pre->offline_s,
+        pre->wall_s, pre->requests_per_s(), pre->p50_ms, pre->p95_ms,
+        pre->p50_ms > 0 ? l.p50_ms / pre->p50_ms : 0.0);
+  }
+  std::fprintf(f, "}\n");
 }
 
 }  // namespace
@@ -270,12 +370,15 @@ int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
     const OverlapResult overlap = measure_overlap(args);
-    const LoadResult load = measure_load(args);
-    emit_json(stdout, overlap, load);
+    const LoadResult load = measure_load(args, /*pooled=*/false);
+    LoadResult pre;
+    if (args.precomputed) pre = measure_load(args, /*pooled=*/true);
+    const LoadResult* pre_p = args.precomputed ? &pre : nullptr;
+    emit_json(stdout, overlap, load, pre_p);
     if (!args.out.empty()) {
       std::FILE* f = std::fopen(args.out.c_str(), "w");
       if (f == nullptr) throw std::runtime_error("cannot open " + args.out);
-      emit_json(f, overlap, load);
+      emit_json(f, overlap, load, pre_p);
       std::fclose(f);
     }
     if (overlap.wall_s >= overlap.phase_sum()) {
@@ -284,6 +387,13 @@ int main(int argc, char** argv) {
                    "phase sum %.3fs)\n",
                    overlap.wall_s, overlap.phase_sum());
       if (args.strict_overlap) return 1;
+    }
+    if (args.precomputed && pre.p50_ms >= load.p50_ms) {
+      std::fprintf(stderr,
+                   "loadgen: WARNING: warm pool not faster (pooled p50 "
+                   "%.3fms >= on-demand p50 %.3fms)\n",
+                   pre.p50_ms, load.p50_ms);
+      if (args.strict_precomputed) return 1;
     }
     return 0;
   } catch (const std::exception& e) {

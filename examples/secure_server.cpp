@@ -1,7 +1,7 @@
 // Secure inference server: loads the demo model once and serves
 // concurrent private-inference sessions over TCP until interrupted.
 //
-//   ./example_secure_server [port] [max_sessions]
+//   ./example_secure_server [port] [max_sessions] [idle_timeout_ms]
 //
 // Pair with example_secure_client, which owns the data samples.
 #include <atomic>
@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   runtime::ServerConfig cfg;
   cfg.port = argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 31337;
   cfg.max_sessions = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 8;
+  if (argc > 3) cfg.idle_timeout_ms = static_cast<uint64_t>(std::atoll(argv[3]));
 
   runtime::InferenceServer server(demo::demo_spec(), demo::demo_weight_bits(),
                                   cfg);
@@ -40,9 +41,10 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
   std::printf("secure_server: shutting down (%llu sessions, %llu inferences "
-              "served)\n",
+              "served, %llu from prefetched material)\n",
               static_cast<unsigned long long>(server.sessions_accepted()),
-              static_cast<unsigned long long>(server.inferences_served()));
+              static_cast<unsigned long long>(server.inferences_served()),
+              static_cast<unsigned long long>(server.inferences_pooled()));
   server.stop();
   return 0;
 }

@@ -1,0 +1,93 @@
+// Offline-phase garbling artifacts (the DeepSecure offline/online split,
+// Section 2.2 / the paper's "constant + input-dependent" cost model):
+// everything about a garbled execution that does not depend on either
+// party's inputs is computed ahead of time and captured in a
+// self-contained GarbledMaterial. The online phase then consumes one
+// artifact per inference and is reduced to label transfer + evaluation:
+//
+//   offline (garbler, local):   garble the chain -> tables, input-label
+//                               pairs, output-decode bits, fingerprint
+//   offline (both, interactive):random-OT precompute + derandomized
+//                               label transfer for the evaluator's
+//                               static inputs; ship tables/decode bits
+//   online  (garbler):          send active data labels  (n0 blocks)
+//   online  (evaluator):        evaluate from local material, decode,
+//                               return the result
+//
+// Each artifact burns one fresh delta / label set and must be used for
+// exactly one evaluation (reuse would leak wire values), which is why
+// the runtime pools whole instances rather than caching one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gc/garble.h"
+
+namespace deepsecure {
+
+/// FNV-1a over the full gate list and interface of every circuit in the
+/// chain: two endpoints that compiled different netlists (or different
+/// layer orders) disagree with overwhelming probability. Stamped into
+/// every offline artifact and cross-checked by the runtime handshake
+/// (runtime::chain_fingerprint is an alias of this).
+uint64_t chain_fingerprint(const std::vector<Circuit>& chain);
+
+/// Garbler-side offline artifact for one inference over a circuit
+/// chain. `tables` is the monolithic constant-label + garbled-table
+/// stream exactly as Evaluator::evaluate consumes it, circuit by
+/// circuit in chain order (always unframed: the artifact ships as one
+/// opaque bulk payload, so window framing would only add headers).
+struct GarbledMaterial {
+  uint64_t fingerprint = 0;  // chain_fingerprint of the garbled chain
+  Block delta{};
+  Labels data_zeros;   // circuit-0 garbler-input zero labels
+  Labels eval_zeros;   // evaluator-input zero labels, chain order
+  BitVec decode_bits;  // lsb permute bits of the final outputs
+  std::vector<uint8_t> tables;
+
+  /// Number of oblivious transfers the online phase needs — one per
+  /// evaluator input bit across the whole chain.
+  size_t ot_count() const { return eval_zeros.size(); }
+};
+
+/// Offline stage: garble `chain` into a self-contained artifact. Pure
+/// local computation — no channel, no peer. `opt.pipeline` and
+/// `opt.pool` apply as in streaming garbling; `opt.framed_tables` is
+/// ignored (see GarbledMaterial::tables).
+GarbledMaterial garble_offline(const std::vector<Circuit>& chain, Block seed,
+                               const GcOptions& opt = {});
+
+/// Evaluator-side half of one pooled inference: everything that arrived
+/// ahead of the request. `eval_labels` are the *active* evaluator-input
+/// labels (the precomputed OTs already resolved them).
+struct EvalMaterial {
+  Labels eval_labels;
+  BitVec decode_bits;
+  std::vector<uint8_t> tables;
+};
+
+/// Online stage, evaluator side: evaluate `chain` against local
+/// material. `garbler_labels` are the active circuit-0 garbler-input
+/// labels — the only per-request transfer. Returns the decoded output
+/// bits (decode happens locally via the artifact's decode bits).
+BitVec evaluate_material(const std::vector<Circuit>& chain,
+                         const EvalMaterial& mat, const Labels& garbler_labels,
+                         const GcOptions& opt = {});
+
+/// Ship the input-independent bytes of an artifact (decode bits +
+/// tables) to the peer. The evaluator-input labels travel separately
+/// through the precomputed-OT derandomization.
+void send_material(Channel& ch, const GarbledMaterial& mat);
+
+/// Counterpart of send_material: returns an EvalMaterial with
+/// `eval_labels` still empty (the caller fills it after the OT step).
+/// The limits bound the allocations a peer's length headers can demand
+/// (both the decode-bit count and the table stream are read from the
+/// wire) — a server that knows the chain passes the exact expected
+/// sizes.
+EvalMaterial recv_material(Channel& ch,
+                           uint64_t max_table_bytes = uint64_t{1} << 30,
+                           uint64_t max_decode_bits = uint64_t{1} << 24);
+
+}  // namespace deepsecure

@@ -6,6 +6,13 @@
 //  * Extension: IKNP'03 semi-honest OT extension with stateful AES-CTR
 //    column PRGs, so one base-OT setup serves any number of label
 //    transfers across all layers of a model.
+//  * Precomputation: the extension also exposes *random* OTs — the
+//    sender gets uniform pairs (r0, r1), the receiver a random choice c
+//    and r_c — which are input-independent and therefore run in the
+//    offline phase. The online phase derandomizes them (Beaver '95):
+//    the receiver sends one correction vector d = b ^ c, the sender
+//    answers with masked messages, and no fresh extension rounds happen
+//    on the request path.
 #pragma once
 
 #include <array>
@@ -30,6 +37,21 @@ std::vector<Block> base_ot_recv(Channel& ch, const BitVec& choices, Prg& prg);
 
 inline constexpr size_t kOtExtKappa = 128;  // base-OT security parameter
 
+/// A batch of precomputed random OTs, sender side: uniform pairs
+/// (r0[i], r1[i]) of which the receiver knows exactly one.
+struct OtPrecompSender {
+  std::vector<Block> r0, r1;
+  size_t size() const { return r0.size(); }
+};
+
+/// Receiver side of the same batch: a random choice vector c and the
+/// corresponding r_c blocks.
+struct OtPrecompReceiver {
+  BitVec choices;
+  std::vector<Block> blocks;
+  size_t size() const { return blocks.size(); }
+};
+
 class OtExtSender {
  public:
   explicit OtExtSender(Channel& ch) : ch_(ch) {}
@@ -43,6 +65,22 @@ class OtExtSender {
   /// Correlated variant used for wire labels: pair i is
   /// (zeros[i], zeros[i] ^ delta). Saves building the pair vector.
   void send_correlated(const std::vector<Block>& zeros, Block delta);
+
+  /// Offline phase: run `m` *random* OTs (one extension round, no
+  /// payload message — the hashes themselves are the messages).
+  OtPrecompSender precompute(size_t m);
+
+  /// Online phase, general form: receive the peer's correction vector
+  /// (must cover exactly `msgs.size()` OTs, else the batch is rejected)
+  /// and send the masked pairs. Consumes `pre` logically; the caller
+  /// must not reuse it.
+  void send_derandomized(const OtPrecompSender& pre,
+                         const std::vector<std::pair<Block, Block>>& msgs);
+
+  /// Online phase, correlated form for wire labels.
+  void send_correlated_derandomized(const OtPrecompSender& pre,
+                                    const std::vector<Block>& zeros,
+                                    Block delta);
 
  private:
   std::vector<Block> recv_q_rows(size_t m);
@@ -65,7 +103,21 @@ class OtExtReceiver {
   /// Receive msgs[i] for choices[i].
   std::vector<Block> recv(const BitVec& choices);
 
+  /// Offline phase: run `m` random OTs with choices drawn from `prg`.
+  OtPrecompReceiver precompute(size_t m, Prg& prg);
+
+  /// Online phase: derandomize `pre` to the real `choices` with a single
+  /// correction message, then unmask the sender's payload. Rejects a
+  /// choice vector whose size differs from the precomputed batch.
+  /// Consumes `pre` logically; the caller must not reuse it.
+  std::vector<Block> recv_derandomized(const OtPrecompReceiver& pre,
+                                       const BitVec& choices);
+
  private:
+  /// Extension round for `choices`: expand the column PRGs, ship the u
+  /// columns as one packed bulk message, return the t rows.
+  std::vector<Block> send_t_rows(const BitVec& choices);
+
   Channel& ch_;
   std::vector<std::unique_ptr<Prg>> col_prg0_;  // PRG(k_i^0)
   std::vector<std::unique_ptr<Prg>> col_prg1_;  // PRG(k_i^1)

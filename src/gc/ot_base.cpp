@@ -6,6 +6,7 @@
 // since a(B - cA) = abG.
 #include "gc/ot.h"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "crypto/ed25519.h"
@@ -43,39 +44,54 @@ Ed25519Point recv_point(Channel& ch) {
 
 }  // namespace
 
+// The receiver's B points depend only on its local randomness (and A),
+// and the sender's ciphertext pairs only on the B points — so each
+// direction travels as one bulk message instead of per-instance
+// send/recv ping-pong: A, then all n B points, then all 2n ciphertext
+// blocks.
 void base_ot_send(Channel& ch, const std::vector<std::pair<Block, Block>>& msgs,
                   Prg& prg) {
+  const size_t n = msgs.size();
   const Ed25519Scalar a = random_scalar(prg);
   const Ed25519Point big_a = Ed25519Point::base_mul(a);
   send_point(ch, big_a);
 
-  for (size_t i = 0; i < msgs.size(); ++i) {
-    const Ed25519Point big_b = recv_point(ch);
-    const Ed25519Point k0_point = Ed25519Point::mul(big_b, a);
+  std::vector<uint8_t> enc_bs(n * 64);
+  if (n > 0) ch.recv_bytes(enc_bs.data(), enc_bs.size());
+  std::vector<Block> payload(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    auto big_b = Ed25519Point::decode(enc_bs.data() + i * 64);
+    if (!big_b) throw std::runtime_error("base OT: off-curve point received");
+    const Ed25519Point k0_point = Ed25519Point::mul(*big_b, a);
     const Ed25519Point k1_point =
-        Ed25519Point::mul(Ed25519Point::sub(big_b, big_a), a);
-    const Block e0 = msgs[i].first ^ point_kdf(k0_point, i);
-    const Block e1 = msgs[i].second ^ point_kdf(k1_point, i);
-    ch.send_block(e0);
-    ch.send_block(e1);
+        Ed25519Point::mul(Ed25519Point::sub(*big_b, big_a), a);
+    payload[2 * i] = msgs[i].first ^ point_kdf(k0_point, i);
+    payload[2 * i + 1] = msgs[i].second ^ point_kdf(k1_point, i);
   }
+  if (n > 0) ch.send_blocks(payload.data(), payload.size());
 }
 
 std::vector<Block> base_ot_recv(Channel& ch, const BitVec& choices, Prg& prg) {
+  const size_t n = choices.size();
   const Ed25519Point big_a = recv_point(ch);
 
-  std::vector<Block> out(choices.size());
-  for (size_t i = 0; i < choices.size(); ++i) {
+  std::vector<Block> keys(n);
+  std::vector<uint8_t> enc_bs(n * 64);
+  for (size_t i = 0; i < n; ++i) {
     const Ed25519Scalar b = random_scalar(prg);
     Ed25519Point big_b = Ed25519Point::base_mul(b);
     if (choices[i]) big_b = Ed25519Point::add(big_b, big_a);
-    send_point(ch, big_b);
-
-    const Block key = point_kdf(Ed25519Point::mul(big_a, b), i);
-    const Block e0 = ch.recv_block();
-    const Block e1 = ch.recv_block();
-    out[i] = (choices[i] ? e1 : e0) ^ key;
+    const auto enc = big_b.encode();
+    std::memcpy(enc_bs.data() + i * 64, enc.data(), enc.size());
+    keys[i] = point_kdf(Ed25519Point::mul(big_a, b), i);
   }
+  if (n > 0) ch.send_bytes(enc_bs.data(), enc_bs.size());
+
+  std::vector<Block> payload(2 * n);
+  if (n > 0) ch.recv_blocks(payload.data(), payload.size());
+  std::vector<Block> out(n);
+  for (size_t i = 0; i < n; ++i)
+    out[i] = payload[2 * i + (choices[i] ? 1 : 0)] ^ keys[i];
   return out;
 }
 

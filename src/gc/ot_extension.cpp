@@ -8,7 +8,15 @@
 //   rows:     q_j = t_j ^ r_j * s
 //   sender:   y_j^b = x_j^b ^ H(q_j ^ b*s, j);   receiver: H(t_j, j)
 // Column PRGs are stateful so repeated batches (per-layer label
-// transfers) reuse the single setup.
+// transfers) reuse the single setup. The kappa u columns travel as one
+// packed bulk message, not kappa per-column sends.
+//
+// Random-OT precomputation reuses the same machinery but stops after
+// the hashes: r_j^b = H(q_j ^ b*s, j) *are* the sender's random pairs
+// and H(t_j, j) the receiver's chosen one. Derandomization (Beaver) is
+// the only online step: the receiver reveals d = b ^ c in one
+// correction message and the sender masks its real messages with
+// (r_d, r_{1^d}) — so x_b = e_b ^ r_c on the receiving end.
 #include "gc/ot.h"
 
 #include <stdexcept>
@@ -42,6 +50,8 @@ std::vector<Block> transpose_to_rows(
   }
   return rows;
 }
+
+size_t column_stride(size_t m) { return (m + 7) / 8; }
 
 }  // namespace
 
@@ -81,15 +91,43 @@ void OtExtReceiver::setup(Prg& prg) {
 
 std::vector<Block> OtExtSender::recv_q_rows(size_t m) {
   if (!ready_) throw std::logic_error("OtExtSender: setup() not run");
+  // All kappa u columns arrive as one packed bulk message. The leading
+  // batch size guards against a sender/receiver m disagreement — the
+  // raw packed read would otherwise desynchronize the stream silently.
+  if (ch_.recv_u64() != m)
+    throw std::runtime_error("OT ext: batch size mismatch");
+  const size_t stride = column_stride(m);
+  std::vector<uint8_t> packed(kOtExtKappa * stride);
+  ch_.recv_bytes(packed.data(), packed.size());
   std::vector<std::vector<uint8_t>> q_cols(kOtExtKappa);
   for (size_t i = 0; i < kOtExtKappa; ++i) {
     q_cols[i] = col_prg_[i]->expand_bits(m);
-    const BitVec u = ch_.recv_bits();
-    if (u.size() != m) throw std::runtime_error("OT ext: bad u column size");
-    if (s_[i])
-      for (size_t j = 0; j < m; ++j) q_cols[i][j] ^= u[j];
+    if (!s_[i]) continue;
+    const uint8_t* u = packed.data() + i * stride;
+    for (size_t j = 0; j < m; ++j)
+      q_cols[i][j] ^= (u[j / 8] >> (j % 8)) & 1u;
   }
   return transpose_to_rows(q_cols, m);
+}
+
+std::vector<Block> OtExtReceiver::send_t_rows(const BitVec& choices) {
+  if (!ready_) throw std::logic_error("OtExtReceiver: setup() not run");
+  const size_t m = choices.size();
+  ch_.send_u64(m);
+  const size_t stride = column_stride(m);
+  std::vector<uint8_t> packed(kOtExtKappa * stride, 0);
+  std::vector<std::vector<uint8_t>> t_cols(kOtExtKappa);
+  for (size_t i = 0; i < kOtExtKappa; ++i) {
+    t_cols[i] = col_prg0_[i]->expand_bits(m);
+    const std::vector<uint8_t> other = col_prg1_[i]->expand_bits(m);
+    uint8_t* u = packed.data() + i * stride;
+    for (size_t j = 0; j < m; ++j) {
+      const uint8_t bit = t_cols[i][j] ^ other[j] ^ (choices[j] & 1u);
+      u[j / 8] |= static_cast<uint8_t>(bit << (j % 8));
+    }
+  }
+  ch_.send_bytes(packed.data(), packed.size());
+  return transpose_to_rows(t_cols, m);
 }
 
 void OtExtSender::send(const std::vector<std::pair<Block, Block>>& msgs) {
@@ -120,20 +158,12 @@ void OtExtSender::send_correlated(const std::vector<Block>& zeros,
 }
 
 std::vector<Block> OtExtReceiver::recv(const BitVec& choices) {
-  if (!ready_) throw std::logic_error("OtExtReceiver: setup() not run");
   const size_t m = choices.size();
-  if (m == 0) return {};
-
-  std::vector<std::vector<uint8_t>> t_cols(kOtExtKappa);
-  for (size_t i = 0; i < kOtExtKappa; ++i) {
-    t_cols[i] = col_prg0_[i]->expand_bits(m);
-    const std::vector<uint8_t> other = col_prg1_[i]->expand_bits(m);
-    BitVec u(m);
-    for (size_t j = 0; j < m; ++j)
-      u[j] = t_cols[i][j] ^ other[j] ^ (choices[j] & 1u);
-    ch_.send_bits(u);
+  if (m == 0) {
+    if (!ready_) throw std::logic_error("OtExtReceiver: setup() not run");
+    return {};
   }
-  const std::vector<Block> t = transpose_to_rows(t_cols, m);
+  const std::vector<Block> t = send_t_rows(choices);
 
   std::vector<Block> payload(2 * m);
   ch_.recv_bytes(payload.data(), payload.size() * sizeof(Block));
@@ -142,6 +172,92 @@ std::vector<Block> OtExtReceiver::recv(const BitVec& choices) {
     const uint64_t idx = hash_index_++;
     out[j] = payload[2 * j + (choices[j] ? 1 : 0)] ^ ot_hash(t[j], idx);
   }
+  return out;
+}
+
+// --- precomputation (offline) + derandomization (online) --------------
+
+OtPrecompSender OtExtSender::precompute(size_t m) {
+  OtPrecompSender pre;
+  if (m == 0) {
+    if (!ready_) throw std::logic_error("OtExtSender: setup() not run");
+    return pre;
+  }
+  const std::vector<Block> q = recv_q_rows(m);
+  pre.r0.resize(m);
+  pre.r1.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    const uint64_t idx = hash_index_++;
+    pre.r0[j] = ot_hash(q[j], idx);
+    pre.r1[j] = ot_hash(q[j] ^ s_block_, idx);
+  }
+  return pre;
+}
+
+OtPrecompReceiver OtExtReceiver::precompute(size_t m, Prg& prg) {
+  OtPrecompReceiver pre;
+  if (m == 0) {
+    if (!ready_) throw std::logic_error("OtExtReceiver: setup() not run");
+    return pre;
+  }
+  pre.choices = prg.expand_bits(m);  // batched: ~m/128 AES calls
+  const std::vector<Block> t = send_t_rows(pre.choices);
+  pre.blocks.resize(m);
+  for (size_t j = 0; j < m; ++j) pre.blocks[j] = ot_hash(t[j], hash_index_++);
+  return pre;
+}
+
+void OtExtSender::send_derandomized(
+    const OtPrecompSender& pre,
+    const std::vector<std::pair<Block, Block>>& msgs) {
+  const size_t m = msgs.size();
+  if (pre.size() != m)
+    throw std::invalid_argument("OT derandomize: batch size mismatch");
+  if (m == 0) return;
+  const BitVec d = ch_.recv_bits_bounded(m);
+  if (d.size() != m)
+    throw std::runtime_error("OT derandomize: correction size mismatch");
+  std::vector<Block> payload(2 * m);
+  for (size_t j = 0; j < m; ++j) {
+    payload[2 * j] = msgs[j].first ^ (d[j] ? pre.r1[j] : pre.r0[j]);
+    payload[2 * j + 1] = msgs[j].second ^ (d[j] ? pre.r0[j] : pre.r1[j]);
+  }
+  ch_.send_blocks(payload.data(), payload.size());
+}
+
+void OtExtSender::send_correlated_derandomized(const OtPrecompSender& pre,
+                                               const std::vector<Block>& zeros,
+                                               Block delta) {
+  const size_t m = zeros.size();
+  if (pre.size() != m)
+    throw std::invalid_argument("OT derandomize: batch size mismatch");
+  if (m == 0) return;
+  const BitVec d = ch_.recv_bits_bounded(m);
+  if (d.size() != m)
+    throw std::runtime_error("OT derandomize: correction size mismatch");
+  std::vector<Block> payload(2 * m);
+  for (size_t j = 0; j < m; ++j) {
+    payload[2 * j] = zeros[j] ^ (d[j] ? pre.r1[j] : pre.r0[j]);
+    payload[2 * j + 1] = zeros[j] ^ delta ^ (d[j] ? pre.r0[j] : pre.r1[j]);
+  }
+  ch_.send_blocks(payload.data(), payload.size());
+}
+
+std::vector<Block> OtExtReceiver::recv_derandomized(
+    const OtPrecompReceiver& pre, const BitVec& choices) {
+  const size_t m = choices.size();
+  if (pre.size() != m)
+    throw std::invalid_argument("OT derandomize: choice count mismatch");
+  if (m == 0) return {};
+  // One correction message: d = b ^ c.
+  BitVec d(m);
+  for (size_t j = 0; j < m; ++j) d[j] = (choices[j] ^ pre.choices[j]) & 1u;
+  ch_.send_bits(d);
+  std::vector<Block> payload(2 * m);
+  ch_.recv_blocks(payload.data(), payload.size());
+  std::vector<Block> out(m);
+  for (size_t j = 0; j < m; ++j)
+    out[j] = payload[2 * j + (choices[j] ? 1 : 0)] ^ pre.blocks[j];
   return out;
 }
 

@@ -19,17 +19,30 @@ GarblerSession::GarblerSession(Channel& ch, Block seed, const GcOptions& opt)
 
 EvaluatorSession::EvaluatorSession(Channel& ch, const GcOptions& opt)
     : ch_(ch), evaluator_(ch, opt), ot_(ch),
-      prg_(Prg::from_os_entropy().next_block()) {}
+      prg_(Prg::from_os_entropy().next_block()), opt_(opt) {}
+
+// One base-OT + extension setup per session, shared by the on-demand
+// and the precomputed OT paths (whichever runs first pays it).
+void GarblerSession::ensure_ot() {
+  if (ot_ready_) return;
+  Stopwatch sw;
+  ot_.setup(prg_);
+  ot_ready_ = true;
+  trace_.setup_s = sw.seconds();
+}
+
+void EvaluatorSession::ensure_ot() {
+  if (ot_ready_) return;
+  Stopwatch sw;
+  ot_.setup(prg_);
+  ot_ready_ = true;
+  trace_.setup_s = sw.seconds();
+}
 
 BitVec GarblerSession::run_chain(const std::vector<Circuit>& chain,
                                  const BitVec& data_bits) {
   Stopwatch total;
-  if (!ot_ready_) {
-    Stopwatch sw;
-    ot_.setup(prg_);
-    ot_ready_ = true;
-    trace_.setup_s = sw.seconds();
-  }
+  ensure_ot();
 
   Labels carried;  // zero-labels of previous circuit's outputs
   for (size_t k = 0; k < chain.size(); ++k) {
@@ -70,12 +83,7 @@ BitVec GarblerSession::run_chain(const std::vector<Circuit>& chain,
 BitVec EvaluatorSession::run_chain(const std::vector<Circuit>& chain,
                                    const BitVec& weight_bits) {
   Stopwatch total;
-  if (!ot_ready_) {
-    Stopwatch sw;
-    ot_.setup(prg_);
-    ot_ready_ = true;
-    trace_.setup_s = sw.seconds();
-  }
+  ensure_ot();
 
   size_t consumed = 0;
   Labels carried;
@@ -114,12 +122,7 @@ BitVec EvaluatorSession::run_chain(const std::vector<Circuit>& chain,
 BitVec GarblerSession::run_sequential(const Circuit& step, size_t cycles,
                                       const BitVec& data_bits) {
   Stopwatch total;
-  if (!ot_ready_) {
-    Stopwatch sw;
-    ot_.setup(prg_);
-    ot_ready_ = true;
-    trace_.setup_s = sw.seconds();
-  }
+  ensure_ot();
   const size_t g_per = step.garbler_inputs.size();
   const size_t e_per = step.evaluator_inputs.size();
   if (data_bits.size() != g_per * cycles)
@@ -157,12 +160,7 @@ BitVec GarblerSession::run_sequential(const Circuit& step, size_t cycles,
 BitVec EvaluatorSession::run_sequential(const Circuit& step, size_t cycles,
                                         const BitVec& weight_bits) {
   Stopwatch total;
-  if (!ot_ready_) {
-    Stopwatch sw;
-    ot_.setup(prg_);
-    ot_ready_ = true;
-    trace_.setup_s = sw.seconds();
-  }
+  ensure_ot();
   const size_t e_per = step.evaluator_inputs.size();
   if (weight_bits.size() != e_per * cycles)
     throw std::invalid_argument("run_sequential: weight size mismatch");
@@ -190,6 +188,92 @@ BitVec EvaluatorSession::run_sequential(const Circuit& step, size_t cycles,
   evaluator_.send_outputs(outs);
   const BitVec out = ch_.recv_bits();
   trace_.total_s = total.seconds();
+  return out;
+}
+
+// --- offline/online split ----------------------------------------------
+
+OtPrecompSender GarblerSession::precompute_ot(size_t m) {
+  ensure_ot();
+  return ot_.precompute(m);
+}
+
+void GarblerSession::send_labels_derandomized(const OtPrecompSender& pre,
+                                              const Labels& zeros,
+                                              Block delta) {
+  ensure_ot();
+  ot_.send_correlated_derandomized(pre, zeros, delta);
+}
+
+void GarblerSession::begin_online(Block delta, const Labels& data_zeros,
+                                  const BitVec& data_bits) {
+  if (data_bits.size() != data_zeros.size())
+    throw std::invalid_argument("begin_online: data bit count mismatch");
+  PhaseSample ph;
+  ph.step = trace_.phases.size();
+  Stopwatch sw;
+  std::vector<Block> active(data_bits.size());
+  for (size_t i = 0; i < data_bits.size(); ++i)
+    active[i] = data_bits[i] ? (data_zeros[i] ^ delta) : data_zeros[i];
+  ch_.send_blocks(active.data(), active.size());
+  ph.ot_s = sw.seconds();  // online label transfer: the whole send cost
+  trace_.phases.push_back(ph);
+  ++online_in_flight_;
+}
+
+BitVec GarblerSession::finish_online() {
+  if (online_in_flight_ == 0)
+    throw std::logic_error("finish_online: no online inference in flight");
+  // Result vectors are circuit outputs — generously bounded so a
+  // corrupted peer length header cannot force a huge allocation.
+  // Decrement only after a successful receive: a transport failure must
+  // keep reporting itself on retry/drain, not decay into a bogus
+  // "nothing in flight" logic error.
+  BitVec out = ch_.recv_bits_bounded(uint64_t{1} << 24);
+  --online_in_flight_;
+  return out;
+}
+
+BitVec GarblerSession::run_online(const GarbledMaterial& mat,
+                                  const BitVec& data_bits) {
+  Stopwatch total;
+  begin_online(mat.delta, mat.data_zeros, data_bits);
+  const BitVec out = finish_online();
+  trace_.total_s += total.seconds();
+  return out;
+}
+
+OtPrecompReceiver EvaluatorSession::precompute_ot(size_t m) {
+  ensure_ot();
+  return ot_.precompute(m, prg_);
+}
+
+Labels EvaluatorSession::recv_labels_derandomized(const OtPrecompReceiver& pre,
+                                                  const BitVec& choices) {
+  ensure_ot();
+  return ot_.recv_derandomized(pre, choices);
+}
+
+BitVec EvaluatorSession::run_online(const std::vector<Circuit>& chain,
+                                    const EvalMaterial& mat) {
+  if (chain.empty())
+    throw std::invalid_argument("run_online: empty circuit chain");
+  Stopwatch total;
+  PhaseSample ph;
+  ph.step = trace_.phases.size();
+
+  Stopwatch sw;
+  const Labels g_labels =
+      evaluator_.recv_active(chain.front().garbler_inputs.size());
+  ph.ot_s = sw.seconds();
+
+  sw.restart();
+  const BitVec out = evaluate_material(chain, mat, g_labels, opt_);
+  ph.eval_s = sw.seconds();
+  trace_.phases.push_back(ph);
+
+  ch_.send_bits(out);
+  trace_.total_s += total.seconds();
   return out;
 }
 

@@ -14,12 +14,25 @@
 //   * sequential circuits (folded step circuit run for many cycles,
 //     Section 3.5; state carried as labels between cycles)
 //
+// Two execution modes per shape-compatible chain:
+//   * on-demand (run_chain / run_sequential): garbling, label transfer
+//     and evaluation all happen on the request path — the PR 2
+//     streaming pipeline.
+//   * offline/online split: garble_offline (gc/material.h) produces a
+//     GarbledMaterial ahead of time; precompute_ot + the derandomized
+//     label transfer move the OTs offline as well; the *_online methods
+//     then run the request-path remainder, which is just active-label
+//     transfer plus evaluation. begin_online/finish_online expose the
+//     send and receive halves separately so a client can queue several
+//     online inferences back-to-back (cross-request pipelining).
+//
 // Phase timings are recorded per step for the Figure 5 reproduction.
 #pragma once
 
 #include <vector>
 
 #include "gc/garble.h"
+#include "gc/material.h"
 #include "gc/ot.h"
 #include "support/stopwatch.h"
 
@@ -68,14 +81,46 @@ class GarblerSession {
   BitVec run_sequential(const Circuit& step, size_t cycles,
                         const BitVec& data_bits);
 
+  // --- offline/online split -------------------------------------------
+  /// Offline: precompute `m` random OTs (interactive but
+  /// input-independent; runs the base-OT setup first if needed).
+  OtPrecompSender precompute_ot(size_t m);
+
+  /// Offline: derandomized label transfer for the peer's static choice
+  /// bits — receives one correction message, answers with the masked
+  /// label pairs. `zeros`/`delta` come from the GarbledMaterial whose
+  /// evaluator inputs are being resolved.
+  void send_labels_derandomized(const OtPrecompSender& pre,
+                                const Labels& zeros, Block delta);
+
+  /// Online, send half: ship the active labels for `data_bits` against
+  /// a material's circuit-0 garbler-input zero labels. Returns
+  /// immediately after the send — pair with finish_online. Several
+  /// begin_online calls may be in flight before the first
+  /// finish_online (cross-request pipelining), as long as the calls
+  /// are matched FIFO.
+  void begin_online(Block delta, const Labels& data_zeros,
+                    const BitVec& data_bits);
+
+  /// Online, receive half: the decoded output bits of the oldest
+  /// in-flight online inference (the evaluator decodes locally with the
+  /// material's decode bits and shares the plaintext back).
+  BitVec finish_online();
+
+  /// One full online inference against `mat`: begin + finish.
+  BitVec run_online(const GarbledMaterial& mat, const BitVec& data_bits);
+
   const SessionTrace& trace() const { return trace_; }
 
  private:
+  void ensure_ot();
+
   Channel& ch_;
   Garbler garbler_;
   OtExtSender ot_;
   Prg prg_;
   bool ot_ready_ = false;
+  size_t online_in_flight_ = 0;  // begin_online calls awaiting finish
   SessionTrace trace_;
 };
 
@@ -95,13 +140,33 @@ class EvaluatorSession {
   BitVec run_sequential(const Circuit& step, size_t cycles,
                         const BitVec& weight_bits);
 
+  // --- offline/online split -------------------------------------------
+  /// Offline: precompute `m` random OTs with random choice bits.
+  OtPrecompReceiver precompute_ot(size_t m);
+
+  /// Offline: resolve the active labels for `choices` (the evaluator's
+  /// static input bits) from a precomputed batch — sends one correction
+  /// message, receives the masked pairs.
+  Labels recv_labels_derandomized(const OtPrecompReceiver& pre,
+                                  const BitVec& choices);
+
+  /// Online: one inference against locally-stored material — receive
+  /// the active circuit-0 garbler labels, evaluate the chain from the
+  /// artifact's tables, decode with its decode bits, and share the
+  /// plaintext result back. Returns the decoded output bits.
+  BitVec run_online(const std::vector<Circuit>& chain,
+                    const EvalMaterial& mat);
+
   const SessionTrace& trace() const { return trace_; }
 
  private:
+  void ensure_ot();
+
   Channel& ch_;
   Evaluator evaluator_;
   OtExtReceiver ot_;
   Prg prg_;
+  GcOptions opt_;
   bool ot_ready_ = false;
   SessionTrace trace_;
 };

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "crypto/block.h"
@@ -89,7 +90,16 @@ class Channel {
     if (!packed.empty()) send_bytes(packed.data(), packed.size());
   }
   std::vector<uint8_t> recv_bits() {
+    return recv_bits_bounded(~uint64_t{0});
+  }
+  // Bounded variant for lengths the peer controls: the count is
+  // validated before anything is allocated from it, so a corrupted or
+  // hostile length header yields a protocol error instead of a
+  // multi-gigabyte allocation.
+  std::vector<uint8_t> recv_bits_bounded(uint64_t max_bits) {
     const uint64_t n = recv_u64();
+    if (n > max_bits)
+      throw std::runtime_error("channel: oversized bit vector");
     std::vector<uint8_t> packed((n + 7) / 8);
     if (!packed.empty()) recv_bytes(packed.data(), packed.size());
     std::vector<uint8_t> bits(n);

@@ -127,6 +127,15 @@ void TcpChannel::shutdown() {
   if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
 }
 
+void TcpChannel::set_recv_timeout_ms(uint64_t ms) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0)
+    die("setsockopt(SO_RCVTIMEO)");
+}
+
 void TcpChannel::send_bytes(const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
   size_t done = 0;
@@ -148,6 +157,8 @@ void TcpChannel::recv_bytes(void* data, size_t n) {
     const ssize_t r = ::recv(fd_, p + done, n - done, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error("tcp: recv timed out (idle timeout)");
       die("recv");
     }
     if (r == 0) throw std::runtime_error("tcp: peer closed connection");
@@ -165,6 +176,8 @@ size_t TcpChannel::recv_some(void* data, size_t min_n, size_t max_n) {
     const ssize_t r = ::recv(fd_, p + done, max_n - done, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error("tcp: recv timed out (idle timeout)");
       die("recv");
     }
     if (r == 0) throw std::runtime_error("tcp: peer closed connection");

@@ -42,6 +42,12 @@ class TcpChannel final : public Channel {
   /// server's forced-shutdown path for idle sessions.
   void shutdown();
 
+  /// Bound every receive: a recv that sees no bytes for `ms`
+  /// milliseconds throws instead of blocking forever (SO_RCVTIMEO).
+  /// 0 restores the blocking default. Backs the server's per-session
+  /// idle timeout so a stalled client cannot pin a session slot.
+  void set_recv_timeout_ms(uint64_t ms);
+
   uint64_t bytes_sent() const override { return sent_; }
   uint64_t bytes_received() const override { return received_; }
   void reset_counters() override {

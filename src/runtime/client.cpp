@@ -1,7 +1,9 @@
 #include "runtime/client.h"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "crypto/prg.h"
 #include "runtime/frame.h"
@@ -14,6 +16,7 @@ InferenceClient::InferenceClient(const std::string& host, uint16_t port,
                                  ClientConfig cfg)
     : chain_(synth::compile_model_layers(spec)),
       fmt_(spec.fmt),
+      cfg_(cfg),
       transport_(TcpChannel::connect(host, port)) {
   const Block seed = cfg.seed == Block{}
                          ? Prg::from_os_entropy().next_block()
@@ -27,13 +30,23 @@ InferenceClient::InferenceClient(const std::string& host, uint16_t port,
   send_hello(ch, hello);
   garbler_->channel().flush();
   const Frame ack = recv_frame(ch);  // kError from the server throws here
-  if (ack.type != FrameType::kHelloAck || ack.payload.size() != 8)
+  if (ack.type != FrameType::kHelloAck || ack.payload.size() != 16)
     throw std::runtime_error("client: bad handshake ack");
   uint64_t echoed = 0;
   std::memcpy(&echoed, ack.payload.data(), 8);
   if (echoed != hello.fingerprint)
     throw std::runtime_error("client: server echoed a different model chain");
+  std::memcpy(&server_prefetch_quota_, ack.payload.data() + 8, 8);
   open_ = true;
+
+  if (cfg_.pool_target > 0) {
+    // Pool seeds derive from the session seed but never collide with
+    // the on-demand garbler's label PRG (distinct derivation tweak).
+    pool_ = std::make_unique<MaterialPool>(
+        chain_, cfg.stream.gc_options(nullptr), cfg_.pool_target,
+        cfg_.pool_producers,
+        cfg.seed == Block{} ? Block{} : (cfg.seed ^ Block{0, 0x9e3779b9}));
+  }
 }
 
 InferenceClient::~InferenceClient() {
@@ -58,15 +71,113 @@ size_t InferenceClient::infer(const std::vector<float>& sample) {
   return from_bits(infer_bits(bits));
 }
 
+// Offline push of one artifact: id frame, decode bits + tables, then
+// the precomputed-OT + derandomization exchange that resolves the
+// server's evaluator labels. Everything here is input-independent.
+//
+// The client-side quota guard (prefetch/top_up) must mirror the
+// server's exactly: once the kPrefetch frame is sent this side commits
+// to the OT exchange, so a server-side rejection lands its kError
+// bytes mid-extension where they cannot be parsed — the session is
+// unrecoverable and the reason is lost.
+void InferenceClient::push_material(GarbledMaterial&& mat) {
+  if (in_flight_ > 0)
+    throw std::logic_error(
+        "client: cannot prefetch with inferences in flight");
+  Channel& ch = garbler_->channel();
+  const uint64_t id = next_material_id_++;
+  send_id_frame(ch, FrameType::kPrefetch, id);
+  send_material(ch, mat);
+  GarblerSession& session = garbler_->session();
+  const OtPrecompSender pre = session.precompute_ot(mat.ot_count());
+  session.send_labels_derandomized(pre, mat.eval_zeros, mat.delta);
+  garbler_->channel().flush();
+  const Frame ack = recv_frame(ch);
+  if (ack.type != FrameType::kPrefetchAck || parse_id(ack) != id)
+    throw std::runtime_error("client: bad prefetch ack");
+  prefetched_.push_back(
+      PrefetchedMaterial{id, mat.delta, std::move(mat.data_zeros)});
+}
+
+size_t InferenceClient::prefetch(size_t n) {
+  if (!open_) throw std::logic_error("client: session closed");
+  if (pool_ == nullptr)
+    throw std::logic_error("client: pooling disabled (pool_target = 0)");
+  // Check before touching the pool: acquire() may block for a whole
+  // garbling whose artifact push_material would then refuse and drop.
+  if (in_flight_ > 0)
+    throw std::logic_error(
+        "client: cannot prefetch with inferences in flight");
+  // Clamp to the quota the hello ack advertised: exceeding it on the
+  // wire would be answered with a session-killing kError, and "push up
+  // to n" is the contract — the return value reports what's warm.
+  for (size_t i = 0;
+       i < n && prefetched_.size() < server_prefetch_quota_; ++i)
+    push_material(pool_->acquire());
+  return prefetched_.size();
+}
+
+void InferenceClient::top_up() {
+  if (pool_ == nullptr || !open_ || in_flight_ > 0 || closing_) return;
+  while (prefetched_.size() <
+         std::min<uint64_t>(cfg_.pool_target, server_prefetch_quota_)) {
+    auto mat = pool_->try_acquire();
+    if (!mat) break;  // producer still garbling: don't block the caller
+    push_material(std::move(*mat));
+  }
+}
+
+void InferenceClient::begin_infer_bits(const BitVec& data_bits) {
+  if (!open_) throw std::logic_error("client: session closed");
+  if (prefetched_.empty())
+    throw std::logic_error("client: no prefetched material to pipeline on");
+  // Validate before consuming anything: after the id frame is on the
+  // wire the artifact is burned and the server is committed to reading
+  // labels, so a size error must fire while the call is still a no-op.
+  if (data_bits.size() != prefetched_.front().data_zeros.size())
+    throw std::invalid_argument("client: data bit count mismatch");
+  PrefetchedMaterial mat = std::move(prefetched_.front());
+  prefetched_.pop_front();
+  Channel& ch = garbler_->channel();
+  send_id_frame(ch, FrameType::kInfer, mat.id);
+  garbler_->session().begin_online(mat.delta, mat.data_zeros, data_bits);
+  garbler_->channel().flush();
+  ++in_flight_;
+}
+
+BitVec InferenceClient::finish_infer() {
+  if (in_flight_ == 0)
+    throw std::logic_error("client: no inference in flight");
+  BitVec out = garbler_->session().finish_online();
+  --in_flight_;
+  ++pooled_inferences_;
+  if (in_flight_ == 0 && cfg_.auto_top_up) top_up();
+  return out;
+}
+
 BitVec InferenceClient::infer_bits(const BitVec& data_bits) {
   if (!open_) throw std::logic_error("client: session closed");
+  if (in_flight_ > 0)
+    throw std::logic_error(
+        "client: finish in-flight inferences before a synchronous infer");
+  if (!prefetched_.empty()) {
+    // Online phase only: active data labels out, result bits back.
+    begin_infer_bits(data_bits);
+    return finish_infer();
+  }
+  // Pool drained (or pooling off): garble on the request path.
   Channel& ch = garbler_->channel();
   send_frame(ch, FrameType::kInfer);
-  return garbler_->run_chain(chain_, data_bits);
+  const BitVec out = garbler_->run_chain(chain_, data_bits);
+  ++ondemand_inferences_;
+  if (cfg_.auto_top_up) top_up();
+  return out;
 }
 
 void InferenceClient::close() {
   if (!open_) return;
+  closing_ = true;  // don't upload fresh artifacts just to discard them
+  while (in_flight_ > 0) (void)finish_infer();
   open_ = false;
   Channel& ch = garbler_->channel();
   send_frame(ch, FrameType::kBye);

@@ -2,16 +2,32 @@
 // (Alice, garbler). Connects over TCP, performs the session handshake
 // (chain fingerprint + wire-format negotiation), and then runs any
 // number of secure inferences over one session — the base-OT setup and
-// the OT-extension state amortize across requests, and the garbled-table
-// stream is framed so the server evaluates while the client is still
-// garbling later windows.
+// the OT-extension state amortize across requests.
+//
+// Two request paths:
+//   * on-demand: each infer garbles on the request path, framed so the
+//     server evaluates while the client is still garbling (PR 2).
+//   * pooled (offline/online split): a MaterialPool garbles whole
+//     instances in the background; prefetch() pushes them to the server
+//     ahead of requests (tables, decode bits, and the precomputed-OT
+//     label resolution all travel offline), and an infer against
+//     prefetched material sends only the active data labels and waits
+//     for the result — no garbling, no OT on the request path. A
+//     drained pool falls back to on-demand transparently.
+//
+// Cross-request pipelining: begin_infer_bits/finish_infer expose the
+// send and receive halves of a pooled inference, so a client can queue
+// several kInfer frames back-to-back and the server works through them
+// while later requests are already in flight.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <string>
 
 #include "fixed/fixed_point.h"
 #include "net/tcp_channel.h"
+#include "runtime/material_pool.h"
 #include "runtime/streaming.h"
 #include "synth/layer_circuits.h"
 
@@ -21,6 +37,19 @@ struct ClientConfig {
   StreamConfig stream;
   /// Label-PRG seed; zero draws from OS entropy (per-session seeds).
   Block seed{};
+  /// Offline pool: number of garbled instances to keep ready; 0
+  /// disables pooling entirely (every infer is on-demand).
+  size_t pool_target = 0;
+  /// Background producer threads for the pool.
+  size_t pool_producers = 1;
+  /// Re-prefetch opportunistically after each inference completes, so a
+  /// steady request stream keeps hitting warm material. The push is
+  /// synchronous on this session, so its cost (table upload + OT
+  /// precompute) lands inside the tail of the request that triggered
+  /// it — latency-sensitive callers should disable this and call
+  /// top_up() at their own boundaries instead. Also disable for
+  /// deterministic drain behavior (tests, bounded-memory clients).
+  bool auto_top_up = true;
 };
 
 class InferenceClient {
@@ -36,27 +65,82 @@ class InferenceClient {
   InferenceClient& operator=(const InferenceClient&) = delete;
 
   /// One secure inference: encodes `sample` in the chain's fixed-point
-  /// format and returns the predicted label index.
+  /// format and returns the predicted label index. Uses prefetched
+  /// material when available, on-demand garbling otherwise.
   size_t infer(const std::vector<float>& sample);
 
   /// Raw-bit variant (caller did the encoding).
   BitVec infer_bits(const BitVec& data_bits);
 
+  /// Push up to `n` pool artifacts to the server ahead of requests
+  /// (blocks on pool production), clamped to the server's advertised
+  /// per-session prefetch quota. Returns how many are now prefetched.
+  /// Requires pooling enabled and no inference in flight.
+  size_t prefetch(size_t n);
+
+  /// Pipelined pooled inference, send half: consumes one prefetched
+  /// artifact and ships the request without waiting for the result.
+  /// Throws if nothing is prefetched — callers race ahead only against
+  /// warm material. Pair FIFO with finish_infer.
+  void begin_infer_bits(const BitVec& data_bits);
+
+  /// Pipelined pooled inference, receive half: result of the oldest
+  /// in-flight request.
+  BitVec finish_infer();
+
+  /// Push ready pool artifacts until prefetched() reaches
+  /// min(pool_target, server quota) — without blocking on production.
+  /// Runs automatically after each inference under auto_top_up; call it
+  /// manually (outside the latency-measured path) when auto_top_up is
+  /// off. No-op while inferences are in flight or pooling is disabled.
+  void top_up();
+
+  /// Artifacts pushed to the server and not yet consumed.
+  size_t prefetched() const { return prefetched_.size(); }
+  /// Artifacts garbled and waiting in the local pool (0 when pooling is
+  /// off). Lets a latency-sensitive caller wait for background refill
+  /// garbling to quiesce before a measured window.
+  size_t pool_ready() const { return pool_ ? pool_->ready() : 0; }
+  /// begin_infer_bits calls not yet finished.
+  size_t in_flight() const { return in_flight_; }
+  uint64_t pooled_inferences() const { return pooled_inferences_; }
+  uint64_t ondemand_inferences() const { return ondemand_inferences_; }
+
   /// Phase timings accumulated across all inferences on this session.
   const SessionTrace& trace() const { return garbler_->trace(); }
 
-  /// Orderly goodbye; further infer calls are invalid. Also run by the
-  /// destructor if still open.
+  /// Orderly goodbye; further infer calls are invalid. Drains any
+  /// in-flight pipelined inferences first. Also run by the destructor
+  /// if still open.
   void close();
 
   size_t input_bits() const;
 
  private:
+  // Client-side remainder of a pushed artifact: just enough to encode
+  // active data labels online (the rest lives on the server now).
+  struct PrefetchedMaterial {
+    uint64_t id = 0;
+    Block delta{};
+    Labels data_zeros;
+  };
+
+  void push_material(GarbledMaterial&& mat);
+
   std::vector<Circuit> chain_;
   FixedFormat fmt_;
+  ClientConfig cfg_;
   TcpChannel transport_;
   std::unique_ptr<StreamingGarbler> garbler_;
+  std::unique_ptr<MaterialPool> pool_;
+  std::deque<PrefetchedMaterial> prefetched_;
+  uint64_t next_material_id_ = 1;
+  uint64_t server_prefetch_quota_ = 0;  // advertised in the hello ack
+  size_t in_flight_ = 0;
+  uint64_t pooled_inferences_ = 0;
+  uint64_t ondemand_inferences_ = 0;
   bool open_ = false;
+  bool closing_ = false;  // suppresses top_up while close() drains
 };
 
 }  // namespace deepsecure::runtime

@@ -47,7 +47,7 @@ Frame recv_frame(Channel& ch) {
   uint32_t len = 0;
   ch.recv_bytes(&t, 1);
   ch.recv_bytes(&len, 4);
-  if (t < 1 || t > 5 || len > kMaxFrameBytes)
+  if (t < 1 || t > 7 || len > kMaxFrameBytes)
     throw std::runtime_error("runtime: malformed session frame");
   Frame f;
   f.type = static_cast<FrameType>(t);
@@ -58,6 +58,18 @@ Frame recv_frame(Channel& ch) {
         "runtime: peer error: " +
         std::string(f.payload.begin(), f.payload.end()));
   return f;
+}
+
+void send_id_frame(Channel& ch, FrameType type, uint64_t id) {
+  uint8_t payload[8];
+  std::memcpy(payload, &id, 8);
+  send_frame(ch, type, payload, sizeof(payload));
+}
+
+uint64_t parse_id(const Frame& f) {
+  if (f.payload.size() != 8)
+    throw std::runtime_error("runtime: bad material id payload");
+  return get_u64(f.payload, 0);
 }
 
 void send_hello(Channel& ch, const Hello& h) {
@@ -82,31 +94,6 @@ Hello parse_hello(const Frame& f) {
 
 void send_error(Channel& ch, const std::string& reason) {
   send_frame(ch, FrameType::kError, reason.data(), reason.size());
-}
-
-uint64_t chain_fingerprint(const std::vector<Circuit>& chain) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](uint64_t v) {
-    // FNV-1a, one byte at a time over the u64.
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xFF;
-      h *= 0x100000001b3ull;
-    }
-  };
-  mix(chain.size());
-  for (const Circuit& c : chain) {
-    mix(c.num_wires);
-    mix(c.gates.size());
-    mix(c.garbler_inputs.size());
-    mix(c.evaluator_inputs.size());
-    mix(c.state_inputs.size());
-    mix(c.outputs.size());
-    for (const Gate& g : c.gates)
-      mix((uint64_t(g.a) << 32) ^ g.b ^ (uint64_t(g.out) << 16) ^
-          (uint64_t(static_cast<uint8_t>(g.op)) << 62));
-    for (Wire wire : c.outputs) mix(wire);
-  }
-  return h;
 }
 
 }  // namespace deepsecure::runtime

@@ -25,19 +25,30 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "gc/material.h"
 #include "net/channel.h"
 
 namespace deepsecure::runtime {
 
 inline constexpr uint64_t kProtocolMagic = 0x44535255'4e313031ull;  // "DSRUN101"
-inline constexpr uint32_t kProtocolVersion = 1;
+// v2: offline/online split — kPrefetch/kPrefetchAck frames, pooled
+// kInfer (8-byte material id payload), bulk base-OT and packed
+// u-column wire encodings.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 enum class FrameType : uint8_t {
   kHello = 1,     // client -> server: magic, version, fingerprint, flags
   kHelloAck = 2,  // server -> client: magic, fingerprint echo
-  kInfer = 3,     // client -> server: one inference follows (raw GC bytes)
+  kInfer = 3,     // client -> server: one inference. Empty payload: the
+                  // on-demand GC byte stream follows (garble on the
+                  // request path). 8-byte payload: a material id — the
+                  // online phase against prefetched material follows.
   kBye = 4,       // client -> server: orderly session end
   kError = 5,     // either way: utf-8 reason, then close
+  kPrefetch = 6,  // client -> server: 8-byte material id, then the
+                  // offline artifact (decode bits + tables) and the
+                  // precomputed-OT + derandomization exchange
+  kPrefetchAck = 7,  // server -> client: material id echo, stored
 };
 
 struct Frame {
@@ -63,6 +74,11 @@ void send_frame(Channel& ch, FrameType type, const void* payload = nullptr,
                 size_t n = 0);
 Frame recv_frame(Channel& ch);
 
+/// Frames whose payload is a single u64 (pooled kInfer, kPrefetch,
+/// kPrefetchAck all carry a material id).
+void send_id_frame(Channel& ch, FrameType type, uint64_t id);
+uint64_t parse_id(const Frame& f);
+
 void send_hello(Channel& ch, const Hello& h);
 Hello parse_hello(const Frame& f);
 
@@ -71,7 +87,9 @@ void send_error(Channel& ch, const std::string& reason);
 
 /// FNV-1a over the full gate list and interface of every circuit in the
 /// chain: two endpoints that compiled different netlists (or different
-/// layer orders) disagree with overwhelming probability.
-uint64_t chain_fingerprint(const std::vector<Circuit>& chain);
+/// layer orders) disagree with overwhelming probability. The canonical
+/// implementation lives with the offline artifacts (gc/material.h),
+/// which stamp the same fingerprint the handshake checks.
+using deepsecure::chain_fingerprint;
 
 }  // namespace deepsecure::runtime

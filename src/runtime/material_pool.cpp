@@ -1,0 +1,129 @@
+#include "runtime/material_pool.h"
+
+#include <algorithm>
+
+namespace deepsecure::runtime {
+
+MaterialPool::MaterialPool(const std::vector<Circuit>& chain,
+                           const GcOptions& opt, size_t target,
+                           size_t producer_threads, Block seed)
+    : chain_(chain),
+      opt_(opt),
+      target_(target),
+      seed_prg_(seed == Block{} ? Prg::from_os_entropy().next_block() : seed),
+      workers_(std::make_unique<ThreadPool>(
+          producer_threads > 0 ? producer_threads : 1)) {
+  // Artifacts are produced one per task; window sharding inside a
+  // single garbling would fight the cross-artifact parallelism.
+  opt_.pool = nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_refill_locked();
+}
+
+MaterialPool::~MaterialPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;  // queued producer tasks become no-ops
+  }
+  workers_.reset();  // drains the task queue, joins the workers
+}
+
+// Caller holds mu_. Keeps enough production scheduled for the standing
+// inventory (`target_`) AND every currently blocked acquire() — the
+// latter matters at target 0, and whenever an artifact is taken out
+// from under a waiter whose ad-hoc production it consumed.
+void MaterialPool::schedule_refill_locked() {
+  const size_t want = std::max(target_, waiting_);
+  while (!stopping_ && ready_.size() + in_flight_ < want) {
+    ++in_flight_;
+    workers_->submit([this] { produce_one(); });
+  }
+}
+
+void MaterialPool::produce_one() {
+  Block seed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      --in_flight_;
+      return;
+    }
+    seed = seed_prg_.next_block();
+  }
+  // Garble outside the lock — this is the expensive part the pool
+  // exists to keep off the request path. Exceptions must not escape
+  // (they would terminate the worker thread); they are parked for the
+  // next acquire to rethrow instead.
+  GarbledMaterial mat;
+  std::exception_ptr err;
+  try {
+    mat = garble_offline(chain_, seed, opt_);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    if (stopping_) return;
+    if (err) {
+      if (!error_) error_ = err;
+    } else {
+      ready_.push_back(std::move(mat));
+      ++produced_;
+    }
+  }
+  // notify_all: concurrent acquirers each submitted their own
+  // production, so every waiter may have an artifact (or the parked
+  // error) to pick up.
+  ready_cv_.notify_all();
+}
+
+// Caller holds mu_. A parked producer error is rethrown (sticky: the
+// chain/options are wrong for every future artifact too).
+void MaterialPool::rethrow_error_locked() {
+  if (error_) std::rethrow_exception(error_);
+}
+
+std::optional<GarbledMaterial> MaterialPool::try_acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ready_.empty()) {
+    rethrow_error_locked();
+    ++misses_;
+    schedule_refill_locked();
+    // Honor "triggers a refill either way" at target 0 too: a caller
+    // polling try_acquire must eventually get an artifact even though
+    // the standing refill plan is empty.
+    if (!stopping_ && in_flight_ == 0) {
+      ++in_flight_;
+      workers_->submit([this] { produce_one(); });
+    }
+    return std::nullopt;
+  }
+  GarbledMaterial mat = std::move(ready_.front());
+  ready_.pop_front();
+  ++acquired_;
+  schedule_refill_locked();
+  return mat;
+}
+
+GarbledMaterial MaterialPool::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  rethrow_error_locked();
+  ++waiting_;
+  schedule_refill_locked();
+  ready_cv_.wait(lock, [this] { return !ready_.empty() || error_; });
+  --waiting_;
+  if (ready_.empty()) rethrow_error_locked();
+  GarbledMaterial mat = std::move(ready_.front());
+  ready_.pop_front();
+  ++acquired_;
+  schedule_refill_locked();
+  return mat;
+}
+
+size_t MaterialPool::ready() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ready_.size();
+}
+
+}  // namespace deepsecure::runtime

@@ -1,0 +1,97 @@
+// Background producer of offline garbling artifacts — the client-side
+// half of the offline/online split. A MaterialPool keeps up to `target`
+// GarbledMaterial instances for one compiled chain ready at all times:
+// producer tasks run on a support/thread_pool, each garbling one
+// instance from a fresh PRG seed, and every acquire() triggers a refill
+// so the pool converges back to `target` while the session is busy with
+// the online phase.
+//
+// One artifact = one inference (labels must never be reused), so this
+// is an inventory of consumables, not a cache: sizing follows Little's
+// law — target ≈ arrival_rate × garble_time — and a drained pool is not
+// an error, just the signal for the caller to fall back to on-demand
+// streaming garbling (try_acquire returns nullopt instead of blocking).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "crypto/prg.h"
+#include "gc/material.h"
+#include "support/thread_pool.h"
+
+namespace deepsecure::runtime {
+
+class MaterialPool {
+ public:
+  /// Keeps up to `target` artifacts for `chain` ready, producing on
+  /// `producer_threads` background workers. `chain` is captured by
+  /// reference and must outlive the pool. `seed` drives the per-artifact
+  /// label seeds (zero = OS entropy); pass a constant only in tests.
+  MaterialPool(const std::vector<Circuit>& chain, const GcOptions& opt,
+               size_t target, size_t producer_threads = 1, Block seed = {});
+  ~MaterialPool();
+
+  MaterialPool(const MaterialPool&) = delete;
+  MaterialPool& operator=(const MaterialPool&) = delete;
+
+  /// Non-blocking: a ready artifact, or nullopt when drained (the
+  /// caller's cue to garble on demand). Triggers a background refill
+  /// either way. Rethrows a producer failure (bad chain/options) on
+  /// the caller instead of reporting an eternal drain.
+  std::optional<GarbledMaterial> try_acquire();
+
+  /// Blocking: waits for production when drained. Used to warm the pool
+  /// before a latency-sensitive phase. Rethrows producer failures.
+  GarbledMaterial acquire();
+
+  /// Artifacts currently ready.
+  size_t ready() const;
+
+  // Stats getters lock: producer threads update the counters under mu_.
+  uint64_t produced() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return produced_;
+  }
+  uint64_t acquired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return acquired_;
+  }
+  /// try_acquire calls that found the pool drained.
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  void schedule_refill_locked();
+  void rethrow_error_locked();
+  void produce_one();
+
+  const std::vector<Circuit>& chain_;
+  GcOptions opt_;
+  size_t target_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<GarbledMaterial> ready_;
+  Prg seed_prg_;
+  size_t in_flight_ = 0;  // producer tasks scheduled but not yet pushed
+  size_t waiting_ = 0;    // acquire() calls blocked on production
+  std::exception_ptr error_;  // first producer failure, rethrown on acquire
+  bool stopping_ = false;
+
+  uint64_t produced_ = 0;
+  uint64_t acquired_ = 0;
+  uint64_t misses_ = 0;
+
+  // Destroyed first (declared last): its destructor drains queued
+  // producer tasks, which touch the members above.
+  std::unique_ptr<ThreadPool> workers_;
+};
+
+}  // namespace deepsecure::runtime

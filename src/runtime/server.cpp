@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "runtime/frame.h"
 
@@ -16,7 +17,10 @@ InferenceServer::InferenceServer(const synth::ModelSpec& spec, BitVec weights,
       fingerprint_(chain_fingerprint(chain_)),
       listener_(cfg.port, /*backlog=*/64) {
   size_t want = 0;
-  for (const Circuit& c : chain_) want += c.evaluator_inputs.size();
+  for (const Circuit& c : chain_) {
+    want += c.evaluator_inputs.size();
+    expected_table_bytes_ += 2 * sizeof(Block) + c.stats().table_bytes();
+  }
   if (weights_.size() != want)
     throw std::invalid_argument("InferenceServer: weight bit count mismatch");
 }
@@ -120,6 +124,10 @@ void InferenceServer::accept_loop() {
 void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
                                      std::shared_ptr<std::atomic<bool>> done) {
   try {
+    // Idle sessions may not pin a slot: every recv on this session is
+    // bounded, and a timeout tears the session down like any peer error.
+    if (cfg_.idle_timeout_ms > 0)
+      transport->set_recv_timeout_ms(cfg_.idle_timeout_ms);
     BufferedChannel ch(*transport, cfg_.stream.channel_buffer);
 
     // --- handshake ---------------------------------------------------
@@ -137,23 +145,83 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
       send_error(ch, reject);
       ch.flush();
     } else {
-      uint8_t ack[8];
+      // Ack carries the fingerprint echo plus this server's per-session
+      // prefetch quota, so a pooling client can cap its pushes instead
+      // of discovering the limit as a session-killing error.
+      uint8_t ack[16];
       std::memcpy(ack, &fingerprint_, 8);
+      const uint64_t quota = cfg_.max_prefetch;
+      std::memcpy(ack + 8, &quota, 8);
       send_frame(ch, FrameType::kHelloAck, ack, sizeof(ack));
       ch.flush();
 
       // --- session loop: one EvaluatorSession (one OT setup), many
       // inferences — the streaming amortization the paper's Figure 6
-      // assumes.
+      // assumes. kPrefetch parks offline artifacts (tables + resolved
+      // evaluator labels) per session; a pooled kInfer then runs only
+      // the online phase against one of them.
       EvaluatorSession session(ch, cfg_.stream.gc_options(nullptr));
+      std::unordered_map<uint64_t, EvalMaterial> store;
       for (bool open = true; open;) {
         const Frame f = recv_frame(ch);
         switch (f.type) {
           case FrameType::kInfer:
-            session.run_chain(chain_, weights_);
+            if (f.payload.empty()) {
+              // On-demand: the client garbles on the request path.
+              session.run_chain(chain_, weights_);
+            } else {
+              const uint64_t id = parse_id(f);
+              const auto it = store.find(id);
+              if (it == store.end()) {
+                send_error(ch, "unknown prefetched material id");
+                ch.flush();
+                open = false;
+                break;
+              }
+              // One artifact, one evaluation: consume it.
+              const EvalMaterial mat = std::move(it->second);
+              store.erase(it);
+              session.run_online(chain_, mat);
+              inferences_pooled_.fetch_add(1);
+            }
             ch.flush();
             inferences_served_.fetch_add(1);
             break;
+          case FrameType::kPrefetch: {
+            const uint64_t id = parse_id(f);
+            const bool duplicate = store.count(id) != 0;
+            if (duplicate || store.size() >= cfg_.max_prefetch) {
+              send_error(ch, duplicate ? "duplicate prefetched material id"
+                                       : "prefetch quota exceeded");
+              ch.flush();
+              open = false;
+              break;
+            }
+            EvalMaterial mat = recv_material(ch, expected_table_bytes_,
+                                             chain_.back().outputs.size());
+            // Both sizes are exactly determined by the chain this
+            // server compiled; a disagreeing artifact could never
+            // evaluate, so reject it now instead of storing garbage
+            // and failing the kInfer that draws it.
+            if (mat.tables.size() != expected_table_bytes_ ||
+                mat.decode_bits.size() != chain_.back().outputs.size()) {
+              send_error(ch, "prefetched material does not match model chain");
+              ch.flush();
+              open = false;
+              break;
+            }
+            // Offline OT: precompute + derandomize against the static
+            // weight bits — after this the request path has no OT left.
+            const OtPrecompReceiver pre =
+                session.precompute_ot(weights_.size());
+            mat.eval_labels =
+                session.recv_labels_derandomized(pre, weights_);
+            store.emplace(id, std::move(mat));
+            send_id_frame(ch, FrameType::kPrefetchAck, id);
+            ch.flush();
+            materials_prefetched_.fetch_add(1);
+            break;
+          }
           case FrameType::kBye:
             open = false;
             break;

@@ -29,6 +29,17 @@ namespace deepsecure::runtime {
 struct ServerConfig {
   uint16_t port = 0;        // 0 = ephemeral (read back via port())
   size_t max_sessions = 8;  // concurrent session cap
+  /// Per-session cap on stored prefetched artifacts (offline/online
+  /// split): bounds the memory a client can park on the server at
+  /// roughly max_prefetch × table bytes per session.
+  size_t max_prefetch = 8;
+  /// Per-session idle timeout in milliseconds; 0 disables. A session
+  /// whose client sends nothing for this long is dropped so a stalled
+  /// client cannot pin one of the max_sessions slots forever. The
+  /// timeout bounds *every* receive and cannot tell "stalled" from
+  /// "thinking" — set it above the worst-case client-side gap,
+  /// including offline garbling before a cold-pool prefetch.
+  uint64_t idle_timeout_ms = 0;
   StreamConfig stream;
 };
 
@@ -58,6 +69,12 @@ class InferenceServer {
   uint64_t sessions_active() const { return sessions_active_.load(); }
   uint64_t inferences_served() const { return inferences_served_.load(); }
   uint64_t sessions_rejected() const { return sessions_rejected_.load(); }
+  /// Of inferences_served, how many ran the online phase against
+  /// prefetched material (the rest garbled on demand).
+  uint64_t inferences_pooled() const { return inferences_pooled_.load(); }
+  uint64_t materials_prefetched() const {
+    return materials_prefetched_.load();
+  }
 
  private:
   // One per session: the thread plus a completion flag so finished
@@ -77,6 +94,10 @@ class InferenceServer {
   BitVec weights_;
   ServerConfig cfg_;
   uint64_t fingerprint_ = 0;
+  // Exact size of a well-formed artifact's table stream for chain_
+  // (consts + half-gate tables per circuit): prefetches that disagree
+  // are rejected at push time, not at kInfer time.
+  uint64_t expected_table_bytes_ = 0;
 
   TcpListener listener_;
   std::thread accept_thread_;
@@ -91,6 +112,8 @@ class InferenceServer {
   std::atomic<uint64_t> sessions_active_{0};
   std::atomic<uint64_t> inferences_served_{0};
   std::atomic<uint64_t> sessions_rejected_{0};
+  std::atomic<uint64_t> inferences_pooled_{0};
+  std::atomic<uint64_t> materials_prefetched_{0};
 };
 
 }  // namespace deepsecure::runtime

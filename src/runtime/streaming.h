@@ -60,6 +60,9 @@ class StreamingGarbler {
 
   const SessionTrace& trace() const { return session_->trace(); }
   BufferedChannel& channel() { return ch_; }
+  /// Direct session access for the offline/online split (precomputed
+  /// OTs, material push, begin/finish_online) — see gc/protocol.h.
+  GarblerSession& session() { return *session_; }
 
  private:
   std::unique_ptr<ThreadPool> pool_;  // may be null (0 threads)

@@ -35,8 +35,15 @@ class ThreadPool {
   void parallel_shards(size_t n_items, size_t min_per_shard,
                        const std::function<void(size_t, size_t)>& fn);
 
- private:
+  /// Fire-and-forget task submission (the MaterialPool producer rides
+  /// on this). The destructor drains the queue — every submitted task
+  /// still runs before join — so tasks must stay valid until the pool
+  /// is gone and should check a stop flag if their work can be moot.
+  /// Tasks must not throw: an escaping exception would terminate the
+  /// worker thread (parallel_shards wraps its own).
   void submit(std::function<void()> task);
+
+ private:
   void worker_loop();
 
   std::vector<std::thread> workers_;

@@ -144,5 +144,165 @@ TEST(OtExtension, UnreadySendThrows) {
   EXPECT_THROW(receiver.recv({1}), std::logic_error);
 }
 
+// ---------------------------------------------------------------------
+// Precomputed random OTs + Beaver derandomization (the offline/online
+// split: the extension rounds run ahead of time, the online phase is
+// one correction message plus the masked payload).
+
+TEST(OtPrecompute, DerandomizedMatchesDirectOt) {
+  Rng rng(5);
+  const size_t m = 333;
+  std::vector<std::pair<Block, Block>> msgs(m);
+  BitVec choices(m);
+  for (size_t i = 0; i < m; ++i) {
+    msgs[i] = {Block{rng.next_u64(), rng.next_u64()},
+               Block{rng.next_u64(), rng.next_u64()}};
+    choices[i] = rng.next_bool();
+  }
+
+  std::vector<Block> received;
+  run_two_party(
+      [&](Channel& ch) {
+        Prg prg(Block{99, 0});
+        OtExtSender sender(ch);
+        sender.setup(prg);
+        const OtPrecompSender pre = sender.precompute(m);  // offline
+        sender.send_derandomized(pre, msgs);               // online
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{111, 0});
+        OtExtReceiver receiver(ch);
+        receiver.setup(prg);
+        OtPrecompReceiver pre = receiver.precompute(m, prg);  // offline
+        received = receiver.recv_derandomized(pre, choices);  // online
+      });
+
+  // The derandomized path must deliver exactly what a direct OT with
+  // the same choices would have.
+  ASSERT_EQ(received.size(), m);
+  for (size_t i = 0; i < m; ++i)
+    EXPECT_EQ(received[i], choices[i] ? msgs[i].second : msgs[i].first)
+        << "i=" << i;
+}
+
+TEST(OtPrecompute, CorrelatedDerandomizedDeliversLabels) {
+  Rng rng(6);
+  const size_t m = 150;
+  Block delta{rng.next_u64(), rng.next_u64()};
+  delta.lo |= 1;
+  std::vector<Block> zeros(m);
+  BitVec choices(m);
+  for (size_t i = 0; i < m; ++i) {
+    zeros[i] = Block{rng.next_u64(), rng.next_u64()};
+    choices[i] = rng.next_bool();
+  }
+
+  std::vector<Block> received;
+  run_two_party(
+      [&](Channel& ch) {
+        Prg prg(Block{123, 0});
+        OtExtSender sender(ch);
+        sender.setup(prg);
+        const OtPrecompSender pre = sender.precompute(m);
+        sender.send_correlated_derandomized(pre, zeros, delta);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{321, 0});
+        OtExtReceiver receiver(ch);
+        receiver.setup(prg);
+        OtPrecompReceiver pre = receiver.precompute(m, prg);
+        received = receiver.recv_derandomized(pre, choices);
+      });
+
+  for (size_t i = 0; i < m; ++i)
+    EXPECT_EQ(received[i], choices[i] ? (zeros[i] ^ delta) : zeros[i]);
+}
+
+TEST(OtPrecompute, PrecomputeInterleavesWithDirectBatches) {
+  // The precomputed path shares hash-index and column-PRG state with
+  // regular extension batches; interleaving the two on one session must
+  // keep both correct (the runtime mixes pooled and on-demand infers).
+  Rng rng(7);
+  const size_t m = 64;
+  std::vector<std::pair<Block, Block>> direct(m);
+  BitVec direct_choices(m), pre_choices(m);
+  for (size_t i = 0; i < m; ++i) {
+    direct[i] = {Block{rng.next_u64(), 3 * i}, Block{rng.next_u64(), 7 * i}};
+    direct_choices[i] = rng.next_bool();
+    pre_choices[i] = rng.next_bool();
+  }
+  std::vector<Block> zeros(m);
+  Block delta{rng.next_u64(), rng.next_u64()};
+  delta.lo |= 1;
+  for (auto& z : zeros) z = Block{rng.next_u64(), rng.next_u64()};
+
+  std::vector<Block> got_direct, got_pre;
+  run_two_party(
+      [&](Channel& ch) {
+        Prg prg(Block{42, 1});
+        OtExtSender sender(ch);
+        sender.setup(prg);
+        const OtPrecompSender pre = sender.precompute(m);  // offline
+        sender.send(direct);                               // direct batch
+        sender.send_correlated_derandomized(pre, zeros, delta);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{42, 2});
+        OtExtReceiver receiver(ch);
+        receiver.setup(prg);
+        OtPrecompReceiver pre = receiver.precompute(m, prg);
+        got_direct = receiver.recv(direct_choices);
+        got_pre = receiver.recv_derandomized(pre, pre_choices);
+      });
+
+  for (size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(got_direct[i],
+              direct_choices[i] ? direct[i].second : direct[i].first);
+    EXPECT_EQ(got_pre[i], pre_choices[i] ? (zeros[i] ^ delta) : zeros[i]);
+  }
+}
+
+TEST(OtPrecompute, MismatchedChoiceCountRejected) {
+  // A precomputed batch covers a fixed number of OTs; derandomizing
+  // with a different-size choice vector (or message list) must be
+  // rejected before anything touches the wire.
+  auto pair = make_channel_pair();
+  OtPrecompReceiver pre;
+  pre.choices = BitVec(8, 0);
+  pre.blocks.assign(8, kZeroBlock);
+  OtExtReceiver receiver(*pair.b);
+  EXPECT_THROW(receiver.recv_derandomized(pre, BitVec(5, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(receiver.recv_derandomized(pre, BitVec(9, 0)),
+               std::invalid_argument);
+
+  OtPrecompSender spre;
+  spre.r0.assign(8, kZeroBlock);
+  spre.r1.assign(8, kZeroBlock);
+  OtExtSender sender(*pair.a);
+  EXPECT_THROW(
+      sender.send_derandomized(spre, std::vector<std::pair<Block, Block>>(3)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sender.send_correlated_derandomized(spre, std::vector<Block>(4),
+                                          kZeroBlock),
+      std::invalid_argument);
+}
+
+TEST(OtPrecompute, CorruptedCorrectionVectorRejected) {
+  // Sender side of the online exchange: a correction message whose
+  // length disagrees with the precomputed batch aborts the transfer.
+  auto pair = make_channel_pair();
+  OtPrecompSender pre;
+  pre.r0.assign(6, kZeroBlock);
+  pre.r1.assign(6, kZeroBlock);
+  pair.b->send_bits(BitVec(4, 1));  // wrong length correction
+  OtExtSender sender(*pair.a);
+  EXPECT_THROW(
+      sender.send_correlated_derandomized(pre, std::vector<Block>(6),
+                                          kZeroBlock),
+      std::runtime_error);
+}
+
 }  // namespace
 }  // namespace deepsecure

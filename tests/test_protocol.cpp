@@ -126,6 +126,81 @@ TEST(Protocol, SequentialMacMatchesPlaintext) {
   EXPECT_EQ(server_out, expect);
 }
 
+// Offline/online split at the session level: garble_offline + material
+// push + precomputed OTs, then an online run that only moves active
+// data labels — must agree with plaintext and with the on-demand path.
+TEST(Protocol, OfflineOnlineSplitMatchesOnDemand) {
+  ModelSpec spec;
+  spec.name = "offline_chain";
+  spec.input = Shape3{1, 1, 6};
+  spec.layers.push_back(FcLayer{5, {}, true});
+  spec.layers.push_back(ActLayer{ActKind::kReLU});
+  spec.layers.push_back(FcLayer{3, {}, true});
+  spec.layers.push_back(ArgmaxLayer{});
+  const auto chain = synth::compile_model_layers(spec);
+
+  Rng rng(11);
+  std::vector<Fixed> x, w;
+  for (size_t i = 0; i < 6; ++i) x.push_back(random_fixed(rng, kFmt, 0.2));
+  for (size_t i = 0; i < synth::model_weight_count(spec); ++i)
+    w.push_back(random_fixed(rng, kFmt, 0.2));
+  const BitVec data = pack_fixed(x), weights = pack_fixed(w);
+  const BitVec expect = synth::compile_model(spec).eval(data, weights);
+
+  BitVec online_g, online_e, ondemand_g;
+  run_two_party(
+      [&](Channel& ch) {
+        GarblerSession session(ch, Block{2026, 7});
+        // Offline: one artifact, its OTs, and its label resolution.
+        const GarbledMaterial mat =
+            garble_offline(chain, Block{4242, 99});
+        EXPECT_EQ(mat.fingerprint, chain_fingerprint(chain));
+        EXPECT_EQ(mat.decode_bits.size(), chain.back().outputs.size());
+        send_material(ch, mat);
+        const OtPrecompSender pre = session.precompute_ot(mat.ot_count());
+        session.send_labels_derandomized(pre, mat.eval_zeros, mat.delta);
+        // Online: active data labels out, result bits back.
+        online_g = session.run_online(mat, data);
+        // The same session still supports on-demand runs afterwards.
+        ondemand_g = session.run_chain(chain, data);
+      },
+      [&](Channel& ch) {
+        EvaluatorSession session(ch);
+        EvalMaterial mat = recv_material(ch);
+        const OtPrecompReceiver pre =
+            session.precompute_ot(weights.size());
+        mat.eval_labels = session.recv_labels_derandomized(pre, weights);
+        online_e = session.run_online(chain, mat);
+        session.run_chain(chain, weights);
+      });
+
+  EXPECT_EQ(online_g, expect);
+  EXPECT_EQ(online_e, expect);
+  EXPECT_EQ(ondemand_g, expect);
+}
+
+// A consumed artifact self-checks: evaluate_material validates label
+// counts and rejects surplus table bytes.
+TEST(Protocol, EvaluateMaterialValidatesArtifact) {
+  ModelSpec spec;
+  spec.name = "tiny";
+  spec.input = Shape3{1, 1, 2};
+  spec.layers.push_back(FcLayer{2, {}, true});
+  const auto chain = synth::compile_model_layers(spec);
+
+  GarbledMaterial mat = garble_offline(chain, Block{1, 2});
+  EvalMaterial em;
+  em.decode_bits = mat.decode_bits;
+  em.tables = mat.tables;
+  em.eval_labels = Labels(mat.ot_count() + 1, kZeroBlock);  // wrong count
+  const Labels g(chain.front().garbler_inputs.size(), kZeroBlock);
+  EXPECT_THROW(evaluate_material(chain, em, g), std::invalid_argument);
+
+  em.eval_labels.pop_back();
+  em.tables.resize(em.tables.size() + 16);  // trailing garbage
+  EXPECT_THROW(evaluate_material(chain, em, g), std::runtime_error);
+}
+
 TEST(Protocol, CommunicationDominatedByTables) {
   const Circuit c = synth::make_matvec_circuit(8, 4, kFmt);
   Rng rng(6);

@@ -4,12 +4,17 @@
 // rejection paths.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/deepsecure.h"
+#include "net/tcp_channel.h"
 #include "nn/network.h"
 #include "runtime/client.h"
+#include "runtime/frame.h"
 #include "runtime/server.h"
 #include "support/rng.h"
 #include "test_util.h"
@@ -151,6 +156,193 @@ TEST(InferenceServer, RejectsFramingMismatch) {
         runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
       },
       std::runtime_error);
+  server.stop();
+}
+
+// Offline/online split over a real TCP loopback: the same session runs
+// one inference from prefetched material (online phase only) and one
+// on-demand, on the same sample — identical outputs, both correct.
+TEST(InferenceServer, PooledAndOnDemandProduceIdenticalOutputs) {
+  const synth::ModelSpec spec = small_spec();
+  Rng rng(41);
+  const BitVec weights = random_weights(spec, rng);
+
+  runtime::InferenceServer server(spec, weights, {});
+  server.start();
+
+  std::vector<Fixed> x;
+  for (size_t i = 0; i < 5; ++i)
+    x.push_back(random_fixed(rng, kDefaultFormat, 0.2));
+  const BitVec data = pack_fixed(x);
+
+  runtime::ClientConfig ccfg;
+  ccfg.seed = Block{2026, 727};
+  ccfg.pool_target = 1;
+  ccfg.auto_top_up = false;  // deterministic drain after one pooled infer
+  runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
+  client.prefetch(1);
+  EXPECT_EQ(client.prefetched(), 1u);
+
+  const BitVec pooled = client.infer_bits(data);     // online phase
+  const BitVec ondemand = client.infer_bits(data);   // drained: fallback
+  EXPECT_EQ(pooled, ondemand);
+  EXPECT_EQ(from_bits(pooled), plaintext_label(spec, weights, data));
+  EXPECT_EQ(client.pooled_inferences(), 1u);
+  EXPECT_EQ(client.ondemand_inferences(), 1u);
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.inferences_served(), 2u);
+  EXPECT_EQ(server.inferences_pooled(), 1u);
+  EXPECT_EQ(server.materials_prefetched(), 1u);
+}
+
+// Cross-request pipelining: several kInfer frames queued back-to-back
+// against prefetched material, results collected afterwards in order.
+TEST(InferenceServer, PipelinesBackToBackPooledInfers) {
+  const synth::ModelSpec spec = small_spec();
+  Rng rng(43);
+  const BitVec weights = random_weights(spec, rng);
+
+  runtime::InferenceServer server(spec, weights, {});
+  server.start();
+
+  constexpr size_t kDepth = 3;
+  std::vector<BitVec> datas;
+  std::vector<size_t> want;
+  for (size_t r = 0; r < kDepth; ++r) {
+    std::vector<Fixed> x;
+    for (size_t i = 0; i < 5; ++i)
+      x.push_back(random_fixed(rng, kDefaultFormat, 0.2));
+    datas.push_back(pack_fixed(x));
+    want.push_back(plaintext_label(spec, weights, datas.back()));
+  }
+
+  runtime::ClientConfig ccfg;
+  ccfg.seed = Block{31337, 4};
+  ccfg.pool_target = kDepth;
+  ccfg.auto_top_up = false;
+  runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
+  client.prefetch(kDepth);
+
+  for (size_t r = 0; r < kDepth; ++r) client.begin_infer_bits(datas[r]);
+  EXPECT_EQ(client.in_flight(), kDepth);
+  // Pipelining on drained material is a caller error, not a silent
+  // fallback (on-demand garbling cannot be queued).
+  EXPECT_THROW(client.begin_infer_bits(datas[0]), std::logic_error);
+
+  std::vector<size_t> got;
+  for (size_t r = 0; r < kDepth; ++r)
+    got.push_back(from_bits(client.finish_infer()));
+  EXPECT_EQ(got, want);
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.inferences_pooled(), kDepth);
+}
+
+TEST(InferenceServer, EnforcesPrefetchQuota) {
+  const synth::ModelSpec spec = small_spec();
+  Rng rng(47);
+  runtime::ServerConfig scfg;
+  scfg.max_prefetch = 1;
+  runtime::InferenceServer server(spec, random_weights(spec, rng), scfg);
+  server.start();
+
+  runtime::ClientConfig ccfg;
+  ccfg.pool_target = 2;
+  ccfg.auto_top_up = false;
+  runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
+  EXPECT_EQ(client.prefetch(1), 1u);
+  // Clamped client-side to the quota the ack advertised — no wire
+  // traffic, no kError, and the session stays usable.
+  EXPECT_EQ(client.prefetch(5), 1u);
+  std::vector<Fixed> x;
+  for (size_t i = 0; i < 5; ++i)
+    x.push_back(random_fixed(rng, kDefaultFormat, 0.2));
+  EXPECT_NO_THROW(client.infer_bits(pack_fixed(x)));
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.materials_prefetched(), 1u);
+}
+
+// Drive the server's own kPrefetch rejection branches with a raw
+// frame-level client (the real InferenceClient mirrors the quota and
+// always sends well-formed material, so these paths need a misbehaving
+// peer).
+TEST(InferenceServer, RejectsBadPrefetchFrames) {
+  const synth::ModelSpec spec = small_spec();
+  const auto chain = synth::compile_model_layers(spec);
+  Rng rng(53);
+
+  auto handshake = [&](TcpChannel& raw) {
+    runtime::Hello hello;
+    hello.fingerprint = runtime::chain_fingerprint(chain);
+    runtime::send_hello(raw, hello);
+    const runtime::Frame ack = runtime::recv_frame(raw);
+    ASSERT_EQ(ack.type, runtime::FrameType::kHelloAck);
+  };
+
+  {
+    // Quota exceeded: a server with max_prefetch = 0 rejects the first
+    // push outright.
+    runtime::ServerConfig scfg;
+    scfg.max_prefetch = 0;
+    runtime::InferenceServer server(spec, random_weights(spec, rng), scfg);
+    server.start();
+    TcpChannel raw = TcpChannel::connect("127.0.0.1", server.port());
+    handshake(raw);
+    runtime::send_id_frame(raw, runtime::FrameType::kPrefetch, 1);
+    EXPECT_THROW(
+        try { runtime::recv_frame(raw); } catch (const std::exception& e) {
+          EXPECT_NE(std::string(e.what()).find("quota"), std::string::npos);
+          throw;
+        },
+        std::runtime_error);
+    server.stop();
+  }
+  {
+    // Material that cannot belong to the chain (empty decode bits +
+    // empty tables): rejected at push time, not at kInfer time.
+    runtime::InferenceServer server(spec, random_weights(spec, rng), {});
+    server.start();
+    TcpChannel raw = TcpChannel::connect("127.0.0.1", server.port());
+    handshake(raw);
+    runtime::send_id_frame(raw, runtime::FrameType::kPrefetch, 1);
+    raw.send_bits({});  // decode bits
+    raw.send_u64(0);    // table byte count
+    EXPECT_THROW(
+        try { runtime::recv_frame(raw); } catch (const std::exception& e) {
+          EXPECT_NE(std::string(e.what()).find("match"), std::string::npos);
+          throw;
+        },
+        std::runtime_error);
+    server.stop();
+    EXPECT_EQ(server.materials_prefetched(), 0u);
+  }
+}
+
+// Idle-timeout satellite: a connected-but-silent client is dropped so
+// it cannot pin one of the max_sessions slots forever.
+TEST(InferenceServer, IdleTimeoutFreesSessionSlot) {
+  const synth::ModelSpec spec = small_spec();
+  Rng rng(59);
+  runtime::ServerConfig scfg;
+  scfg.idle_timeout_ms = 150;
+  runtime::InferenceServer server(spec, random_weights(spec, rng), scfg);
+  server.start();
+
+  auto client = std::make_unique<runtime::InferenceClient>(
+      "127.0.0.1", server.port(), spec);
+  // accepted (monotonic) rather than active: on a stalled runner the
+  // reaper may fire before this thread gets to assert.
+  EXPECT_EQ(server.sessions_accepted(), 1u);
+  // Say nothing: the server must reap the session on its own.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.sessions_active() > 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(server.sessions_active(), 0u);
+  client.reset();  // close() on the dead socket is absorbed by the dtor
   server.stop();
 }
 
