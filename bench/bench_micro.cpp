@@ -1,8 +1,11 @@
 // Microbenchmarks of the substrates: AES rates, fixed-key hash, curve
-// operations (base-OT cost), OT extension, netlist construction.
+// operations (base-OT cost), OT extension, netlist construction, and
+// the width-scheduling pass (batch-width histograms + garble rates,
+// scheduled vs construction order).
 #include <benchmark/benchmark.h>
 
 #include "circuit/bench_circuits.h"
+#include "circuit/schedule.h"
 #include "crypto/aes128.h"
 #include "crypto/ed25519.h"
 #include "crypto/prg.h"
@@ -12,6 +15,7 @@
 #include "net/null_channel.h"
 #include "net/party.h"
 #include "synth/activation.h"
+#include "synth/matvec.h"
 #include "synth/mult.h"
 
 using namespace deepsecure;
@@ -67,19 +71,32 @@ BENCHMARK(BM_GcHashBatch)->Arg(1024);
 // matvec/popcount regime) and "chain" (each AND feeds the next, window
 // size 1 — the ripple-carry worst case where batching cannot help).
 void garble_throughput(benchmark::State& state, const Circuit& c,
-                       GcPipeline pipeline) {
+                       const GcOptions& opt) {
   NullChannel ch;
-  Garbler warm(ch, Block{1, 1}, pipeline);
+  Garbler warm(ch, Block{1, 1}, opt);
   const Labels gz = warm.fresh_zeros(c.garbler_inputs.size());
   const Labels ez = warm.fresh_zeros(c.evaluator_inputs.size());
-  (void)c.gc_flush_points();  // schedule precomputed, as in the online phase
+  // Compiler stages precomputed, as in the online phase: scheduled view
+  // (when enabled) and the walked order's flush points.
+  std::shared_ptr<const Circuit> sched;
+  const Circuit& walked = opt.schedule ? *(sched = c.gc_scheduled()) : c;
+  (void)walked.gc_flush_points();
   for (auto _ : state) {
-    Garbler g(ch, Block{1, 1}, pipeline);
+    Garbler g(ch, Block{1, 1}, opt);
     benchmark::DoNotOptimize(g.garble(c, gz, ez, {}));
   }
   state.counters["ANDgates/s"] = benchmark::Counter(
       static_cast<double>(c.stats().num_and) * state.iterations(),
       benchmark::Counter::kIsRate);
+  state.counters["mean_width"] =
+      window_stats(walked, kGcMaxBatchWindow).mean;
+}
+
+void garble_throughput(benchmark::State& state, const Circuit& c,
+                       GcPipeline pipeline) {
+  GcOptions opt;
+  opt.pipeline = pipeline;
+  garble_throughput(state, c, opt);
 }
 
 void BM_GarbleWide(benchmark::State& state) {
@@ -95,6 +112,59 @@ void BM_GarbleChain(benchmark::State& state) {
                                              : GcPipeline::kScalar);
 }
 BENCHMARK(BM_GarbleChain)->Arg(0)->Arg(1)->ArgNames({"batched"});
+
+// The scheduling payoff on a carry-chain-heavy netlist: a real matvec
+// garbled in construction order (windows of ~1-2 ANDs, the BM_GarbleChain
+// regime) vs the width-scheduled order (capacity-bound windows).
+void BM_GarbleMatvec(benchmark::State& state) {
+  static const Circuit c = synth::make_matvec_circuit(16, 8, kDefaultFormat);
+  GcOptions opt;
+  opt.schedule = state.range(0) != 0;
+  garble_throughput(state, c, opt);
+}
+BENCHMARK(BM_GarbleMatvec)->Arg(0)->Arg(1)->ArgNames({"scheduled"})
+    ->Unit(benchmark::kMillisecond);
+
+// Batch-width histogram per netlist: mean/p50/p95/max AND gates per
+// drained window, construction order vs scheduled. The timed body is
+// the window_stats scan itself; the counters are the metric.
+void batch_width(benchmark::State& state, const Circuit& base) {
+  std::shared_ptr<const Circuit> sched;
+  const Circuit& c = state.range(0) ? *(sched = base.gc_scheduled()) : base;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(window_stats(c, kGcMaxBatchWindow));
+  const WindowStats ws = window_stats(c, kGcMaxBatchWindow);
+  state.counters["mean_width"] = ws.mean;
+  state.counters["p50_width"] = static_cast<double>(ws.p50);
+  state.counters["p95_width"] = static_cast<double>(ws.p95);
+  state.counters["max_width"] = static_cast<double>(ws.max);
+  state.counters["windows"] = static_cast<double>(ws.windows);
+}
+
+void BM_BatchWidthMatvec(benchmark::State& state) {
+  static const Circuit c = synth::make_matvec_circuit(16, 8, kDefaultFormat);
+  batch_width(state, c);
+}
+BENCHMARK(BM_BatchWidthMatvec)->Arg(0)->Arg(1)->ArgNames({"scheduled"});
+
+void BM_BatchWidthAndChain(benchmark::State& state) {
+  // Worst case: a pure AND chain has depth = gates; scheduling cannot
+  // (and must not pretend to) widen it.
+  static const Circuit c = bench_circuits::and_chain(1 << 12);
+  batch_width(state, c);
+}
+BENCHMARK(BM_BatchWidthAndChain)->Arg(0)->Arg(1)->ArgNames({"scheduled"});
+
+// Cost of the compiler stage itself (amortized once per netlist by the
+// Circuit cache, paid on model load/reload).
+void BM_ScheduleMatvec(benchmark::State& state) {
+  static const Circuit c = synth::make_matvec_circuit(16, 8, kDefaultFormat);
+  for (auto _ : state) benchmark::DoNotOptimize(schedule_circuit(c));
+  state.counters["gates/s"] = benchmark::Counter(
+      static_cast<double>(c.gates.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScheduleMatvec)->Unit(benchmark::kMillisecond);
 
 void BM_Sha256_1KiB(benchmark::State& state) {
   std::vector<uint8_t> data(1024, 0xAB);

@@ -3,8 +3,9 @@
 // so the perf trajectory can accumulate as BENCH_*.json files.
 //
 //   ./loadgen_inference [--sessions N] [--requests M] [--threads T]
-//                       [--layers L] [--gates G] [--out FILE]
-//                       [--precomputed] [--strict-precomputed]
+//                       [--eval-threads E] [--layers L] [--gates G]
+//                       [--out FILE] [--precomputed]
+//                       [--strict-precomputed] [--no-schedule]
 //
 // Measurements:
 //   1. overlap: one streaming session over TCP loopback garbling a
@@ -49,6 +50,7 @@ struct Args {
   size_t sessions = 4;
   size_t requests = 2;
   size_t threads = 2;
+  size_t eval_threads = 0;  // evaluator-side window sharding
   size_t layers = 3;
   size_t gates = 4096;
   std::string out;
@@ -61,6 +63,9 @@ struct Args {
   bool precomputed = false;
   // Fail (exit 1) when warm-pool p50 >= on-demand p50.
   bool strict_precomputed = false;
+  // Width-scheduled gate order on both endpoints (--no-schedule turns
+  // it off so BENCH JSON can capture scheduled vs unscheduled runs).
+  bool schedule = gc_schedule_default();
 };
 
 Args parse_args(int argc, char** argv) {
@@ -74,6 +79,7 @@ Args parse_args(int argc, char** argv) {
     if (k == "--sessions") a.sessions = std::stoul(next());
     else if (k == "--requests") a.requests = std::stoul(next());
     else if (k == "--threads") a.threads = std::stoul(next());
+    else if (k == "--eval-threads") a.eval_threads = std::stoul(next());
     else if (k == "--layers") a.layers = std::stoul(next());
     else if (k == "--gates") a.gates = std::stoul(next());
     else if (k == "--out") a.out = next();
@@ -83,6 +89,7 @@ Args parse_args(int argc, char** argv) {
       a.precomputed = true;
       a.strict_precomputed = true;
     }
+    else if (k == "--no-schedule") a.schedule = false;
     else throw std::runtime_error("unknown flag " + k);
   }
   return a;
@@ -122,6 +129,8 @@ OverlapResult measure_overlap(const Args& args) {
 
   runtime::StreamConfig cfg;
   cfg.garble_threads = args.threads;
+  cfg.eval_threads = args.eval_threads;
+  cfg.schedule = args.schedule;
 
   TcpListener listener(0);
   SessionTrace g_trace, e_trace;
@@ -227,6 +236,8 @@ LoadResult measure_load(const Args& args, bool pooled) {
   runtime::ServerConfig scfg;
   scfg.max_sessions = std::max<size_t>(args.sessions, 1);
   scfg.max_prefetch = std::max<size_t>(args.requests, 1);
+  scfg.stream.eval_threads = args.eval_threads;
+  scfg.stream.schedule = args.schedule;
   runtime::InferenceServer server(spec, weights, scfg);
   server.start();
 
@@ -245,6 +256,7 @@ LoadResult measure_load(const Args& args, bool pooled) {
       try {
       runtime::ClientConfig ccfg;
       ccfg.seed = Block{1000 + s, 2000 + s};  // per-session PRG seed
+      ccfg.stream.schedule = args.schedule;
       if (pooled) {
         ccfg.pool_target = args.requests;
         ccfg.pool_producers = 2;
@@ -325,9 +337,10 @@ LoadResult measure_load(const Args& args, bool pooled) {
   return r;
 }
 
-void emit_json(std::FILE* f, const OverlapResult& o, const LoadResult& l,
-               const LoadResult* pre) {
+void emit_json(std::FILE* f, bool scheduled, const OverlapResult& o,
+               const LoadResult& l, const LoadResult* pre) {
   std::fprintf(f, "{\n  \"bench\": \"loadgen_inference\",\n");
+  std::fprintf(f, "  \"scheduled\": %s,\n", scheduled ? "true" : "false");
   std::fprintf(f,
                "  \"overlap\": {\"layers\": %zu, \"gates_per_layer\": %zu, "
                "\"garble_threads\": %zu, \"wall_s\": %.6f, \"garble_s\": %.6f, "
@@ -374,11 +387,11 @@ int main(int argc, char** argv) {
     LoadResult pre;
     if (args.precomputed) pre = measure_load(args, /*pooled=*/true);
     const LoadResult* pre_p = args.precomputed ? &pre : nullptr;
-    emit_json(stdout, overlap, load, pre_p);
+    emit_json(stdout, args.schedule, overlap, load, pre_p);
     if (!args.out.empty()) {
       std::FILE* f = std::fopen(args.out.c_str(), "w");
       if (f == nullptr) throw std::runtime_error("cannot open " + args.out);
-      emit_json(f, overlap, load, pre_p);
+      emit_json(f, args.schedule, overlap, load, pre_p);
       std::fclose(f);
     }
     if (overlap.wall_s >= overlap.phase_sum()) {

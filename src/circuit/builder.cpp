@@ -38,6 +38,15 @@ void Builder::set_state_next(const std::vector<Wire>& next) {
   c_.state_next = next;
 }
 
+void Builder::set_lane(uint32_t lane) {
+  if (!lanes_used_) {
+    lanes_used_ = true;
+    // Backfill: gates emitted before the first tag land in lane 0.
+    c_.gate_lanes.assign(c_.gates.size(), 0);
+  }
+  lane_ = lane;
+}
+
 Wire Builder::emit(GateOp op, Wire a, Wire b) {
   // Canonicalize commutative operand order for CSE.
   if (a > b) std::swap(a, b);
@@ -61,6 +70,7 @@ Wire Builder::emit(GateOp op, Wire a, Wire b) {
     if (auto it = cse_map_.find(key); it != cse_map_.end()) return it->second;
     const Wire out = new_wire();
     c_.gates.push_back(Gate{a, b, out, op});
+    if (lanes_used_) c_.gate_lanes.push_back(lane_);
     if (op == GateOp::kAnd)
       ++and_count_;
     else
@@ -71,6 +81,7 @@ Wire Builder::emit(GateOp op, Wire a, Wire b) {
 
   const Wire out = new_wire();
   c_.gates.push_back(Gate{a, b, out, op});
+  if (lanes_used_) c_.gate_lanes.push_back(lane_);
   if (op == GateOp::kAnd)
     ++and_count_;
   else

@@ -30,6 +30,15 @@ class Builder {
   std::vector<Wire> state_inputs(size_t n);
   void set_state_next(const std::vector<Wire>& next);
 
+  // --- scheduling hints -------------------------------------------------
+  /// Tag gates emitted from here on with a lane id — one independent
+  /// unit of parallel work (a matvec column, an FC output neuron, a
+  /// conv output pixel). The scheduling pass (circuit/schedule.h)
+  /// interleaves same-level AND gates round-robin across lanes. Gates
+  /// emitted before the first set_lane call carry lane 0; CSE-shared
+  /// gates keep the lane of their first emission.
+  void set_lane(uint32_t lane);
+
   // --- logic ------------------------------------------------------------
   Wire const_bit(bool v) { return v ? kConst1 : kConst0; }
   Wire xor_(Wire a, Wire b);
@@ -59,6 +68,8 @@ class Builder {
 
   Circuit c_;
   bool cse_;
+  uint32_t lane_ = 0;
+  bool lanes_used_ = false;
   uint64_t and_count_ = 0;
   uint64_t xor_count_ = 0;
   std::unordered_map<uint64_t, Wire> cse_map_;

@@ -58,6 +58,7 @@ Circuit& Circuit::operator=(const Circuit& o) {
   if (this == &o) return *this;
   name = o.name;
   gates = o.gates;
+  gate_lanes = o.gate_lanes;
   garbler_inputs = o.garbler_inputs;
   evaluator_inputs = o.evaluator_inputs;
   state_inputs = o.state_inputs;
@@ -66,6 +67,8 @@ Circuit& Circuit::operator=(const Circuit& o) {
   num_wires = o.num_wires;
   gc_flush_cache_.reset();  // recomputed lazily; see header
   gc_flush_cache_gates_ = 0;
+  gc_sched_cache_.reset();
+  gc_sched_cache_gates_ = 0;
   return *this;
 }
 
@@ -124,6 +127,8 @@ BitVec Circuit::eval(const BitVec& garbler_bits, const BitVec& evaluator_bits,
 void Circuit::validate() const {
   if (state_inputs.size() != state_next.size())
     throw std::logic_error("state_inputs/state_next size mismatch");
+  if (!gate_lanes.empty() && gate_lanes.size() != gates.size())
+    throw std::logic_error("gate_lanes/gates size mismatch");
   std::vector<uint8_t> defined(num_wires, 0);
   defined[kConst0] = defined[kConst1] = 1;
   auto mark_input = [&](Wire wid) {

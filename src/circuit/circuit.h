@@ -64,6 +64,12 @@ class Circuit {
   std::string name;
 
   std::vector<Gate> gates;               // topological order
+  /// Optional lane tags, parallel to `gates` (empty = untagged). A lane
+  /// groups gates belonging to one independent unit of work — a matvec
+  /// column, an FC output neuron, a conv output pixel — and the
+  /// scheduling pass (circuit/schedule.h) interleaves same-level AND
+  /// gates round-robin across lanes. Set via Builder::set_lane.
+  std::vector<uint32_t> gate_lanes;
   std::vector<Wire> garbler_inputs;      // client data wires
   std::vector<Wire> evaluator_inputs;    // server parameter wires
   std::vector<Wire> state_inputs;        // sequential state (cycle t-1)
@@ -94,9 +100,19 @@ class Circuit {
   /// count are undetected — treat `gates` as frozen once garbling starts.
   std::shared_ptr<const std::vector<uint32_t>> gc_flush_points() const;
 
+  /// Width-scheduled view of this circuit (circuit/schedule.h): same
+  /// wires/inputs/outputs, gates permuted into the levelized
+  /// batch-window-maximizing order. Computed lazily and cached with the
+  /// same thread-safety and invalidation rules as gc_flush_points();
+  /// the returned circuit carries its own (lazily cached) flush
+  /// schedule, so repeated garblings reuse both.
+  std::shared_ptr<const Circuit> gc_scheduled() const;
+
  private:
   mutable std::shared_ptr<const std::vector<uint32_t>> gc_flush_cache_;
   mutable size_t gc_flush_cache_gates_ = 0;
+  mutable std::shared_ptr<const Circuit> gc_sched_cache_;
+  mutable size_t gc_sched_cache_gates_ = 0;
 };
 
 /// Multi-cycle (sequential) execution of a folded circuit. The state is

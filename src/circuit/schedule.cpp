@@ -1,0 +1,155 @@
+#include "circuit/schedule.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace deepsecure {
+namespace {
+
+// Round-robin interleave of one level's AND gates across lane tags,
+// in place over a gate_map slice: lane-major runs (all of column 0,
+// then all of column 1, ...) become alternating picks, so
+// capacity-split windows and their thread-pool shards mix lanes
+// evenly — the layout NUMA shard affinity will want. Single-lane
+// slices keep original order.
+void interleave_by_lane(uint32_t* begin, uint32_t* end,
+                        const std::vector<uint32_t>& lanes) {
+  const size_t n = static_cast<size_t>(end - begin);
+  if (n < 2) return;
+  std::unordered_map<uint32_t, size_t> group_of;  // lane -> groups slot
+  std::vector<std::vector<uint32_t>> groups;      // first-appearance order
+  for (uint32_t* p = begin; p != end; ++p) {
+    const auto [it, fresh] = group_of.try_emplace(lanes[*p], groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(*p);
+  }
+  if (groups.size() < 2) return;
+  uint32_t* out = begin;
+  for (size_t round = 0; out != end; ++round)
+    for (const auto& g : groups)
+      if (round < g.size()) *out++ = g[round];
+}
+
+}  // namespace
+
+ScheduleResult schedule_circuit(const Circuit& c) {
+  const size_t n = c.gates.size();
+
+  // Pass 1: AND-depth levels. Inputs and constants sit at level 0; an
+  // AND's output is one level past its deepest input, a free XOR's
+  // output stays at its deepest input's level. Each gate's sort key
+  // puts the level's XORs before its ANDs.
+  std::vector<uint32_t> wire_level(c.num_wires, 0);
+  std::vector<uint32_t> key(n);
+  uint32_t max_level = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Gate& g = c.gates[i];
+    const uint32_t lvl = std::max(wire_level[g.a], wire_level[g.b]);
+    const bool is_and = g.op == GateOp::kAnd;
+    key[i] = 2 * lvl + (is_and ? 1 : 0);
+    wire_level[g.out] = lvl + (is_and ? 1 : 0);
+    max_level = std::max(max_level, lvl);
+  }
+
+  // Pass 2: stable counting sort by key — the levelized order.
+  // Correctness: a level-L gate's inputs come from levels <= L;
+  // same-level producers can only be XORs (a same-level AND's output
+  // would be level L+1), which sort earlier in the level, and stability
+  // keeps same-level XOR chains in their original (topological) order.
+  // Width: all ANDs of a level are independent, so the only same-level
+  // drain is the capacity cap.
+  std::vector<uint32_t> offset(2 * (max_level + 1) + 1, 0);
+  for (size_t i = 0; i < n; ++i) ++offset[key[i] + 1];
+  for (size_t k = 1; k < offset.size(); ++k) offset[k] += offset[k - 1];
+
+  ScheduleResult r;
+  r.gate_map.resize(n);
+  {
+    std::vector<uint32_t> pos(offset.begin(), offset.end() - 1);
+    for (size_t i = 0; i < n; ++i)
+      r.gate_map[pos[key[i]]++] = static_cast<uint32_t>(i);
+  }
+
+  // Pass 3: lane interleave within each level's AND run.
+  if (!c.gate_lanes.empty())
+    for (uint32_t lvl = 0; lvl <= max_level; ++lvl)
+      interleave_by_lane(r.gate_map.data() + offset[2 * lvl + 1],
+                         r.gate_map.data() + offset[2 * lvl + 2],
+                         c.gate_lanes);
+
+  // Wires, inputs, outputs, and state bindings are unchanged; only the
+  // gate list (and its lane tags) is gathered through the permutation.
+  Circuit& s = r.circuit;
+  s.name = c.name;
+  s.garbler_inputs = c.garbler_inputs;
+  s.evaluator_inputs = c.evaluator_inputs;
+  s.state_inputs = c.state_inputs;
+  s.state_next = c.state_next;
+  s.outputs = c.outputs;
+  s.num_wires = c.num_wires;
+  s.gates.resize(n);
+  if (!c.gate_lanes.empty()) s.gate_lanes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    s.gates[i] = c.gates[r.gate_map[i]];
+    if (!c.gate_lanes.empty()) s.gate_lanes[i] = c.gate_lanes[r.gate_map[i]];
+  }
+  return r;
+}
+
+std::shared_ptr<const Circuit> Circuit::gc_scheduled() const {
+  // Unlike gc_flush_points() (cheap scan, lock never held across it),
+  // the scheduling pass is expensive enough that two concurrent first
+  // callers on the SAME circuit — garbler and evaluator threads of an
+  // in-process two-party run — should not both pay it. The mutex is
+  // held across the compute but sharded by object identity, so
+  // unrelated circuits scheduling concurrently almost never contend.
+  static std::mutex mu[16];
+  std::mutex& m =
+      mu[(reinterpret_cast<std::uintptr_t>(this) >> 6) & 15];
+  std::lock_guard<std::mutex> lock(m);
+  if (!gc_sched_cache_ || gc_sched_cache_gates_ != gates.size()) {
+    gc_sched_cache_ =
+        std::make_shared<const Circuit>(schedule_circuit(*this).circuit);
+    gc_sched_cache_gates_ = gates.size();
+  }
+  return gc_sched_cache_;
+}
+
+WindowStats window_stats(const Circuit& c, size_t capacity) {
+  const auto flush_points = c.gc_flush_points();
+  const uint32_t* fp = flush_points->data();
+  const uint32_t* fp_end = fp + flush_points->size();
+
+  WindowStats s;
+  s.flush_points = flush_points->size();
+  std::vector<size_t> widths;
+  size_t window = 0;
+  auto drain = [&]() {
+    if (window == 0) return;
+    widths.push_back(window);
+    window = 0;
+  };
+  for (uint32_t i = 0; i < static_cast<uint32_t>(c.gates.size()); ++i) {
+    if (fp != fp_end && *fp == i) {
+      drain();
+      ++fp;
+    }
+    if (c.gates[i].op != GateOp::kAnd) continue;
+    ++s.and_gates;
+    if (++window == capacity) drain();
+  }
+  drain();
+
+  s.windows = widths.size();
+  if (widths.empty()) return s;
+  s.mean = static_cast<double>(s.and_gates) / static_cast<double>(s.windows);
+  std::sort(widths.begin(), widths.end());
+  s.p50 = widths[widths.size() / 2];
+  s.p95 = widths[std::min(widths.size() - 1, (widths.size() * 95) / 100)];
+  s.max = widths.back();
+  return s;
+}
+
+}  // namespace deepsecure

@@ -1,0 +1,74 @@
+// Width-aware netlist rescheduling — the compiler stage between circuit
+// construction and garbling.
+//
+// The batched hashing pipeline (gc/batch_walk.h) drains its pending
+// AND-gate window whenever a gate reads a wire produced by a
+// still-pending AND. Builders and the synth layer emit gates in
+// construction order — lane by lane, carry chain by carry chain — so on
+// arithmetic netlists the window flushes every few gates and the AES
+// pipeline never fills. This pass rewrites a topologically-ordered
+// Circuit into a width-maximizing order:
+//
+//   * levelized list scheduling: every gate is assigned an AND-depth
+//     level (the number of AND gates on its longest input path), and
+//     gates are emitted level by level. All AND gates of one level are
+//     mutually independent — one matvec's carry chains interleave
+//     across all lanes/bit-slices into a single wide batch window.
+//   * deferred free-XOR: within a level, XOR gates are emitted before
+//     the level's ANDs. An XOR consuming a previous level's AND output
+//     therefore lands exactly at the level boundary where the window
+//     must drain anyway — XOR consumers never force an extra flush.
+//
+// The result is one dependency flush per AND level (the netlist's
+// multiplicative depth) instead of one per construction-order hazard.
+//
+// Invariants:
+//   * wire ids are untouched — only the gate list is permuted — so
+//     inputs, outputs, state bindings, and the plaintext oracle
+//     (Circuit::eval) are unchanged, and label vectors indexed by wire
+//     id work on either order.
+//   * the schedule is a pure, deterministic function of the gate list
+//     (plus optional lane tags), so two endpoints that compiled the
+//     same netlist compute the same order. The protocol's table stream
+//     and tweak sequence follow gate order, so both parties MUST walk
+//     the same schedule — the chain fingerprint is computed over the
+//     scheduled netlist and cross-checked in the runtime handshake.
+//   * scheduling happens behind GcOptions::schedule (default on); the
+//     unscheduled construction order is retained as the correctness
+//     oracle (DEEPSECURE_NO_SCHEDULE=1 forces it process-wide).
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace deepsecure {
+
+struct ScheduleResult {
+  /// Same circuit, gates permuted into the levelized order (gate_lanes
+  /// permuted alongside). validate() holds on the result.
+  Circuit circuit;
+  /// gate_map[i] = original index of the gate at scheduled position i.
+  std::vector<uint32_t> gate_map;
+};
+
+/// Reschedule `c` (see file header). O(gates + wires) time and memory.
+ScheduleResult schedule_circuit(const Circuit& c);
+
+/// Batch-window shape of a gate order: simulates the batched walk
+/// (dependency flush points + a `capacity` cap, kGcMaxBatchWindow in
+/// the real pipeline) and reports the AND-gate width of every drained
+/// window. The schedule quality metric for benches and regressions.
+struct WindowStats {
+  size_t and_gates = 0;
+  size_t windows = 0;       // drain events with at least one AND
+  size_t flush_points = 0;  // dependency flushes in the gate order
+  double mean = 0.0;        // AND gates per window
+  size_t p50 = 0;
+  size_t p95 = 0;
+  size_t max = 0;
+};
+
+WindowStats window_stats(const Circuit& c, size_t capacity);
+
+}  // namespace deepsecure

@@ -5,6 +5,7 @@
 #include "crypto/aes128.h"
 #include "gc/batch_walk.h"
 #include "gc/block_io.h"
+#include "support/thread_pool.h"
 
 namespace deepsecure {
 
@@ -27,14 +28,19 @@ Labels Evaluator::evaluate(const Circuit& c, const Labels& garbler_labels,
   for (size_t i = 0; i < state_labels.size(); ++i)
     w[c.state_inputs[i]] = state_labels[i];
 
+  // Walk the same scheduled order the garbler walked (see garbler.cpp);
+  // tables and tweaks are consumed in that shared order.
+  std::shared_ptr<const Circuit> sched;
+  const Circuit& walk = opt_.schedule ? *(sched = c.gc_scheduled()) : c;
+
   // Framed mode self-describes (length-prefixed window frames), so the
   // reader needs no total; monolithic mode must know the stream length.
   BlockReader tables(ch_, 1 << 15, opt_.framed_tables);
   if (!opt_.framed_tables) tables.expect(2 * c.stats().num_and);
   if (opt_.pipeline == GcPipeline::kScalar)
-    evaluate_gates_scalar(c, w, tables);
+    evaluate_gates_scalar(walk, w, tables);
   else
-    evaluate_gates_batched(c, w, tables);
+    evaluate_gates_batched(walk, w, tables);
 
   if (state_next != nullptr) {
     state_next->resize(c.state_next.size());
@@ -73,6 +79,12 @@ void Evaluator::evaluate_gates_scalar(const Circuit& c, Labels& w,
 // flush schedule applies because both sides defer exactly the AND gates.
 // Two hashes per gate; table rows are consumed at enqueue time, which
 // keeps the read stream in gate order regardless of flush timing.
+//
+// With a ThreadPool, a draining window splits into contiguous per-shard
+// slices exactly like the garbler's: tweaks were assigned and table
+// rows consumed at enqueue time on this thread, so shards only hash
+// their slice and combine into disjoint output wires — no channel
+// access, and the evaluation result is identical to single-threaded.
 void Evaluator::evaluate_gates_batched(const Circuit& c, Labels& w,
                                        BlockReader& tables) {
   std::vector<Block> ins, tabs, hashes;  // 2 entries per pending gate
@@ -88,15 +100,22 @@ void Evaluator::evaluate_gates_batched(const Circuit& c, Labels& w,
     const size_t n = outs.size();
     if (n == 0) return;
     hashes.resize(2 * n);
-    gc_hash_batch(ins.data(), tweaks.data(), hashes.data(), 2 * n);
-    for (size_t i = 0; i < n; ++i) {
-      const Block wa = ins[2 * i];
-      Block wgc = hashes[2 * i];
-      if (wa.lsb()) wgc ^= tabs[2 * i];
-      Block wec = hashes[2 * i + 1];
-      if (ins[2 * i + 1].lsb()) wec ^= tabs[2 * i + 1] ^ wa;
-      w[outs[i]] = wgc ^ wec;
-    }
+    auto shard = [&](size_t lo, size_t hi) {
+      gc_hash_batch(ins.data() + 2 * lo, tweaks.data() + 2 * lo,
+                    hashes.data() + 2 * lo, 2 * (hi - lo));
+      for (size_t i = lo; i < hi; ++i) {
+        const Block wa = ins[2 * i];
+        Block wgc = hashes[2 * i];
+        if (wa.lsb()) wgc ^= tabs[2 * i];
+        Block wec = hashes[2 * i + 1];
+        if (ins[2 * i + 1].lsb()) wec ^= tabs[2 * i + 1] ^ wa;
+        w[outs[i]] = wgc ^ wec;  // disjoint wires across shards
+      }
+    };
+    if (opt_.pool != nullptr)
+      opt_.pool->parallel_shards(n, opt_.min_shard_gates, shard);
+    else
+      shard(0, n);
     ins.clear();
     tabs.clear();
     tweaks.clear();

@@ -33,19 +33,35 @@ enum class GcPipeline : uint8_t { kBatched, kScalar };
 /// hashes 4 blocks per gate) while amortizing the AES pipeline fill.
 inline constexpr size_t kGcMaxBatchWindow = 1024;
 
+/// Default for GcOptions::schedule / StreamConfig::schedule: true
+/// unless the DEEPSECURE_NO_SCHEDULE environment variable is set to a
+/// non-empty value other than "0" — the escape hatch CI uses to run the
+/// whole suite on the unscheduled oracle path. Read once per process.
+bool gc_schedule_default();
+
 /// Execution options for one GC endpoint. Both parties must agree on
-/// `framed_tables` (it changes the wire format); `pipeline` and `pool`
-/// are local choices that never affect the byte stream.
+/// `framed_tables` and `schedule` (they change the wire format/stream
+/// order); `pipeline` and `pool` are local choices that never affect
+/// the byte stream.
 struct GcOptions {
   GcPipeline pipeline = GcPipeline::kBatched;
+  /// Walk the width-scheduled gate order (circuit/schedule.h, cached on
+  /// the Circuit) instead of construction order. Reorders the garbled
+  /// tables and tweak sequence identically on both sides, so the peer
+  /// must agree; the runtime handshake's chain fingerprint covers the
+  /// scheduled netlist, catching any mismatch at session setup. Off =
+  /// the retained construction-order correctness oracle.
+  bool schedule = gc_schedule_default();
   /// Length-prefixed table frames aligned to batch windows (see
   /// block_io.h) — the streaming runtime's wire format. The framed
   /// payload is byte-identical to the monolithic stream.
   bool framed_tables = false;
-  /// Garbler-side shard pool: each batch window is split into contiguous
-  /// per-thread shards (independent sub-windows), hashed concurrently,
-  /// and emitted in gate order — byte-identical to single-threaded
-  /// garbling. nullptr = single-threaded. Not owned.
+  /// Shard pool for either endpoint: each batch window is split into
+  /// contiguous per-thread shards (independent sub-windows), hashed
+  /// concurrently, and emitted/consumed in gate order. Tweaks are
+  /// assigned and table rows moved at enqueue time on the walking
+  /// thread, so sharding is byte-identical to single-threaded execution
+  /// on both sides. nullptr = single-threaded. Not owned.
   ThreadPool* pool = nullptr;
   /// Windows smaller than this are not worth sharding (pool dispatch
   /// overhead exceeds the hash work).

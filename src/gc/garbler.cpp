@@ -1,5 +1,6 @@
 #include "gc/garble.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "crypto/aes128.h"
@@ -8,6 +9,15 @@
 #include "support/thread_pool.h"
 
 namespace deepsecure {
+
+bool gc_schedule_default() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("DEEPSECURE_NO_SCHEDULE");
+    return v == nullptr || v[0] == '\0' ||
+           (v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
 
 Garbler::Garbler(Channel& ch, Block seed, GcPipeline pipeline)
     : Garbler(ch, seed, GcOptions{.pipeline = pipeline}) {}
@@ -48,11 +58,18 @@ Labels Garbler::garble(const Circuit& c, const Labels& garbler_zeros,
   for (size_t i = 0; i < state_zeros.size(); ++i)
     w[c.state_inputs[i]] = state_zeros[i];
 
+  // The scheduled view permutes only the gate list — wire ids, inputs
+  // and outputs are untouched — so `w` and the epilogue below work on
+  // either order. Both pipelines honor it so scalar stays byte-identical
+  // to batched under the same options.
+  std::shared_ptr<const Circuit> sched;
+  const Circuit& walk = opt_.schedule ? *(sched = c.gc_scheduled()) : c;
+
   BlockWriter tables(ch_, 1 << 15, opt_.framed_tables);
   if (opt_.pipeline == GcPipeline::kScalar)
-    garble_gates_scalar(c, w, tables);
+    garble_gates_scalar(walk, w, tables);
   else
-    garble_gates_batched(c, w, tables);
+    garble_gates_batched(walk, w, tables);
   tables.flush();
 
   if (state_next != nullptr) {

@@ -54,7 +54,8 @@ class ByteSource final : public Channel {
 
 }  // namespace
 
-uint64_t chain_fingerprint(const std::vector<Circuit>& chain) {
+uint64_t chain_fingerprint(const std::vector<Circuit>& chain,
+                           bool scheduled) {
   uint64_t h = 0xcbf29ce484222325ull;
   auto mix = [&h](uint64_t v) {
     // FNV-1a, one byte at a time over the u64.
@@ -64,7 +65,12 @@ uint64_t chain_fingerprint(const std::vector<Circuit>& chain) {
     }
   };
   mix(chain.size());
-  for (const Circuit& c : chain) {
+  for (const Circuit& link : chain) {
+    // Hash the gate order the endpoints will walk: the scheduled view
+    // when the scheduling pass is on (its cache is shared with the
+    // garbler/evaluator, so this triggers no extra scheduling work).
+    std::shared_ptr<const Circuit> sched;
+    const Circuit& c = scheduled ? *(sched = link.gc_scheduled()) : link;
     mix(c.num_wires);
     mix(c.gates.size());
     mix(c.garbler_inputs.size());
@@ -79,6 +85,10 @@ uint64_t chain_fingerprint(const std::vector<Circuit>& chain) {
   return h;
 }
 
+uint64_t chain_fingerprint(const std::vector<Circuit>& chain) {
+  return chain_fingerprint(chain, /*scheduled=*/false);
+}
+
 GarbledMaterial garble_offline(const std::vector<Circuit>& chain, Block seed,
                                const GcOptions& opt) {
   if (chain.empty())
@@ -90,7 +100,7 @@ GarbledMaterial garble_offline(const std::vector<Circuit>& chain, Block seed,
   Garbler garbler(sink, seed, local);
 
   GarbledMaterial mat;
-  mat.fingerprint = chain_fingerprint(chain);
+  mat.fingerprint = chain_fingerprint(chain, local.schedule);
   mat.delta = garbler.delta();
 
   Labels carried;
@@ -133,7 +143,8 @@ BitVec evaluate_material(const std::vector<Circuit>& chain,
 
   GcOptions local = opt;
   local.framed_tables = false;
-  local.pool = nullptr;
+  // opt.pool applies: shards only hash — the ByteSource reads happen at
+  // enqueue time on this thread, so the replay stream stays in order.
 
   ByteSource source(mat.tables);
   Evaluator evaluator(source, local);

@@ -31,6 +31,14 @@ namespace deepsecure {
 /// layer orders) disagree with overwhelming probability. Stamped into
 /// every offline artifact and cross-checked by the runtime handshake
 /// (runtime::chain_fingerprint is an alias of this).
+///
+/// `scheduled` selects which gate order is hashed: the protocol's table
+/// stream and tweak sequence follow the *walked* order, so the
+/// fingerprint must cover the order the endpoints actually execute —
+/// pass GcOptions::schedule / StreamConfig::schedule. Two endpoints
+/// whose walked orders coincide (e.g. scheduling is the identity on
+/// this chain) agree either way.
+uint64_t chain_fingerprint(const std::vector<Circuit>& chain, bool scheduled);
 uint64_t chain_fingerprint(const std::vector<Circuit>& chain);
 
 /// Garbler-side offline artifact for one inference over a circuit

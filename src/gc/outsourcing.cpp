@@ -31,6 +31,10 @@ Circuit add_xor_sharing_layer(const Circuit& c) {
                          GateOp::kXor});
   gates.insert(gates.end(), out.gates.begin(), out.gates.end());
   out.gates = std::move(gates);
+  if (!out.gate_lanes.empty()) {
+    // Keep lane tags aligned: the reconstruction layer is lane 0.
+    out.gate_lanes.insert(out.gate_lanes.begin(), n, 0u);
+  }
 
   out.garbler_inputs = share_a;
   std::vector<Wire> eval_in = share_b;

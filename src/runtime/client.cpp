@@ -24,8 +24,11 @@ InferenceClient::InferenceClient(const std::string& host, uint16_t port,
   garbler_ = std::make_unique<StreamingGarbler>(transport_, seed, cfg.stream);
 
   Hello hello;
-  hello.fingerprint = chain_fingerprint(chain_);
-  hello.flags = SessionFlags{cfg.stream.framed_tables};
+  // Fingerprint over the gate order this session will walk (the
+  // scheduled netlist by default) — the server computes the same and a
+  // compile or scheduling divergence fails the handshake, not an OT.
+  hello.fingerprint = chain_fingerprint(chain_, cfg.stream.schedule);
+  hello.flags = SessionFlags{cfg.stream.framed_tables, cfg.stream.schedule};
   Channel& ch = garbler_->channel();
   send_hello(ch, hello);
   garbler_->channel().flush();

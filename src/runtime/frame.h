@@ -34,7 +34,11 @@ inline constexpr uint64_t kProtocolMagic = 0x44535255'4e313031ull;  // "DSRUN101
 // v2: offline/online split — kPrefetch/kPrefetchAck frames, pooled
 // kInfer (8-byte material id payload), bulk base-OT and packed
 // u-column wire encodings.
-inline constexpr uint32_t kProtocolVersion = 2;
+// v3: width-scheduled gate order (circuit/schedule.h) — the garbled
+// tables and tweaks of every inference follow the scheduled netlist by
+// default, negotiated via SessionFlags::schedule; the hello fingerprint
+// is computed over the scheduled netlist.
+inline constexpr uint32_t kProtocolVersion = 3;
 
 enum class FrameType : uint8_t {
   kHello = 1,     // client -> server: magic, version, fingerprint, flags
@@ -59,8 +63,17 @@ struct Frame {
 /// Wire-format flags carried in the hello (must match on both ends).
 struct SessionFlags {
   bool framed_tables = true;
-  uint8_t encode() const { return framed_tables ? 1u : 0u; }
-  static SessionFlags decode(uint8_t v) { return SessionFlags{(v & 1u) != 0}; }
+  /// Both parties walk the width-scheduled gate order. Strictly the
+  /// fingerprint already covers the walked order; the explicit flag
+  /// turns a mismatch into a named rejection instead of a bare
+  /// fingerprint error.
+  bool schedule = gc_schedule_default();
+  uint8_t encode() const {
+    return (framed_tables ? 1u : 0u) | (schedule ? 2u : 0u);
+  }
+  static SessionFlags decode(uint8_t v) {
+    return SessionFlags{(v & 1u) != 0, (v & 2u) != 0};
+  }
 };
 
 struct Hello {

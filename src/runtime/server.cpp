@@ -14,7 +14,10 @@ InferenceServer::InferenceServer(const synth::ModelSpec& spec, BitVec weights,
     : chain_(synth::compile_model_layers(spec)),
       weights_(std::move(weights)),
       cfg_(cfg),
-      fingerprint_(chain_fingerprint(chain_)),
+      // Fingerprint over the gate order sessions will walk — computing
+      // it here also warms the per-circuit schedule cache once, before
+      // the first session arrives.
+      fingerprint_(chain_fingerprint(chain_, cfg.stream.schedule)),
       listener_(cfg.port, /*backlog=*/64) {
   size_t want = 0;
   for (const Circuit& c : chain_) {
@@ -123,6 +126,9 @@ void InferenceServer::accept_loop() {
 
 void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
                                      std::shared_ptr<std::atomic<bool>> done) {
+  // Bytes this session holds against the global prefetch budget;
+  // released on every exit path (including peer errors) below.
+  uint64_t reserved_bytes = 0;
   try {
     // Idle sessions may not pin a slot: every recv on this session is
     // bounded, and a timeout tears the session down like any peer error.
@@ -135,6 +141,8 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
     const char* reject = nullptr;
     if (hello.magic != kProtocolMagic || hello.version != kProtocolVersion)
       reject = "protocol magic/version mismatch";
+    else if (hello.flags.schedule != cfg_.stream.schedule)
+      reject = "netlist scheduling mismatch";
     else if (hello.fingerprint != fingerprint_)
       reject = "model chain fingerprint mismatch";
     else if (hello.flags.framed_tables != cfg_.stream.framed_tables)
@@ -160,7 +168,10 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
       // assumes. kPrefetch parks offline artifacts (tables + resolved
       // evaluator labels) per session; a pooled kInfer then runs only
       // the online phase against one of them.
-      EvaluatorSession session(ch, cfg_.stream.gc_options(nullptr));
+      std::unique_ptr<ThreadPool> eval_pool;
+      if (cfg_.stream.eval_threads > 0)
+        eval_pool = std::make_unique<ThreadPool>(cfg_.stream.eval_threads);
+      EvaluatorSession session(ch, cfg_.stream.gc_options(eval_pool.get()));
       std::unordered_map<uint64_t, EvalMaterial> store;
       for (bool open = true; open;) {
         const Frame f = recv_frame(ch);
@@ -181,6 +192,8 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
               // One artifact, one evaluation: consume it.
               const EvalMaterial mat = std::move(it->second);
               store.erase(it);
+              prefetch_bytes_.fetch_sub(expected_table_bytes_);
+              reserved_bytes -= expected_table_bytes_;
               session.run_online(chain_, mat);
               inferences_pooled_.fetch_add(1);
             }
@@ -197,6 +210,25 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
               open = false;
               break;
             }
+            // Global budget: reserve before reading the artifact (its
+            // size is fixed by the chain). fetch_add-then-check keeps
+            // the reservation race-free across sessions; an overshoot
+            // is rolled back before anyone else can starve on it.
+            // Always accounted (prefetch_bytes() is a metric), only
+            // enforced when a budget is configured.
+            const uint64_t now =
+                prefetch_bytes_.fetch_add(expected_table_bytes_) +
+                expected_table_bytes_;
+            if (cfg_.max_prefetch_bytes > 0 &&
+                now > cfg_.max_prefetch_bytes) {
+              prefetch_bytes_.fetch_sub(expected_table_bytes_);
+              prefetches_rejected_.fetch_add(1);
+              send_error(ch, "global prefetch byte budget exhausted");
+              ch.flush();
+              open = false;
+              break;
+            }
+            reserved_bytes += expected_table_bytes_;
             EvalMaterial mat = recv_material(ch, expected_table_bytes_,
                                              chain_.back().outputs.size());
             // Both sizes are exactly determined by the chain this
@@ -236,6 +268,8 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
   } catch (...) {
     // Peer vanished or sent garbage: drop the session, keep serving.
   }
+  // Artifacts die with their session: return their budget reservation.
+  if (reserved_bytes > 0) prefetch_bytes_.fetch_sub(reserved_bytes);
   {
     // Final critical section: unregister, free the slot, flag
     // completion, and notify — all under mu_ so the accept loop's

@@ -33,6 +33,14 @@ struct ServerConfig {
   /// split): bounds the memory a client can park on the server at
   /// roughly max_prefetch × table bytes per session.
   size_t max_prefetch = 8;
+  /// Global byte budget for prefetched table streams across ALL
+  /// sessions (0 = unbounded). The per-session quota alone scales
+  /// linearly with session count; under thousands of sessions this cap
+  /// is what actually protects server memory. Reserved at push time
+  /// (the artifact size is fixed by the compiled chain), released when
+  /// the artifact is consumed or its session ends; a push that would
+  /// exceed the budget is rejected like a quota violation.
+  uint64_t max_prefetch_bytes = uint64_t{1} << 30;
   /// Per-session idle timeout in milliseconds; 0 disables. A session
   /// whose client sends nothing for this long is dropped so a stalled
   /// client cannot pin one of the max_sessions slots forever. The
@@ -75,6 +83,10 @@ class InferenceServer {
   uint64_t materials_prefetched() const {
     return materials_prefetched_.load();
   }
+  /// Bytes currently reserved against max_prefetch_bytes.
+  uint64_t prefetch_bytes() const { return prefetch_bytes_.load(); }
+  /// kPrefetch pushes rejected because the global budget was exhausted.
+  uint64_t prefetches_rejected() const { return prefetches_rejected_.load(); }
 
  private:
   // One per session: the thread plus a completion flag so finished
@@ -114,6 +126,8 @@ class InferenceServer {
   std::atomic<uint64_t> sessions_rejected_{0};
   std::atomic<uint64_t> inferences_pooled_{0};
   std::atomic<uint64_t> materials_prefetched_{0};
+  std::atomic<uint64_t> prefetch_bytes_{0};
+  std::atomic<uint64_t> prefetches_rejected_{0};
 };
 
 }  // namespace deepsecure::runtime

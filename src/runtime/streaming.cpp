@@ -27,9 +27,12 @@ BitVec StreamingGarbler::run_sequential(const Circuit& step, size_t cycles,
 
 StreamingEvaluator::StreamingEvaluator(Channel& transport,
                                        const StreamConfig& cfg)
-    : ch_(transport, cfg.channel_buffer),
+    : pool_(cfg.eval_threads > 0
+                ? std::make_unique<ThreadPool>(cfg.eval_threads)
+                : nullptr),
+      ch_(transport, cfg.channel_buffer),
       session_(std::make_unique<EvaluatorSession>(
-          ch_, cfg.gc_options(/*pool=*/nullptr))) {}
+          ch_, cfg.gc_options(pool_.get()))) {}
 
 BitVec StreamingEvaluator::run_chain(const std::vector<Circuit>& chain,
                                      const BitVec& weight_bits) {

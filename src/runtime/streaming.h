@@ -32,9 +32,17 @@ struct StreamConfig {
   /// Frame the garbled-table stream at batch-window granularity. Must
   /// match the peer (negotiated in the session hello).
   bool framed_tables = true;
+  /// Width-scheduled gate order (circuit/schedule.h). Changes the table
+  /// stream order, so it must match the peer — negotiated in the hello
+  /// flags, and the chain fingerprint covers the scheduled netlist.
+  bool schedule = gc_schedule_default();
   /// Worker threads for garbler-side window sharding; 0 = garble on the
   /// session thread only.
   size_t garble_threads = 0;
+  /// Worker threads for evaluator-side window sharding (the same
+  /// per-shard tweak/table-order invariant as the garbler's pool); 0 =
+  /// evaluate on the session thread only.
+  size_t eval_threads = 0;
   /// BufferedChannel staging size for small protocol messages.
   size_t channel_buffer = 1 << 16;
 
@@ -42,6 +50,7 @@ struct StreamConfig {
     GcOptions o;
     o.pipeline = pipeline;
     o.framed_tables = framed_tables;
+    o.schedule = schedule;
     o.pool = pool;
     return o;
   }
@@ -84,6 +93,7 @@ class StreamingEvaluator {
   BufferedChannel& channel() { return ch_; }
 
  private:
+  std::unique_ptr<ThreadPool> pool_;  // may be null (0 eval threads)
   BufferedChannel ch_;
   std::unique_ptr<EvaluatorSession> session_;
 };

@@ -48,6 +48,9 @@ struct Compiler {
         bias[o] = input_fixed(b, Party::kEvaluator, fmt);
 
     for (size_t o = 0; o < l.out; ++o) {
+      // One lane per output neuron (independent dot products) — the
+      // scheduling pass interleaves them into wide AND windows.
+      b.set_lane(static_cast<uint32_t>(o));
       // Pruned entries carry empty buses; compact them out.
       std::vector<Bus> xs, ws;
       for (size_t i = 0; i < in; ++i) {
@@ -85,6 +88,8 @@ struct Compiler {
     for (size_t oc = 0; oc < l.out_ch; ++oc) {
       for (size_t oy = 0; oy < oh; ++oy) {
         for (size_t ox = 0; ox < ow; ++ox) {
+          // One lane per output pixel (independent dot products).
+          b.set_lane(static_cast<uint32_t>((oc * oh + oy) * ow + ox));
           std::vector<Bus> xs, ws;
           xs.reserve(shape.c * l.k * l.k);
           for (size_t ic = 0; ic < shape.c; ++ic)
@@ -113,6 +118,7 @@ struct Compiler {
     for (size_t c = 0; c < shape.c; ++c) {
       for (size_t oy = 0; oy < oh; ++oy) {
         for (size_t ox = 0; ox < ow; ++ox) {
+          b.set_lane(static_cast<uint32_t>((c * oh + oy) * ow + ox));
           Bus acc;
           if (l.kind == PoolKind::kMax) {
             for (size_t ky = 0; ky < l.k; ++ky)
@@ -139,8 +145,10 @@ struct Compiler {
   std::vector<Bus> apply_one(const Shape3&, const std::vector<Bus>& x,
                              const ActLayer& l) {
     std::vector<Bus> out(x.size());
-    for (size_t i = 0; i < x.size(); ++i)
+    for (size_t i = 0; i < x.size(); ++i) {
+      b.set_lane(static_cast<uint32_t>(i));
       out[i] = activation(b, x[i], l.kind, fmt);
+    }
     return out;
   }
 

@@ -36,6 +36,10 @@ Circuit make_matvec_circuit(size_t m, size_t n, FixedFormat fmt) {
   for (size_t col = 0; col < n; ++col) {
     std::vector<Bus> w(m);
     for (auto& bus : w) bus = input_fixed(b, Party::kEvaluator, fmt);
+    // One lane per output column: the columns are mutually independent,
+    // so the scheduler interleaves their multiplier/adder bit-slices
+    // into wide AND windows.
+    b.set_lane(static_cast<uint32_t>(col));
     b.outputs(dot(b, x, w, fmt.frac_bits));
   }
   return b.build();

@@ -154,7 +154,9 @@ TEST(Protocol, OfflineOnlineSplitMatchesOnDemand) {
         // Offline: one artifact, its OTs, and its label resolution.
         const GarbledMaterial mat =
             garble_offline(chain, Block{4242, 99});
-        EXPECT_EQ(mat.fingerprint, chain_fingerprint(chain));
+        // The artifact stamps the walked (scheduled-by-default) order.
+        EXPECT_EQ(mat.fingerprint,
+                  chain_fingerprint(chain, GcOptions{}.schedule));
         EXPECT_EQ(mat.decode_bits.size(), chain.back().outputs.size());
         send_material(ch, mat);
         const OtPrecompSender pre = session.precompute_ot(mat.ot_count());

@@ -274,7 +274,7 @@ TEST(Material, TablesByteIdenticalToOnDemandStream) {
   EXPECT_EQ(mat.data_zeros.size(), c.garbler_inputs.size());
   EXPECT_EQ(mat.eval_zeros.size(), c.evaluator_inputs.size());
   EXPECT_EQ(mat.decode_bits.size(), c.outputs.size());
-  EXPECT_EQ(mat.fingerprint, chain_fingerprint({c}));
+  EXPECT_EQ(mat.fingerprint, chain_fingerprint({c}, GcOptions{}.schedule));
 }
 
 TEST(Material, EvaluateMaterialMatchesPlaintextChain) {
@@ -325,7 +325,7 @@ TEST(MaterialPool, KeepsTargetInstancesReadyAndRefills) {
 
   const GarbledMaterial a = pool.acquire();
   const GarbledMaterial b = pool.acquire();
-  EXPECT_EQ(a.fingerprint, chain_fingerprint(chain));
+  EXPECT_EQ(a.fingerprint, chain_fingerprint(chain, GcOptions{}.schedule));
   // Distinct artifacts: labels must never repeat across instances.
   EXPECT_FALSE(a.delta == b.delta);
   EXPECT_EQ(pool.acquired(), 2u);

@@ -141,6 +141,114 @@ TEST(InferenceServer, RejectsFingerprintMismatch) {
   EXPECT_EQ(server.sessions_rejected(), 1u);
 }
 
+TEST(InferenceServer, RejectsSchedulingMismatch) {
+  const synth::ModelSpec spec = small_spec();
+  Rng rng(61);
+  runtime::ServerConfig scfg;
+  scfg.stream.schedule = true;
+  runtime::InferenceServer server(spec, random_weights(spec, rng), scfg);
+  server.start();
+
+  runtime::ClientConfig ccfg;
+  ccfg.stream.schedule = false;  // walks construction order: incompatible
+  EXPECT_THROW(
+      {
+        runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
+      },
+      std::runtime_error);
+  server.stop();
+  EXPECT_EQ(server.sessions_rejected(), 1u);
+}
+
+// Global prefetch byte budget (shared across sessions): with room for
+// exactly one artifact, a second session's push is rejected even though
+// its per-session quota is untouched; consuming/closing releases the
+// reservation and new pushes succeed.
+TEST(InferenceServer, GlobalPrefetchByteBudgetSharedAcrossSessions) {
+  const synth::ModelSpec spec = small_spec();
+  Rng rng(67);
+  const BitVec weights = random_weights(spec, rng);
+
+  // One artifact's table stream: constants + half-gate tables per layer
+  // (same arithmetic as the server's push-time size check).
+  const auto chain = synth::compile_model_layers(spec);
+  uint64_t artifact_bytes = 0;
+  for (const Circuit& c : chain)
+    artifact_bytes += 2 * sizeof(Block) + c.stats().table_bytes();
+
+  runtime::ServerConfig scfg;
+  scfg.max_prefetch = 4;  // per-session quota is NOT the limiter here
+  scfg.max_prefetch_bytes = artifact_bytes;
+  runtime::InferenceServer server(spec, weights, scfg);
+  server.start();
+
+  runtime::ClientConfig ccfg;
+  ccfg.pool_target = 1;
+  ccfg.auto_top_up = false;
+  runtime::InferenceClient first("127.0.0.1", server.port(), spec, ccfg);
+  EXPECT_EQ(first.prefetch(1), 1u);
+  EXPECT_EQ(server.prefetch_bytes(), artifact_bytes);
+
+  {
+    // Second session: budget exhausted, push rejected (session killed
+    // like a quota violation), metric increments.
+    runtime::InferenceClient second("127.0.0.1", server.port(), spec, ccfg);
+    EXPECT_THROW(second.prefetch(1), std::runtime_error);
+  }
+  EXPECT_EQ(server.prefetches_rejected(), 1u);
+  EXPECT_EQ(server.materials_prefetched(), 1u);
+
+  // Consuming the stored artifact releases its reservation...
+  std::vector<Fixed> x;
+  for (size_t i = 0; i < 5; ++i)
+    x.push_back(random_fixed(rng, kDefaultFormat, 0.2));
+  const BitVec out = first.infer_bits(pack_fixed(x));
+  EXPECT_EQ(from_bits(out), plaintext_label(spec, weights, pack_fixed(x)));
+  EXPECT_EQ(server.prefetch_bytes(), 0u);
+
+  // ...so a fresh session can prefetch again.
+  runtime::InferenceClient third("127.0.0.1", server.port(), spec, ccfg);
+  EXPECT_EQ(third.prefetch(1), 1u);
+  EXPECT_EQ(server.prefetch_bytes(), artifact_bytes);
+  third.close();
+  first.close();
+
+  // Session teardown releases the unconsumed artifact's bytes too.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.prefetch_bytes() > 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server.prefetch_bytes(), 0u);
+  server.stop();
+}
+
+// Evaluator-side window sharding in the server: sessions evaluate with
+// a shard pool and still agree with plaintext.
+TEST(InferenceServer, EvaluatorThreadsServeCorrectInferences) {
+  const synth::ModelSpec spec = small_spec();
+  Rng rng(71);
+  const BitVec weights = random_weights(spec, rng);
+
+  runtime::ServerConfig scfg;
+  scfg.stream.eval_threads = 2;
+  runtime::InferenceServer server(spec, weights, scfg);
+  server.start();
+
+  std::vector<Fixed> x;
+  for (size_t i = 0; i < 5; ++i)
+    x.push_back(random_fixed(rng, kDefaultFormat, 0.2));
+  const BitVec data = pack_fixed(x);
+
+  runtime::ClientConfig ccfg;
+  ccfg.seed = Block{2026, 0xE7A1};
+  runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
+  const BitVec out = client.infer_bits(data);
+  EXPECT_EQ(from_bits(out), plaintext_label(spec, weights, data));
+  client.close();
+  server.stop();
+}
+
 TEST(InferenceServer, RejectsFramingMismatch) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(37);
@@ -275,7 +383,9 @@ TEST(InferenceServer, RejectsBadPrefetchFrames) {
 
   auto handshake = [&](TcpChannel& raw) {
     runtime::Hello hello;
-    hello.fingerprint = runtime::chain_fingerprint(chain);
+    // Match the server: fingerprint over the walked (default) order.
+    hello.fingerprint =
+        runtime::chain_fingerprint(chain, gc_schedule_default());
     runtime::send_hello(raw, hello);
     const runtime::Frame ack = runtime::recv_frame(raw);
     ASSERT_EQ(ack.type, runtime::FrameType::kHelloAck);
