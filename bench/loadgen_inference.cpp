@@ -6,6 +6,7 @@
 //                       [--eval-threads E] [--layers L] [--gates G]
 //                       [--out FILE] [--precomputed]
 //                       [--strict-precomputed] [--no-schedule]
+//                       [--shard-threads S] [--async-prefetch]
 //
 // Measurements:
 //   1. overlap: one streaming session over TCP loopback garbling a
@@ -13,16 +14,25 @@
 //      garble / transfer / eval phase times — streaming pipelining makes
 //      wall < phase_sum (the phases overlap in time across the two
 //      endpoints).
-//   2. load: an InferenceServer serving N concurrent TCP sessions of M
+//   2. offline: time-to-first-warm-artifact on the same wide chain —
+//      one garble_offline sequentially vs with its batch windows
+//      sharded across `--shard-threads` workers (default probe: 4).
+//      The sharded artifact is verified byte-identical before the
+//      numbers are reported.
+//   3. load: an InferenceServer serving N concurrent TCP sessions of M
 //      inferences each; reports sessions/sec, requests/sec and p50/p95
 //      per-inference latency.
-//   3. with --precomputed, the same load again from a warm MaterialPool
+//   4. with --precomputed, the same load again from a warm MaterialPool
 //      (the offline/online split): artifacts are garbled and pushed
 //      ahead of the timed window, so each request is label transfer +
-//      evaluation only. Emits pooled vs on-demand p50/p95 side by side;
-//      --strict-precomputed fails the run when warm-pool p50 is not
-//      below the on-demand p50 (local acceptance gate — CI runs
-//      non-strict because shared runners make timing flaky).
+//      evaluation only. Emits pooled vs on-demand p50/p95 side by side
+//      plus time_to_first_warm_s (slowest session's first warm
+//      artifact) and pool_hit_rate; --shard-threads shards each pool
+//      garbling, --async-prefetch refills through the v4 prefetch lane
+//      concurrently with inference traffic. --strict-precomputed fails
+//      the run when warm-pool p50 is not below the on-demand p50
+//      (local acceptance gate — CI runs non-strict because shared
+//      runners make timing flaky).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -35,6 +45,7 @@
 
 #include "circuit/bench_circuits.h"
 #include "fixed/fixed_point.h"
+#include "gc/material.h"
 #include "net/tcp_channel.h"
 #include "runtime/client.h"
 #include "runtime/server.h"
@@ -66,6 +77,13 @@ struct Args {
   // Width-scheduled gate order on both endpoints (--no-schedule turns
   // it off so BENCH JSON can capture scheduled vs unscheduled runs).
   bool schedule = gc_schedule_default();
+  // Window-shard threads inside each offline garbling (MaterialPool
+  // producers and the offline probe). 0 = single-threaded artifacts
+  // (the probe still reports a 4-way sharded reference).
+  size_t shard_threads = 0;
+  // Refill server-side stores through the dedicated v4 prefetch lane
+  // (a second connection per session) instead of synchronous pushes.
+  bool async_prefetch = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -90,6 +108,8 @@ Args parse_args(int argc, char** argv) {
       a.strict_precomputed = true;
     }
     else if (k == "--no-schedule") a.schedule = false;
+    else if (k == "--shard-threads") a.shard_threads = std::stoul(next());
+    else if (k == "--async-prefetch") a.async_prefetch = true;
     else throw std::runtime_error("unknown flag " + k);
   }
   return a;
@@ -195,16 +215,74 @@ OverlapResult measure_overlap(const Args& args) {
   return r;
 }
 
+// Time-to-first-warm-artifact probe: the offline-phase scaling headline.
+// One garble_offline over the (big) overlap chain, sequential vs window-
+// sharded across a ThreadPool — the cold-start/model-reload latency a
+// MaterialPool with shard_threads pays for its FIRST artifact.
+struct OfflineResult {
+  size_t layers = 0, gates = 0, shard_threads = 0;
+  double ttfw_sequential_s = 0;  // single-threaded garble_offline
+  double ttfw_sharded_s = 0;     // windows sharded across the pool
+  double speedup() const {
+    return ttfw_sharded_s > 0 ? ttfw_sequential_s / ttfw_sharded_s : 0;
+  }
+};
+
+OfflineResult measure_offline(const Args& args) {
+  std::vector<Circuit> chain;
+  for (size_t l = 0; l < args.layers; ++l)
+    chain.push_back(bench_circuits::wide_chain_layer(args.gates));
+
+  GcOptions opt;
+  opt.schedule = args.schedule;
+  // Warm the schedule/flush-point caches and code paths outside the
+  // timed region (a cold MaterialPool shares them the same way: the
+  // server warms the schedule cache computing its fingerprint).
+  (void)garble_offline(chain, Block{11, 13}, opt);
+
+  Stopwatch sw;
+  const GarbledMaterial seq = garble_offline(chain, Block{21, 42}, opt);
+  const double seq_s = sw.seconds();
+
+  const size_t shards = args.shard_threads > 0 ? args.shard_threads : 4;
+  ThreadPool pool(shards);
+  GcOptions sopt = opt;
+  sopt.pool = &pool;
+  sw.restart();
+  const GarbledMaterial shd = garble_offline(chain, Block{21, 42}, sopt);
+  const double shd_s = sw.seconds();
+
+  // The speedup only counts if the artifact is the same artifact.
+  if (shd.tables != seq.tables || !(shd.delta == seq.delta) ||
+      shd.data_zeros != seq.data_zeros || shd.eval_zeros != seq.eval_zeros ||
+      shd.decode_bits != seq.decode_bits ||
+      shd.fingerprint != seq.fingerprint)
+    throw std::runtime_error(
+        "offline probe: sharded artifact is not byte-identical");
+
+  OfflineResult r;
+  r.layers = args.layers;
+  r.gates = args.gates;
+  r.shard_threads = shards;
+  r.ttfw_sequential_s = seq_s;
+  r.ttfw_sharded_s = shd_s;
+  return r;
+}
+
 struct LoadResult {
   size_t sessions = 0, requests = 0;
   double wall_s = 0;
   double p50_ms = 0, p95_ms = 0;
   double offline_s = 0;  // pooled mode: prefetch (offline phase) time
+  double ttfw_s = 0;     // pooled mode: slowest session's first warm artifact
   uint64_t served = 0;
   uint64_t pooled = 0;
   double requests_per_s() const { return wall_s > 0 ? double(served) / wall_s : 0; }
   double sessions_per_s() const {
     return wall_s > 0 ? double(sessions) / wall_s : 0;
+  }
+  double pool_hit_rate() const {
+    return served > 0 ? double(pooled) / double(served) : 0;
   }
 };
 
@@ -243,6 +321,7 @@ LoadResult measure_load(const Args& args, bool pooled) {
 
   std::vector<std::vector<double>> latencies(args.sessions);
   std::vector<double> offline(args.sessions, 0.0);
+  std::vector<double> ttfw(args.sessions, 0.0);
   std::vector<std::exception_ptr> errors(args.sessions);
   std::vector<std::thread> clients;
   // In pooled mode every session finishes its offline prefetch before
@@ -260,11 +339,22 @@ LoadResult measure_load(const Args& args, bool pooled) {
       if (pooled) {
         ccfg.pool_target = args.requests;
         ccfg.pool_producers = 2;
+        ccfg.pool_shard_threads = args.shard_threads;
+        ccfg.async_prefetch = args.async_prefetch;
         ccfg.auto_top_up = false;  // every timed request hits warm material
       }
       runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
       if (pooled) {
         Stopwatch osw;
+        // Time-to-first-warm-artifact: pool production starts at client
+        // construction; the first artifact may land in the local pool
+        // or (async lane) already on the server.
+        while (client.pool_ready() == 0 && client.prefetched() == 0) {
+          if (osw.seconds() > 120.0)
+            throw std::runtime_error("loadgen: first warm artifact stalled");
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        ttfw[s] = osw.seconds();
         client.prefetch(args.requests);
         offline[s] = osw.seconds();  // the actual offline push cost
         // Separately, let the pool's background refill (triggered by
@@ -324,8 +414,9 @@ LoadResult measure_load(const Args& args, bool pooled) {
   r.served = server.inferences_served();
   r.pooled = server.inferences_pooled();
   // Sessions prefetch concurrently: the offline phase's wall cost is
-  // the slowest session's, not the sum.
+  // the slowest session's, not the sum (same for the first-warm time).
   for (double o : offline) r.offline_s = std::max(r.offline_s, o);
+  for (double t : ttfw) r.ttfw_s = std::max(r.ttfw_s, t);
   if (!all.empty()) {
     r.p50_ms = all[all.size() / 2];
     r.p95_ms = all[std::min(all.size() - 1, (all.size() * 95) / 100)];
@@ -337,10 +428,18 @@ LoadResult measure_load(const Args& args, bool pooled) {
   return r;
 }
 
-void emit_json(std::FILE* f, bool scheduled, const OverlapResult& o,
-               const LoadResult& l, const LoadResult* pre) {
+void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
+               const OfflineResult& off, const LoadResult& l,
+               const LoadResult* pre) {
   std::fprintf(f, "{\n  \"bench\": \"loadgen_inference\",\n");
-  std::fprintf(f, "  \"scheduled\": %s,\n", scheduled ? "true" : "false");
+  std::fprintf(f, "  \"scheduled\": %s,\n", args.schedule ? "true" : "false");
+  std::fprintf(f,
+               "  \"offline\": {\"layers\": %zu, \"gates_per_layer\": %zu, "
+               "\"shard_threads\": %zu, \"time_to_first_warm_s\": %.6f, "
+               "\"time_to_first_warm_sequential_s\": %.6f, "
+               "\"shard_speedup\": %.3f},\n",
+               off.layers, off.gates, off.shard_threads, off.ttfw_sharded_s,
+               off.ttfw_sequential_s, off.speedup());
   std::fprintf(f,
                "  \"overlap\": {\"layers\": %zu, \"gates_per_layer\": %zu, "
                "\"garble_threads\": %zu, \"wall_s\": %.6f, \"garble_s\": %.6f, "
@@ -365,13 +464,18 @@ void emit_json(std::FILE* f, bool scheduled, const OverlapResult& o,
         f,
         "  \"load_precomputed\": {\"sessions\": %zu, "
         "\"requests_per_session\": %zu, \"inferences\": %llu, "
-        "\"pooled\": %llu, \"offline_prefetch_s\": %.6f, \"wall_s\": %.6f, "
+        "\"pooled\": %llu, \"pool_hit_rate\": %.4f, "
+        "\"shard_threads\": %zu, \"async_prefetch\": %s, "
+        "\"time_to_first_warm_s\": %.6f, "
+        "\"offline_prefetch_s\": %.6f, \"wall_s\": %.6f, "
         "\"requests_per_s\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
         "\"p50_speedup_vs_ondemand\": %.3f}\n",
         pre->sessions, pre->requests,
         static_cast<unsigned long long>(pre->served),
-        static_cast<unsigned long long>(pre->pooled), pre->offline_s,
-        pre->wall_s, pre->requests_per_s(), pre->p50_ms, pre->p95_ms,
+        static_cast<unsigned long long>(pre->pooled), pre->pool_hit_rate(),
+        args.shard_threads, args.async_prefetch ? "true" : "false",
+        pre->ttfw_s, pre->offline_s, pre->wall_s, pre->requests_per_s(),
+        pre->p50_ms, pre->p95_ms,
         pre->p50_ms > 0 ? l.p50_ms / pre->p50_ms : 0.0);
   }
   std::fprintf(f, "}\n");
@@ -383,15 +487,16 @@ int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
     const OverlapResult overlap = measure_overlap(args);
+    const OfflineResult offline = measure_offline(args);
     const LoadResult load = measure_load(args, /*pooled=*/false);
     LoadResult pre;
     if (args.precomputed) pre = measure_load(args, /*pooled=*/true);
     const LoadResult* pre_p = args.precomputed ? &pre : nullptr;
-    emit_json(stdout, args.schedule, overlap, load, pre_p);
+    emit_json(stdout, args, overlap, offline, load, pre_p);
     if (!args.out.empty()) {
       std::FILE* f = std::fopen(args.out.c_str(), "w");
       if (f == nullptr) throw std::runtime_error("cannot open " + args.out);
-      emit_json(f, args.schedule, overlap, load, pre_p);
+      emit_json(f, args, overlap, offline, load, pre_p);
       std::fclose(f);
     }
     if (overlap.wall_s >= overlap.phase_sum()) {

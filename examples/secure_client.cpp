@@ -3,12 +3,15 @@
 // sample; the client never sees the weights.
 //
 //   ./example_secure_client [host] [port] [n_requests] [garble_threads]
-//                           [prefetch]
+//                           [prefetch] [shard_threads] [async]
 //
 // With prefetch > 0 the client garbles instances in the background and
 // pushes them to the server ahead of requests (the offline/online
 // split): each request then ships only the active input labels, so the
-// per-request latency drops to transfer + evaluation.
+// per-request latency drops to transfer + evaluation. shard_threads > 0
+// fans each background garbling's batch windows across that many extra
+// workers (faster first warm artifact); async = 1 refills the server
+// through the dedicated v4 prefetch lane concurrently with requests.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -29,9 +32,13 @@ int main(int argc, char** argv) {
   if (argc > 4) cfg.stream.garble_threads = static_cast<size_t>(std::atoi(argv[4]));
   const size_t prefetch = argc > 5 ? static_cast<size_t>(std::atoi(argv[5])) : 0;
   cfg.pool_target = prefetch;
-  // Refill between requests via an explicit top_up() call below, so the
-  // printed per-request latency is the online phase alone (auto_top_up
-  // would fold the next artifact's push into the request tail).
+  if (argc > 6)
+    cfg.pool_shard_threads = static_cast<size_t>(std::atoi(argv[6]));
+  cfg.async_prefetch = argc > 7 && std::atoi(argv[7]) != 0;
+  // Refill between requests via an explicit top_up() call below (a
+  // no-op nudge under the async lane), so the printed per-request
+  // latency is the online phase alone (synchronous auto_top_up would
+  // fold the next artifact's push into the request tail).
   cfg.auto_top_up = false;
 
   runtime::InferenceClient client(host, port, demo::demo_spec(), cfg);

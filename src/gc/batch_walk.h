@@ -18,9 +18,16 @@ namespace deepsecure {
 
 /// Walk `c.gates` in order. XOR gates invoke `on_xor(g)` immediately
 /// (free-XOR). AND gates invoke `on_and(g)` to enqueue into the pending
-/// window; `flush()` drains it — called at the circuit's precomputed
-/// dependency flush points, at `kGcMaxBatchWindow` pending gates, and
-/// after the last gate. `flush()` must be a no-op on an empty window.
+/// window; `flush(bool level_boundary)` drains it — called at the
+/// circuit's precomputed dependency flush points and after the last
+/// gate (level_boundary = true: a real barrier in the gate order, under
+/// the width scheduler an AND-level boundary), and at
+/// `kGcMaxBatchWindow` pending gates (level_boundary = false: a
+/// capacity drain mid-level). The distinction only matters to consumers
+/// that align a downstream unit to levels — table frame sizing — and
+/// never changes which gates drain when, so both endpoints stay in
+/// lock-step regardless of how they use it. `flush(...)` must be a
+/// no-op on an empty window.
 template <typename XorFn, typename AndFn, typename FlushFn>
 void gc_batched_walk(const Circuit& c, XorFn&& on_xor, AndFn&& on_and,
                      FlushFn&& flush) {
@@ -31,7 +38,7 @@ void gc_batched_walk(const Circuit& c, XorFn&& on_xor, AndFn&& on_and,
   size_t window = 0;
   for (uint32_t i = 0; i < static_cast<uint32_t>(c.gates.size()); ++i) {
     if (fp != fp_end && *fp == i) {
-      flush();
+      flush(/*level_boundary=*/true);
       window = 0;
       ++fp;
     }
@@ -42,11 +49,11 @@ void gc_batched_walk(const Circuit& c, XorFn&& on_xor, AndFn&& on_and,
     }
     on_and(g);
     if (++window == kGcMaxBatchWindow) {
-      flush();
+      flush(/*level_boundary=*/false);
       window = 0;
     }
   }
-  flush();
+  flush(/*level_boundary=*/true);
 }
 
 }  // namespace deepsecure

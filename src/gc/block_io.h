@@ -15,6 +15,16 @@
 //     the runtime/ subsystem builds on. Windows smaller than
 //     kGcMinFrameBlocks are coalesced into one frame to bound header
 //     overhead on flush-heavy (ripple-carry) netlists.
+//
+// Schedule-aware frame sizing: mark_window() distinguishes dependency
+// flushes (an AND-level boundary under the width scheduler — a real
+// barrier in the gate order) from capacity flushes (the hash window hit
+// kGcMaxBatchWindow mid-level). Only level boundaries cut frames, so a
+// wide scheduled level whose ANDs drain as several capacity windows
+// ships as ONE frame instead of one frame per window; the local buffer
+// capacity still bounds the frame size (and thus writer memory). Frames
+// are self-describing, so resizing them never desyncs the reader, and
+// the concatenated payload stays byte-identical either way.
 // Frame headers carry payload sizes only; the framed payload bytes,
 // concatenated, are byte-identical to the monolithic stream (asserted in
 // tests/test_runtime.cpp).
@@ -49,10 +59,14 @@ class BlockWriter {
   }
 
   /// Batch-window boundary: in framed mode, ship the buffered windows as
-  /// one frame once enough has accumulated. No-op in monolithic mode
-  /// (the capacity policy alone governs chunking).
-  void mark_window() {
-    if (framed_ && buf_.size() >= kGcMinFrameBlocks) flush();
+  /// one frame once enough has accumulated. `level_boundary` says whether
+  /// this drain is a dependency flush (an AND-level boundary in the
+  /// scheduled order — a frame-worthy barrier) or a mere capacity drain
+  /// mid-level; capacity drains keep buffering so a wide level ships as
+  /// one frame (see file header). No-op in monolithic mode (the capacity
+  /// policy alone governs chunking).
+  void mark_window(bool level_boundary = true) {
+    if (framed_ && level_boundary && buf_.size() >= kGcMinFrameBlocks) flush();
   }
 
   void flush() {

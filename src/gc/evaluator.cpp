@@ -96,7 +96,9 @@ void Evaluator::evaluate_gates_batched(const Circuit& c, Labels& w,
   tweaks.reserve(2 * kGcMaxBatchWindow);
   outs.reserve(kGcMaxBatchWindow);
 
-  auto flush = [&]() {
+  auto flush = [&](bool /*level_boundary*/) {
+    // The reader side is frame-agnostic (frames self-describe), so the
+    // flush reason is irrelevant here — only the drain schedule matters.
     const size_t n = outs.size();
     if (n == 0) return;
     hashes.resize(2 * n);

@@ -147,9 +147,17 @@ void Garbler::garble_gates_batched(const Circuit& c, Labels& w,
   tweaks.reserve(2 * kGcMaxBatchWindow);
   outs.reserve(kGcMaxBatchWindow);
 
-  auto flush = [&]() {
+  auto flush = [&](bool level_boundary) {
     const size_t n = outs.size();
-    if (n == 0) return;
+    if (n == 0) {
+      // A level whose AND count is an exact multiple of the window
+      // capacity drains entirely via capacity flushes; its boundary
+      // then arrives on an empty window and must still cut the frame,
+      // or the level's tables would silently merge into the next
+      // level's frame.
+      if (level_boundary) tables.mark_window(true);
+      return;
+    }
     hashes.resize(4 * n);
     tabs.resize(2 * n);
     auto shard = [&](size_t lo, size_t hi) {
@@ -182,7 +190,9 @@ void Garbler::garble_gates_batched(const Circuit& c, Labels& w,
     else
       shard(0, n);
     for (size_t i = 0; i < 2 * n; ++i) tables.put(tabs[i]);
-    tables.mark_window();
+    // Frames cut only at level boundaries: a capacity drain mid-level
+    // keeps buffering so wide scheduled levels ship as one frame.
+    tables.mark_window(level_boundary);
     a0s.clear();
     b0s.clear();
     tweaks.clear();

@@ -1,12 +1,12 @@
 #include "runtime/client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
 #include "crypto/prg.h"
-#include "runtime/frame.h"
 #include "support/bits.h"
 
 namespace deepsecure::runtime {
@@ -32,23 +32,24 @@ InferenceClient::InferenceClient(const std::string& host, uint16_t port,
   Channel& ch = garbler_->channel();
   send_hello(ch, hello);
   garbler_->channel().flush();
-  const Frame ack = recv_frame(ch);  // kError from the server throws here
-  if (ack.type != FrameType::kHelloAck || ack.payload.size() != 16)
-    throw std::runtime_error("client: bad handshake ack");
-  uint64_t echoed = 0;
-  std::memcpy(&echoed, ack.payload.data(), 8);
-  if (echoed != hello.fingerprint)
+  // kError from the server throws inside recv_frame.
+  const HelloAck ack = parse_hello_ack(recv_frame(ch));
+  if (ack.fingerprint != hello.fingerprint)
     throw std::runtime_error("client: server echoed a different model chain");
-  std::memcpy(&server_prefetch_quota_, ack.payload.data() + 8, 8);
+  server_prefetch_quota_ = ack.prefetch_quota;
   open_ = true;
 
   if (cfg_.pool_target > 0) {
     // Pool seeds derive from the session seed but never collide with
     // the on-demand garbler's label PRG (distinct derivation tweak).
+    MaterialPoolConfig pcfg;
+    pcfg.target = cfg_.pool_target;
+    pcfg.producer_threads = cfg_.pool_producers;
+    pcfg.shard_threads = cfg_.pool_shard_threads;
+    pcfg.seed = cfg.seed == Block{} ? Block{} : (cfg.seed ^ Block{0, 0x9e3779b9});
     pool_ = std::make_unique<MaterialPool>(
-        chain_, cfg.stream.gc_options(nullptr), cfg_.pool_target,
-        cfg_.pool_producers,
-        cfg.seed == Block{} ? Block{} : (cfg.seed ^ Block{0, 0x9e3779b9}));
+        chain_, cfg.stream.gc_options(nullptr), pcfg);
+    if (cfg_.async_prefetch) start_lane(host, ack.lane_port, ack.lane_token);
   }
 }
 
@@ -56,7 +57,8 @@ InferenceClient::~InferenceClient() {
   try {
     close();
   } catch (...) {
-    // Destructor during unwind: the transport may already be dead.
+    // Destructor during unwind: the transport may already be dead (and
+    // a parked lane failure has nowhere to go).
   }
 }
 
@@ -74,56 +76,185 @@ size_t InferenceClient::infer(const std::vector<float>& sample) {
   return from_bits(infer_bits(bits));
 }
 
-// Offline push of one artifact: id frame, decode bits + tables, then
-// the precomputed-OT + derandomization exchange that resolves the
-// server's evaluator labels. Everything here is input-independent.
-//
-// The client-side quota guard (prefetch/top_up) must mirror the
-// server's exactly: once the kPrefetch frame is sent this side commits
-// to the OT exchange, so a server-side rejection lands its kError
-// bytes mid-extension where they cannot be parsed — the session is
-// unrecoverable and the reason is lost.
 void InferenceClient::push_material(GarbledMaterial&& mat) {
   if (in_flight_ > 0)
     throw std::logic_error(
         "client: cannot prefetch with inferences in flight");
-  Channel& ch = garbler_->channel();
-  const uint64_t id = next_material_id_++;
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_material_id_++;
+    ++pushed_unconsumed_;
+  }
+  PrefetchedMaterial pm = push_material_over(*garbler_, std::move(mat), id);
+  std::lock_guard<std::mutex> lock(mu_);
+  prefetched_.push_back(std::move(pm));
+}
+
+// Offline push of one artifact over `g`'s connection (primary session
+// or prefetch lane): id frame, decode bits + tables, then the
+// precomputed-OT + derandomization exchange that resolves the server's
+// evaluator labels. Everything here is input-independent. Returns the
+// client-side remainder the online phase needs.
+//
+// The caller-side quota guard must mirror the server's exactly: once
+// the kPrefetch frame is sent this side commits to the OT exchange, so
+// a server-side rejection lands its kError bytes mid-extension where
+// they cannot be parsed — the connection is unrecoverable and the
+// reason is lost.
+InferenceClient::PrefetchedMaterial InferenceClient::push_material_over(
+    StreamingGarbler& g, GarbledMaterial&& mat, uint64_t id) {
+  Channel& ch = g.channel();
   send_id_frame(ch, FrameType::kPrefetch, id);
   send_material(ch, mat);
-  GarblerSession& session = garbler_->session();
+  GarblerSession& session = g.session();
   const OtPrecompSender pre = session.precompute_ot(mat.ot_count());
   session.send_labels_derandomized(pre, mat.eval_zeros, mat.delta);
-  garbler_->channel().flush();
+  g.channel().flush();
   const Frame ack = recv_frame(ch);
   if (ack.type != FrameType::kPrefetchAck || parse_id(ack) != id)
     throw std::runtime_error("client: bad prefetch ack");
-  prefetched_.push_back(
-      PrefetchedMaterial{id, mat.delta, std::move(mat.data_zeros)});
+  return PrefetchedMaterial{id, mat.delta, std::move(mat.data_zeros)};
+}
+
+// Refill ceiling for the background lane (and the clamp for prefetch):
+// never park more than pool_target on the server — the pool cannot
+// sustain more anyway — and never exceed the advertised quota, whose
+// violation would be a session-killing kError.
+size_t InferenceClient::lane_target() const {
+  return std::min<uint64_t>(cfg_.pool_target, server_prefetch_quota_);
+}
+
+void InferenceClient::start_lane(const std::string& host, uint16_t lane_port,
+                                 uint64_t lane_token) {
+  lane_transport_ = std::make_unique<TcpChannel>(
+      TcpChannel::connect(host, lane_port));
+  // The lane garbles nothing (artifacts come from the pool); its
+  // StreamingGarbler exists for the session state the precomputed-OT
+  // exchange needs, seeded independently of the primary session.
+  const Block lane_seed = cfg_.seed == Block{}
+                              ? Prg::from_os_entropy().next_block()
+                              : (cfg_.seed ^ Block{0x1a4e, 0x517d});
+  lane_garbler_ = std::make_unique<StreamingGarbler>(*lane_transport_,
+                                                     lane_seed, cfg_.stream);
+  lane_thread_ = std::thread([this, lane_token] { lane_loop(lane_token); });
+}
+
+// Background refill: keep the server-side store at lane_target(). Runs
+// until close(); every failure is parked and rethrown there (the
+// primary session keeps working either way — a dead lane just means
+// drains fall back to on-demand again).
+void InferenceClient::lane_loop(uint64_t lane_token) {
+  try {
+    Channel& ch = lane_garbler_->channel();
+    send_id_frame(ch, FrameType::kAttachLane, lane_token);
+    lane_garbler_->channel().flush();
+    const Frame ack = recv_frame(ch);
+    if (ack.type != FrameType::kAttachLaneAck || parse_id(ack) != lane_token)
+      throw std::runtime_error("client: bad lane attach ack");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      lane_up_ = true;
+    }
+    caught_up_.notify_all();
+
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        // Refill wanted AND a slot credit available (see
+        // pushed_unconsumed_ in the header): without the credit check a
+        // push racing an unprocessed kInfer on the primary connection
+        // would trip the server's quota mid-OT.
+        lane_cv_.wait(lock, [this] {
+          return lane_stop_ ||
+                 (prefetched_.size() < lane_target() &&
+                  pushed_unconsumed_ < server_prefetch_quota_);
+        });
+        if (lane_stop_) break;
+      }
+      std::optional<GarbledMaterial> mat = pool_->try_acquire();
+      if (!mat) {
+        // Refill wanted but the producers are still garbling: poll
+        // gently (a tight spin would steal cycles from the very
+        // producers being waited on), staying responsive to stop.
+        std::unique_lock<std::mutex> lock(mu_);
+        if (lane_stop_) break;
+        lane_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        continue;
+      }
+      uint64_t id;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        id = next_material_id_++;
+        ++pushed_unconsumed_;
+      }
+      // The push itself runs unlocked: it is pure lane-connection
+      // traffic, concurrent with whatever the primary session is doing.
+      PrefetchedMaterial pm =
+          push_material_over(*lane_garbler_, std::move(*mat), id);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        prefetched_.push_back(std::move(pm));
+      }
+      caught_up_.notify_all();
+    }
+    // Orderly goodbye so the server's lane handler exits cleanly.
+    send_frame(ch, FrameType::kBye);
+    lane_garbler_->channel().flush();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    lane_error_ = std::current_exception();
+    lane_up_ = false;
+  }
+  caught_up_.notify_all();
+}
+
+bool InferenceClient::lane_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lane_up_ && lane_error_ == nullptr;
 }
 
 size_t InferenceClient::prefetch(size_t n) {
   if (!open_) throw std::logic_error("client: session closed");
   if (pool_ == nullptr)
     throw std::logic_error("client: pooling disabled (pool_target = 0)");
-  // Check before touching the pool: acquire() may block for a whole
-  // garbling whose artifact push_material would then refuse and drop.
+  // Both modes: no inferences may be in flight. Sync mode would drop an
+  // acquired artifact; async mode would deadlock — in-flight artifacts
+  // hold their slot credits until finish_infer, which only THIS thread
+  // can call, so the lane could never push this wait to completion.
   if (in_flight_ > 0)
     throw std::logic_error(
         "client: cannot prefetch with inferences in flight");
+  if (lane_thread_.joinable()) {
+    // Async mode: the lane owns all pushes — wake it and wait until the
+    // store is warm (or the lane parked a failure).
+    const size_t want = std::min(n, lane_target());
+    std::unique_lock<std::mutex> lock(mu_);
+    lane_cv_.notify_all();
+    caught_up_.wait(lock, [&] {
+      return lane_error_ != nullptr || prefetched_.size() >= want;
+    });
+    if (lane_error_) std::rethrow_exception(lane_error_);
+    return prefetched_.size();
+  }
   // Clamp to the quota the hello ack advertised: exceeding it on the
   // wire would be answered with a session-killing kError, and "push up
   // to n" is the contract — the return value reports what's warm.
-  for (size_t i = 0;
-       i < n && prefetched_.size() < server_prefetch_quota_; ++i)
+  for (size_t i = 0; i < n && prefetched() < server_prefetch_quota_; ++i)
     push_material(pool_->acquire());
-  return prefetched_.size();
+  return prefetched();
 }
 
 void InferenceClient::top_up() {
-  if (pool_ == nullptr || !open_ || in_flight_ > 0 || closing_) return;
-  while (prefetched_.size() <
-         std::min<uint64_t>(cfg_.pool_target, server_prefetch_quota_)) {
+  if (pool_ == nullptr || !open_ || closing_) return;
+  if (lane_thread_.joinable()) {
+    // Async mode: refilling is the lane's job — just make sure it's
+    // awake. Nothing here blocks the caller.
+    lane_cv_.notify_all();
+    return;
+  }
+  if (in_flight_ > 0) return;
+  while (prefetched() < lane_target()) {
     auto mat = pool_->try_acquire();
     if (!mat) break;  // producer still garbling: don't block the caller
     push_material(std::move(*mat));
@@ -132,15 +263,21 @@ void InferenceClient::top_up() {
 
 void InferenceClient::begin_infer_bits(const BitVec& data_bits) {
   if (!open_) throw std::logic_error("client: session closed");
-  if (prefetched_.empty())
-    throw std::logic_error("client: no prefetched material to pipeline on");
-  // Validate before consuming anything: after the id frame is on the
-  // wire the artifact is burned and the server is committed to reading
-  // labels, so a size error must fire while the call is still a no-op.
-  if (data_bits.size() != prefetched_.front().data_zeros.size())
-    throw std::invalid_argument("client: data bit count mismatch");
-  PrefetchedMaterial mat = std::move(prefetched_.front());
-  prefetched_.pop_front();
+  PrefetchedMaterial mat;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (prefetched_.empty())
+      throw std::logic_error("client: no prefetched material to pipeline on");
+    // Validate before consuming anything: after the id frame is on the
+    // wire the artifact is burned and the server is committed to
+    // reading labels, so a size error must fire while the call is
+    // still a no-op.
+    if (data_bits.size() != prefetched_.front().data_zeros.size())
+      throw std::invalid_argument("client: data bit count mismatch");
+    mat = std::move(prefetched_.front());
+    prefetched_.pop_front();
+  }
+  lane_cv_.notify_all();  // room freed: the lane may refill
   Channel& ch = garbler_->channel();
   send_id_frame(ch, FrameType::kInfer, mat.id);
   garbler_->session().begin_online(mat.delta, mat.data_zeros, data_bits);
@@ -154,6 +291,13 @@ BitVec InferenceClient::finish_infer() {
   BitVec out = garbler_->session().finish_online();
   --in_flight_;
   ++pooled_inferences_;
+  {
+    // Credit return: the server consumed this inference's artifact
+    // before evaluating, so its store slot is provably free now.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pushed_unconsumed_ > 0) --pushed_unconsumed_;
+  }
+  lane_cv_.notify_all();
   if (in_flight_ == 0 && cfg_.auto_top_up) top_up();
   return out;
 }
@@ -163,8 +307,10 @@ BitVec InferenceClient::infer_bits(const BitVec& data_bits) {
   if (in_flight_ > 0)
     throw std::logic_error(
         "client: finish in-flight inferences before a synchronous infer");
-  if (!prefetched_.empty()) {
+  const bool warm = prefetched() > 0;
+  if (warm) {
     // Online phase only: active data labels out, result bits back.
+    // (Only this thread consumes prefetched_, so warm cannot go stale.)
     begin_infer_bits(data_bits);
     return finish_infer();
   }
@@ -180,11 +326,36 @@ BitVec InferenceClient::infer_bits(const BitVec& data_bits) {
 void InferenceClient::close() {
   if (!open_) return;
   closing_ = true;  // don't upload fresh artifacts just to discard them
-  while (in_flight_ > 0) (void)finish_infer();
-  open_ = false;
-  Channel& ch = garbler_->channel();
-  send_frame(ch, FrameType::kBye);
-  garbler_->channel().flush();
+  // Stop the lane FIRST, and unconditionally: if draining the in-flight
+  // inferences below throws (dead transport), a still-running lane
+  // thread would reach the destructor joinable — std::terminate. This
+  // ordering also precedes the primary kBye, so a lane push can never
+  // race the server-side session teardown.
+  std::exception_ptr lane_err;
+  if (lane_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      lane_stop_ = true;
+    }
+    lane_cv_.notify_all();
+    lane_thread_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    lane_err = lane_error_;
+  }
+  std::exception_ptr drain_err;
+  try {
+    while (in_flight_ > 0) (void)finish_infer();
+    Channel& ch = garbler_->channel();
+    send_frame(ch, FrameType::kBye);
+    garbler_->channel().flush();
+  } catch (...) {
+    drain_err = std::current_exception();
+  }
+  open_ = false;  // closed either way; a retry cannot succeed
+  if (drain_err) std::rethrow_exception(drain_err);
+  // A lane that died mid-session must not fail silently — surface it
+  // once the session itself is cleanly down.
+  if (lane_err) std::rethrow_exception(lane_err);
 }
 
 }  // namespace deepsecure::runtime

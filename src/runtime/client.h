@@ -19,14 +19,27 @@
 // send and receive halves of a pooled inference, so a client can queue
 // several kInfer frames back-to-back and the server works through them
 // while later requests are already in flight.
+//
+// Async prefetch lane (protocol v4): with ClientConfig::async_prefetch
+// the client opens a SECOND connection to the server's lane listener
+// (port + single-use token from the hello ack) and a background lane
+// thread refills the server-side store through it — pool artifacts are
+// pushed concurrently with in-flight kInfer traffic on the primary
+// connection, so a drain-heavy burst no longer stalls its inference
+// pipeline to re-prefetch. The lane thread is the only writer of the
+// lane connection; the primary connection stays single-threaded.
 #pragma once
 
+#include <condition_variable>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "fixed/fixed_point.h"
 #include "net/tcp_channel.h"
+#include "runtime/frame.h"
 #include "runtime/material_pool.h"
 #include "runtime/streaming.h"
 #include "synth/layer_circuits.h"
@@ -42,13 +55,25 @@ struct ClientConfig {
   size_t pool_target = 0;
   /// Background producer threads for the pool.
   size_t pool_producers = 1;
+  /// Window-shard threads per pool garbling: one artifact's batch
+  /// windows fan out across this many extra workers (byte-identical
+  /// artifact), cutting the time-to-first-warm-artifact after a cold
+  /// start or model reload. 0 = each artifact garbles single-threaded.
+  size_t pool_shard_threads = 0;
+  /// Refill the server-side store through a dedicated second connection
+  /// (the v4 prefetch lane) driven by a background thread, instead of
+  /// synchronous pushes on the session. Pushes then overlap in-flight
+  /// kInfer traffic, so auto_top_up no longer lands the push cost in
+  /// any request's tail. Requires pooling (pool_target > 0).
+  bool async_prefetch = false;
   /// Re-prefetch opportunistically after each inference completes, so a
-  /// steady request stream keeps hitting warm material. The push is
-  /// synchronous on this session, so its cost (table upload + OT
-  /// precompute) lands inside the tail of the request that triggered
-  /// it — latency-sensitive callers should disable this and call
-  /// top_up() at their own boundaries instead. Also disable for
-  /// deterministic drain behavior (tests, bounded-memory clients).
+  /// steady request stream keeps hitting warm material. Without the
+  /// async lane the push is synchronous on this session, so its cost
+  /// (table upload + OT precompute) lands inside the tail of the
+  /// request that triggered it — latency-sensitive callers should
+  /// enable async_prefetch, or disable this and call top_up() at their
+  /// own boundaries. Also disable for deterministic drain behavior
+  /// (tests, bounded-memory clients).
   bool auto_top_up = true;
 };
 
@@ -72,10 +97,15 @@ class InferenceClient {
   /// Raw-bit variant (caller did the encoding).
   BitVec infer_bits(const BitVec& data_bits);
 
-  /// Push up to `n` pool artifacts to the server ahead of requests
-  /// (blocks on pool production), clamped to the server's advertised
-  /// per-session prefetch quota. Returns how many are now prefetched.
-  /// Requires pooling enabled and no inference in flight.
+  /// Warm the server-side store with up to `n` pool artifacts ahead of
+  /// requests, clamped to the server's advertised per-session prefetch
+  /// quota (and, on the async lane, to pool_target — the lane's refill
+  /// ceiling). Synchronous mode pushes here (blocking on pool
+  /// production); async mode wakes the lane and waits for it to catch
+  /// up. Returns how many are now prefetched. Requires pooling enabled
+  /// and no inference in flight (in async mode an in-flight inference
+  /// pins a slot credit only finish_infer can return — waiting here
+  /// would deadlock).
   size_t prefetch(size_t n);
 
   /// Pipelined pooled inference, send half: consumes one prefetched
@@ -89,14 +119,18 @@ class InferenceClient {
   BitVec finish_infer();
 
   /// Push ready pool artifacts until prefetched() reaches
-  /// min(pool_target, server quota) — without blocking on production.
-  /// Runs automatically after each inference under auto_top_up; call it
-  /// manually (outside the latency-measured path) when auto_top_up is
-  /// off. No-op while inferences are in flight or pooling is disabled.
+  /// min(pool_target, server quota). Synchronous mode pushes inline
+  /// without blocking on production (no-op while inferences are in
+  /// flight); async mode just nudges the lane thread and returns
+  /// immediately. Runs automatically after each inference under
+  /// auto_top_up. No-op when pooling is disabled.
   void top_up();
 
   /// Artifacts pushed to the server and not yet consumed.
-  size_t prefetched() const { return prefetched_.size(); }
+  size_t prefetched() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return prefetched_.size();
+  }
   /// Artifacts garbled and waiting in the local pool (0 when pooling is
   /// off). Lets a latency-sensitive caller wait for background refill
   /// garbling to quiesce before a measured window.
@@ -105,13 +139,16 @@ class InferenceClient {
   size_t in_flight() const { return in_flight_; }
   uint64_t pooled_inferences() const { return pooled_inferences_; }
   uint64_t ondemand_inferences() const { return ondemand_inferences_; }
+  /// Whether the async prefetch lane is up (attached and not failed).
+  bool lane_active() const;
 
   /// Phase timings accumulated across all inferences on this session.
   const SessionTrace& trace() const { return garbler_->trace(); }
 
   /// Orderly goodbye; further infer calls are invalid. Drains any
-  /// in-flight pipelined inferences first. Also run by the destructor
-  /// if still open.
+  /// in-flight pipelined inferences, stops the lane thread (rethrowing
+  /// a parked lane failure), and says kBye on both connections. Also
+  /// run by the destructor if still open (which swallows the rethrow).
   void close();
 
   size_t input_bits() const;
@@ -126,6 +163,14 @@ class InferenceClient {
   };
 
   void push_material(GarbledMaterial&& mat);
+  /// The push protocol over one connection (primary or lane): id frame,
+  /// artifact bytes, precomputed-OT + derandomization, ack.
+  PrefetchedMaterial push_material_over(StreamingGarbler& g,
+                                        GarbledMaterial&& mat, uint64_t id);
+  void start_lane(const std::string& host, uint16_t lane_port,
+                  uint64_t lane_token);
+  void lane_loop(uint64_t lane_token);
+  size_t lane_target() const;  // min(pool_target, server quota)
 
   std::vector<Circuit> chain_;
   FixedFormat fmt_;
@@ -133,8 +178,33 @@ class InferenceClient {
   TcpChannel transport_;
   std::unique_ptr<StreamingGarbler> garbler_;
   std::unique_ptr<MaterialPool> pool_;
+
+  // Shared between the caller thread and the lane thread.
+  mutable std::mutex mu_;
+  std::condition_variable lane_cv_;    // wakes the lane: refill wanted
+  std::condition_variable caught_up_;  // wakes prefetch(): lane pushed
   std::deque<PrefetchedMaterial> prefetched_;
+  /// Credit accounting for the lane (the server never sends explicit
+  /// credit frames — the pooled-inference RESULT is the credit return):
+  /// artifacts pushed whose server-side consume is not yet confirmed.
+  /// A pooled kInfer consumes its artifact before the server evaluates,
+  /// so once finish_infer returns, that slot is provably free. The lane
+  /// pushes only while pushed_unconsumed_ < quota, which keeps the
+  /// server's store+pending occupancy under max_prefetch even though
+  /// lane pushes race kInfer frames on the primary connection — a
+  /// quota kError mid-push would land inside the OT extension where it
+  /// cannot be parsed.
+  uint64_t pushed_unconsumed_ = 0;
   uint64_t next_material_id_ = 1;
+  bool lane_stop_ = false;
+  bool lane_up_ = false;  // attached and serving
+  std::exception_ptr lane_error_;
+
+  // Lane connection: owned here, written only by lane_thread_.
+  std::unique_ptr<TcpChannel> lane_transport_;
+  std::unique_ptr<StreamingGarbler> lane_garbler_;
+  std::thread lane_thread_;
+
   uint64_t server_prefetch_quota_ = 0;  // advertised in the hello ack
   size_t in_flight_ = 0;
   uint64_t pooled_inferences_ = 0;

@@ -47,7 +47,7 @@ Frame recv_frame(Channel& ch) {
   uint32_t len = 0;
   ch.recv_bytes(&t, 1);
   ch.recv_bytes(&len, 4);
-  if (t < 1 || t > 7 || len > kMaxFrameBytes)
+  if (t < 1 || t > 9 || len > kMaxFrameBytes)
     throw std::runtime_error("runtime: malformed session frame");
   Frame f;
   f.type = static_cast<FrameType>(t);
@@ -90,6 +90,28 @@ Hello parse_hello(const Frame& f) {
   h.fingerprint = get_u64(f.payload, 12);
   h.flags = SessionFlags::decode(f.payload[20]);
   return h;
+}
+
+void send_hello_ack(Channel& ch, const HelloAck& a) {
+  std::vector<uint8_t> p;
+  put_u64(p, a.fingerprint);
+  put_u64(p, a.prefetch_quota);
+  put_u64(p, a.lane_token);
+  p.push_back(static_cast<uint8_t>(a.lane_port & 0xFF));
+  p.push_back(static_cast<uint8_t>(a.lane_port >> 8));
+  send_frame(ch, FrameType::kHelloAck, p.data(), p.size());
+}
+
+HelloAck parse_hello_ack(const Frame& f) {
+  if (f.type != FrameType::kHelloAck || f.payload.size() != 8 + 8 + 8 + 2)
+    throw std::runtime_error("runtime: bad hello ack frame");
+  HelloAck a;
+  a.fingerprint = get_u64(f.payload, 0);
+  a.prefetch_quota = get_u64(f.payload, 8);
+  a.lane_token = get_u64(f.payload, 16);
+  a.lane_port = static_cast<uint16_t>(f.payload[24]) |
+                (static_cast<uint16_t>(f.payload[25]) << 8);
+  return a;
 }
 
 void send_error(Channel& ch, const std::string& reason) {

@@ -38,21 +38,36 @@ inline constexpr uint64_t kProtocolMagic = 0x44535255'4e313031ull;  // "DSRUN101
 // tables and tweaks of every inference follow the scheduled netlist by
 // default, negotiated via SessionFlags::schedule; the hello fingerprint
 // is computed over the scheduled netlist.
-inline constexpr uint32_t kProtocolVersion = 3;
+// v4: async prefetch lane — the hello ack grows a per-session lane
+// token and the server's dedicated lane-listener port; a client opens a
+// SECOND connection to that port, claims its session with kAttachLane,
+// and streams kPrefetch pushes there while kInfer traffic continues
+// uninterrupted on the primary connection (the precomputed-OT exchange
+// is bidirectional, so it cannot be multiplexed with in-flight infer
+// results on one socket). Also schedule-aware table frame sizing: the
+// garbler cuts table frames at AND-level boundaries instead of every
+// batch window (frames self-describe, so this needs no negotiation).
+inline constexpr uint32_t kProtocolVersion = 4;
 
 enum class FrameType : uint8_t {
   kHello = 1,     // client -> server: magic, version, fingerprint, flags
-  kHelloAck = 2,  // server -> client: magic, fingerprint echo
+  kHelloAck = 2,  // server -> client: fingerprint echo, prefetch quota,
+                  // lane token, lane port (see HelloAck)
   kInfer = 3,     // client -> server: one inference. Empty payload: the
                   // on-demand GC byte stream follows (garble on the
                   // request path). 8-byte payload: a material id — the
                   // online phase against prefetched material follows.
-  kBye = 4,       // client -> server: orderly session end
+  kBye = 4,       // client -> server: orderly session/lane end
   kError = 5,     // either way: utf-8 reason, then close
   kPrefetch = 6,  // client -> server: 8-byte material id, then the
                   // offline artifact (decode bits + tables) and the
-                  // precomputed-OT + derandomization exchange
+                  // precomputed-OT + derandomization exchange. Valid on
+                  // the primary connection and on an attached lane.
   kPrefetchAck = 7,  // server -> client: material id echo, stored
+  kAttachLane = 8,   // client -> server, first frame on a lane
+                     // connection: 8-byte session token from the hello
+                     // ack. At most one lane per session.
+  kAttachLaneAck = 9,  // server -> client: token echo, lane ready
 };
 
 struct Frame {
@@ -83,17 +98,33 @@ struct Hello {
   SessionFlags flags;
 };
 
+/// Server half of the handshake (kHelloAck payload, 26 bytes): the
+/// fingerprint echo, the per-session prefetch quota (so a pooling
+/// client can cap pushes instead of discovering the limit as a
+/// session-killing error), and the async-prefetch-lane coordinates —
+/// an unguessable-by-third-parties token naming this session plus the
+/// dedicated lane listener's port (v4).
+struct HelloAck {
+  uint64_t fingerprint = 0;
+  uint64_t prefetch_quota = 0;
+  uint64_t lane_token = 0;
+  uint16_t lane_port = 0;
+};
+
 void send_frame(Channel& ch, FrameType type, const void* payload = nullptr,
                 size_t n = 0);
 Frame recv_frame(Channel& ch);
 
 /// Frames whose payload is a single u64 (pooled kInfer, kPrefetch,
-/// kPrefetchAck all carry a material id).
+/// kPrefetchAck carry a material id; kAttachLane/-Ack a session token).
 void send_id_frame(Channel& ch, FrameType type, uint64_t id);
 uint64_t parse_id(const Frame& f);
 
 void send_hello(Channel& ch, const Hello& h);
 Hello parse_hello(const Frame& f);
+
+void send_hello_ack(Channel& ch, const HelloAck& a);
+HelloAck parse_hello_ack(const Frame& f);
 
 /// Raise a std::runtime_error carrying `reason` on the peer and locally.
 void send_error(Channel& ch, const std::string& reason);

@@ -5,20 +5,33 @@
 namespace deepsecure::runtime {
 
 MaterialPool::MaterialPool(const std::vector<Circuit>& chain,
-                           const GcOptions& opt, size_t target,
-                           size_t producer_threads, Block seed)
+                           const GcOptions& opt, MaterialPoolConfig cfg)
     : chain_(chain),
       opt_(opt),
-      target_(target),
-      seed_prg_(seed == Block{} ? Prg::from_os_entropy().next_block() : seed),
+      target_(cfg.target),
+      seed_prg_(cfg.seed == Block{} ? Prg::from_os_entropy().next_block()
+                                    : cfg.seed),
+      shard_workers_(cfg.shard_threads > 0
+                         ? std::make_unique<ThreadPool>(cfg.shard_threads)
+                         : nullptr),
       workers_(std::make_unique<ThreadPool>(
-          producer_threads > 0 ? producer_threads : 1)) {
-  // Artifacts are produced one per task; window sharding inside a
-  // single garbling would fight the cross-artifact parallelism.
-  opt_.pool = nullptr;
+          cfg.producer_threads > 0 ? cfg.producer_threads : 1)) {
+  // One producer task per artifact. With shard_threads the task fans
+  // its batch windows out across the shared shard pool (byte-identical
+  // artifact — gc/material.h), cutting the time-to-first-warm-artifact;
+  // without it, each artifact garbles single-threaded so producers
+  // alone carry the cross-artifact parallelism.
+  opt_.pool = shard_workers_.get();
   std::lock_guard<std::mutex> lock(mu_);
   schedule_refill_locked();
 }
+
+MaterialPool::MaterialPool(const std::vector<Circuit>& chain,
+                           const GcOptions& opt, size_t target,
+                           size_t producer_threads, Block seed)
+    : MaterialPool(chain, opt,
+                   MaterialPoolConfig{target, producer_threads,
+                                      /*shard_threads=*/0, seed}) {}
 
 MaterialPool::~MaterialPool() {
   {

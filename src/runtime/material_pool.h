@@ -11,6 +11,19 @@
 // law — target ≈ arrival_rate × garble_time — and a drained pool is not
 // an error, just the signal for the caller to fall back to on-demand
 // streaming garbling (try_acquire returns nullopt instead of blocking).
+//
+// Two orthogonal parallelism axes:
+//   * producer_threads — artifacts in flight concurrently (throughput:
+//     keeps a busy pool full; each artifact still takes one full
+//     garble).
+//   * shard_threads — window sharding INSIDE each garbling
+//     (latency: the first artifact after a cold start / model reload
+//     lands in ~1/shards of a single-threaded garble; the sharded
+//     artifact is byte-identical — see garble_offline in gc/material.h).
+// For a latency-sensitive cold start prefer shard_threads ≈ cores with
+// one producer; for steady-state inventory prefer producers. The shard
+// pool is shared across producers, so the two compose without
+// oversubscribing: total workers = producer_threads + shard_threads.
 #pragma once
 
 #include <condition_variable>
@@ -26,12 +39,26 @@
 
 namespace deepsecure::runtime {
 
+struct MaterialPoolConfig {
+  /// Artifacts to keep ready at all times.
+  size_t target = 1;
+  /// Background producer workers (artifacts garbled concurrently).
+  size_t producer_threads = 1;
+  /// Window-shard workers per garbling (0 = each artifact garbles
+  /// single-threaded). See the two-axes note in the file header.
+  size_t shard_threads = 0;
+  /// Drives the per-artifact label seeds (zero = OS entropy); pass a
+  /// constant only in tests.
+  Block seed{};
+};
+
 class MaterialPool {
  public:
-  /// Keeps up to `target` artifacts for `chain` ready, producing on
-  /// `producer_threads` background workers. `chain` is captured by
-  /// reference and must outlive the pool. `seed` drives the per-artifact
-  /// label seeds (zero = OS entropy); pass a constant only in tests.
+  /// Keeps up to `cfg.target` artifacts for `chain` ready. `chain` is
+  /// captured by reference and must outlive the pool.
+  MaterialPool(const std::vector<Circuit>& chain, const GcOptions& opt,
+               MaterialPoolConfig cfg);
+  /// Legacy positional form (no window sharding).
   MaterialPool(const std::vector<Circuit>& chain, const GcOptions& opt,
                size_t target, size_t producer_threads = 1, Block seed = {});
   ~MaterialPool();
@@ -89,6 +116,9 @@ class MaterialPool {
   uint64_t acquired_ = 0;
   uint64_t misses_ = 0;
 
+  // Window-shard pool shared by all producers (see file header); must
+  // outlive workers_, whose draining tasks garble through it.
+  std::unique_ptr<ThreadPool> shard_workers_;
   // Destroyed first (declared last): its destructor drains queued
   // producer tasks, which touch the members above.
   std::unique_ptr<ThreadPool> workers_;

@@ -3,7 +3,6 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "runtime/frame.h"
 
@@ -18,7 +17,11 @@ InferenceServer::InferenceServer(const synth::ModelSpec& spec, BitVec weights,
       // it here also warms the per-circuit schedule cache once, before
       // the first session arrives.
       fingerprint_(chain_fingerprint(chain_, cfg.stream.schedule)),
-      listener_(cfg.port, /*backlog=*/64) {
+      listener_(cfg.port, /*backlog=*/64),
+      // The lane listener is always ephemeral: its port travels in the
+      // hello ack, so clients never configure it and it cannot collide
+      // with a pinned primary port.
+      lane_listener_(0, /*backlog=*/64) {
   size_t want = 0;
   for (const Circuit& c : chain_) {
     want += c.evaluator_inputs.size();
@@ -36,6 +39,7 @@ void InferenceServer::start() {
   running_ = true;
   stopping_ = false;
   accept_thread_ = std::thread([this] { accept_loop(); });
+  lane_accept_thread_ = std::thread([this] { lane_accept_loop(); });
 }
 
 void InferenceServer::stop() {
@@ -45,16 +49,18 @@ void InferenceServer::stop() {
     running_ = false;  // claim the shutdown; start() is one-shot
     stopping_ = true;
   }
-  listener_.close();  // unblocks a pending accept()
+  listener_.close();       // unblocks a pending accept()
+  lane_listener_.close();  // same for the prefetch lane
   slot_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (lane_accept_thread_.joinable()) lane_accept_thread_.join();
   std::vector<SessionHandle> handlers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // Wake handlers blocked in recv on idle sessions so join() below
-    // cannot hang on a client that never says goodbye. Registration
-    // happens under mu_ *before* the handler thread spawns, so every
-    // live session is visible here.
+    // Wake handlers blocked in recv on idle sessions/lanes so join()
+    // below cannot hang on a client that never says goodbye.
+    // Registration happens under mu_ *before* the handler thread
+    // spawns, so every live connection is visible here.
     for (TcpChannel* t : active_transports_) t->shutdown();
     handlers.swap(handlers_);
   }
@@ -124,11 +130,157 @@ void InferenceServer::accept_loop() {
   }
 }
 
+// Accept loop for the dedicated prefetch-lane listener. Lanes do not
+// consume max_sessions slots — a full server would otherwise deadlock
+// every client opening its lane — and need no slot gate of their own:
+// a lane is only useful with a valid single-use token, so the connection
+// count is bounded by live sessions (token-less connections are
+// rejected after one control frame).
+void InferenceServer::lane_accept_loop() {
+  for (;;) {
+    std::unique_ptr<TcpChannel> transport;
+    try {
+      transport = std::make_unique<TcpChannel>(lane_listener_.accept());
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    reap_finished_locked();
+    active_transports_.push_back(transport.get());
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    SessionHandle h;
+    h.done = done;
+    h.thread = std::thread([this, t = std::move(transport), done]() mutable {
+      handle_lane(std::move(t), done);
+    });
+    handlers_.push_back(std::move(h));
+  }
+}
+
+// One prefetch push (primary connection or lane). See server.h.
+bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
+                                           EvaluatorSession& session,
+                                           SessionState& state) {
+  const uint64_t id = parse_id(f);
+  {
+    const char* reject = nullptr;
+    std::unique_lock<std::mutex> lk(state.mu);
+    if (state.closed)
+      reject = "session closed";
+    else if (state.store.count(id) != 0)
+      reject = "duplicate prefetched material id";
+    else if (state.store.size() + state.pending_pushes >= cfg_.max_prefetch)
+      reject = "prefetch quota exceeded";
+    if (reject == nullptr) {
+      // Global budget: reserve before reading the artifact (its size is
+      // fixed by the compiled chain). fetch_add-then-check keeps the
+      // reservation race-free across sessions; an overshoot is rolled
+      // back before anyone else can starve on it. Always accounted
+      // (prefetch_bytes() is a metric), only enforced when a budget is
+      // configured.
+      const uint64_t now = prefetch_bytes_.fetch_add(expected_table_bytes_) +
+                           expected_table_bytes_;
+      if (cfg_.max_prefetch_bytes > 0 && now > cfg_.max_prefetch_bytes) {
+        prefetch_bytes_.fetch_sub(expected_table_bytes_);
+        prefetches_rejected_.fetch_add(1);
+        reject = "global prefetch byte budget exhausted";
+      } else {
+        state.reserved_bytes += expected_table_bytes_;
+        ++state.pending_pushes;
+      }
+    }
+    lk.unlock();  // never write to the wire while holding shared state
+    if (reject != nullptr) {
+      send_error(ch, reject);
+      ch.flush();
+      return false;
+    }
+  }
+
+  // Settle this push's reservation and quota slot. A failed push
+  // releases its bytes HERE, immediately — holding them until session
+  // teardown would let one malformed push starve every other session's
+  // prefetching for this session's remaining lifetime. If the session
+  // closed while the material was in flight, teardown already released
+  // the whole reservation (ours included): release nothing twice.
+  auto settle = [&](bool keep_reservation) {
+    std::lock_guard<std::mutex> lk(state.mu);
+    --state.pending_pushes;
+    if (state.closed) return false;
+    if (!keep_reservation) {
+      state.reserved_bytes -= expected_table_bytes_;
+      prefetch_bytes_.fetch_sub(expected_table_bytes_);
+    }
+    return true;
+  };
+
+  EvalMaterial mat;
+  const char* reject = nullptr;
+  try {
+    mat = recv_material(ch, expected_table_bytes_,
+                        chain_.back().outputs.size());
+    // Both sizes are exactly determined by the chain this server
+    // compiled; a disagreeing artifact could never evaluate, so reject
+    // it now instead of storing garbage and failing the kInfer that
+    // draws it.
+    if (mat.tables.size() != expected_table_bytes_ ||
+        mat.decode_bits.size() != chain_.back().outputs.size()) {
+      reject = "prefetched material does not match model chain";
+    } else {
+      // Offline OT: precompute + derandomize against the static weight
+      // bits — after this the request path has no OT left.
+      const OtPrecompReceiver pre = session.precompute_ot(weights_.size());
+      mat.eval_labels = session.recv_labels_derandomized(pre, weights_);
+    }
+  } catch (...) {
+    settle(/*keep_reservation=*/false);
+    throw;  // transport-level failure: the connection is already dead
+  }
+  if (reject != nullptr) {
+    settle(/*keep_reservation=*/false);
+    send_error(ch, reject);
+    ch.flush();
+    return false;
+  }
+  bool stored = false;
+  {
+    // Settle + store in ONE critical section: a teardown racing in
+    // between could otherwise release the budget and clear the store
+    // just before a stale artifact is parked in it.
+    std::lock_guard<std::mutex> lk(state.mu);
+    --state.pending_pushes;
+    if (!state.closed) {
+      state.store.emplace(id, std::move(mat));
+      stored = true;
+    }
+    // else: torn down mid-push — teardown already settled the budget
+    // (our reservation included), and the artifact has no session to
+    // serve. Error sent below, outside the lock.
+  }
+  if (!stored) {
+    send_error(ch, "session closed");
+    ch.flush();
+    return false;
+  }
+  send_id_frame(ch, FrameType::kPrefetchAck, id);
+  ch.flush();
+  materials_prefetched_.fetch_add(1);
+  return true;
+}
+
 void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
                                      std::shared_ptr<std::atomic<bool>> done) {
-  // Bytes this session holds against the global prefetch budget;
-  // released on every exit path (including peer errors) below.
-  uint64_t reserved_bytes = 0;
+  // Shared with this session's prefetch lane (if one attaches); all
+  // budget accounting lives inside, settled exactly once per artifact.
+  auto state = std::make_shared<SessionState>();
+  uint64_t lane_token = 0;
+  bool token_registered = false;
   try {
     // Idle sessions may not pin a slot: every recv on this session is
     // bounded, and a timeout tears the session down like any peer error.
@@ -153,26 +305,34 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
       send_error(ch, reject);
       ch.flush();
     } else {
-      // Ack carries the fingerprint echo plus this server's per-session
-      // prefetch quota, so a pooling client can cap its pushes instead
-      // of discovering the limit as a session-killing error.
-      uint8_t ack[16];
-      std::memcpy(ack, &fingerprint_, 8);
-      const uint64_t quota = cfg_.max_prefetch;
-      std::memcpy(ack + 8, &quota, 8);
-      send_frame(ch, FrameType::kHelloAck, ack, sizeof(ack));
+      {
+        // Issue the lane token before the ack ships so a racing
+        // kAttachLane can never observe an unregistered token.
+        std::lock_guard<std::mutex> lock(mu_);
+        do {
+          lane_token = token_prg_.next_u64();
+        } while (lane_token == 0 || lane_tokens_.count(lane_token) != 0);
+        lane_tokens_.emplace(lane_token, state);
+        token_registered = true;
+      }
+      HelloAck ack;
+      ack.fingerprint = fingerprint_;
+      ack.prefetch_quota = cfg_.max_prefetch;
+      ack.lane_token = lane_token;
+      ack.lane_port = lane_listener_.port();
+      send_hello_ack(ch, ack);
       ch.flush();
 
       // --- session loop: one EvaluatorSession (one OT setup), many
       // inferences — the streaming amortization the paper's Figure 6
       // assumes. kPrefetch parks offline artifacts (tables + resolved
-      // evaluator labels) per session; a pooled kInfer then runs only
-      // the online phase against one of them.
+      // evaluator labels) in the shared SessionState — pushed here or
+      // through the async lane; a pooled kInfer then runs only the
+      // online phase against one of them.
       std::unique_ptr<ThreadPool> eval_pool;
       if (cfg_.stream.eval_threads > 0)
         eval_pool = std::make_unique<ThreadPool>(cfg_.stream.eval_threads);
       EvaluatorSession session(ch, cfg_.stream.gc_options(eval_pool.get()));
-      std::unordered_map<uint64_t, EvalMaterial> store;
       for (bool open = true; open;) {
         const Frame f = recv_frame(ch);
         switch (f.type) {
@@ -182,78 +342,36 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
               session.run_chain(chain_, weights_);
             } else {
               const uint64_t id = parse_id(f);
-              const auto it = store.find(id);
-              if (it == store.end()) {
+              EvalMaterial mat;
+              bool found = false;
+              {
+                std::lock_guard<std::mutex> lk(state->mu);
+                const auto it = state->store.find(id);
+                if (it != state->store.end()) {
+                  // One artifact, one evaluation: consume it and return
+                  // its budget reservation.
+                  mat = std::move(it->second);
+                  state->store.erase(it);
+                  state->reserved_bytes -= expected_table_bytes_;
+                  prefetch_bytes_.fetch_sub(expected_table_bytes_);
+                  found = true;
+                }
+              }
+              if (!found) {
                 send_error(ch, "unknown prefetched material id");
                 ch.flush();
                 open = false;
                 break;
               }
-              // One artifact, one evaluation: consume it.
-              const EvalMaterial mat = std::move(it->second);
-              store.erase(it);
-              prefetch_bytes_.fetch_sub(expected_table_bytes_);
-              reserved_bytes -= expected_table_bytes_;
               session.run_online(chain_, mat);
               inferences_pooled_.fetch_add(1);
             }
             ch.flush();
             inferences_served_.fetch_add(1);
             break;
-          case FrameType::kPrefetch: {
-            const uint64_t id = parse_id(f);
-            const bool duplicate = store.count(id) != 0;
-            if (duplicate || store.size() >= cfg_.max_prefetch) {
-              send_error(ch, duplicate ? "duplicate prefetched material id"
-                                       : "prefetch quota exceeded");
-              ch.flush();
-              open = false;
-              break;
-            }
-            // Global budget: reserve before reading the artifact (its
-            // size is fixed by the chain). fetch_add-then-check keeps
-            // the reservation race-free across sessions; an overshoot
-            // is rolled back before anyone else can starve on it.
-            // Always accounted (prefetch_bytes() is a metric), only
-            // enforced when a budget is configured.
-            const uint64_t now =
-                prefetch_bytes_.fetch_add(expected_table_bytes_) +
-                expected_table_bytes_;
-            if (cfg_.max_prefetch_bytes > 0 &&
-                now > cfg_.max_prefetch_bytes) {
-              prefetch_bytes_.fetch_sub(expected_table_bytes_);
-              prefetches_rejected_.fetch_add(1);
-              send_error(ch, "global prefetch byte budget exhausted");
-              ch.flush();
-              open = false;
-              break;
-            }
-            reserved_bytes += expected_table_bytes_;
-            EvalMaterial mat = recv_material(ch, expected_table_bytes_,
-                                             chain_.back().outputs.size());
-            // Both sizes are exactly determined by the chain this
-            // server compiled; a disagreeing artifact could never
-            // evaluate, so reject it now instead of storing garbage
-            // and failing the kInfer that draws it.
-            if (mat.tables.size() != expected_table_bytes_ ||
-                mat.decode_bits.size() != chain_.back().outputs.size()) {
-              send_error(ch, "prefetched material does not match model chain");
-              ch.flush();
-              open = false;
-              break;
-            }
-            // Offline OT: precompute + derandomize against the static
-            // weight bits — after this the request path has no OT left.
-            const OtPrecompReceiver pre =
-                session.precompute_ot(weights_.size());
-            mat.eval_labels =
-                session.recv_labels_derandomized(pre, weights_);
-            store.emplace(id, std::move(mat));
-            send_id_frame(ch, FrameType::kPrefetchAck, id);
-            ch.flush();
-            materials_prefetched_.fetch_add(1);
+          case FrameType::kPrefetch:
+            open = handle_prefetch_push(f, ch, session, *state);
             break;
-          }
           case FrameType::kBye:
             open = false;
             break;
@@ -268,8 +386,25 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
   } catch (...) {
     // Peer vanished or sent garbage: drop the session, keep serving.
   }
-  // Artifacts die with their session: return their budget reservation.
-  if (reserved_bytes > 0) prefetch_bytes_.fetch_sub(reserved_bytes);
+  // Teardown, in dependency order: unregister the token (no new lane
+  // can resolve this session), then close the shared state — artifacts
+  // die with their session, and the WHOLE remaining reservation
+  // (stored artifacts + pushes still in flight on a lane) is returned
+  // in one settlement. A lane mid-push observes `closed` afterwards and
+  // knows not to settle again.
+  if (token_registered) {
+    std::lock_guard<std::mutex> lock(mu_);
+    lane_tokens_.erase(lane_token);
+  }
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    state->closed = true;
+    if (state->reserved_bytes > 0) {
+      prefetch_bytes_.fetch_sub(state->reserved_bytes);
+      state->reserved_bytes = 0;
+    }
+    state->store.clear();
+  }
   {
     // Final critical section: unregister, free the slot, flag
     // completion, and notify — all under mu_ so the accept loop's
@@ -283,6 +418,93 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
       }
     }
     sessions_active_.fetch_sub(1);
+    done->store(true);
+    slot_cv_.notify_all();
+  }
+}
+
+// Handler for one async-prefetch-lane connection: resolve the session
+// by token, then serve kPrefetch pushes into its shared store until the
+// client says kBye or either side fails. The lane runs its own
+// EvaluatorSession (OT-extension state is per-connection), so its
+// precomputed-OT exchanges proceed concurrently with evaluation on the
+// primary connection.
+void InferenceServer::handle_lane(std::unique_ptr<TcpChannel> transport,
+                                  std::shared_ptr<std::atomic<bool>> done) {
+  std::shared_ptr<SessionState> state;
+  try {
+    if (cfg_.idle_timeout_ms > 0)
+      transport->set_recv_timeout_ms(cfg_.idle_timeout_ms);
+    BufferedChannel ch(*transport, cfg_.stream.channel_buffer);
+
+    const Frame attach = recv_frame(ch);
+    uint64_t token = 0;
+    const char* reject = nullptr;
+    if (attach.type != FrameType::kAttachLane) {
+      reject = "expected lane attach";
+    } else {
+      token = parse_id(attach);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = lane_tokens_.find(token);
+        if (it != lane_tokens_.end()) state = it->second;
+      }
+      if (state == nullptr) {
+        reject = "unknown lane token";
+      } else {
+        std::lock_guard<std::mutex> lk(state->mu);
+        if (state->closed)
+          reject = "session closed";
+        else if (state->lane_attached)
+          reject = "lane already attached";
+        else
+          state->lane_attached = true;
+      }
+    }
+    if (reject != nullptr) {
+      lanes_rejected_.fetch_add(1);
+      state = nullptr;  // nothing to detach below
+      send_error(ch, reject);
+      ch.flush();
+    } else {
+      lanes_attached_.fetch_add(1);
+      send_id_frame(ch, FrameType::kAttachLaneAck, token);
+      ch.flush();
+      // The lane never evaluates, so no eval shard pool here.
+      EvaluatorSession session(ch, cfg_.stream.gc_options(nullptr));
+      for (bool open = true; open;) {
+        const Frame f = recv_frame(ch);
+        if (f.type == FrameType::kBye) {
+          open = false;
+        } else if (f.type == FrameType::kPrefetch) {
+          open = handle_prefetch_push(f, ch, session, *state);
+        } else {
+          send_error(ch, "unexpected frame on prefetch lane");
+          ch.flush();
+          open = false;
+        }
+      }
+    }
+  } catch (...) {
+    // Lane died; the primary session is unaffected (its artifacts and
+    // reservations live in the shared state, settled by the session).
+  }
+  if (state != nullptr) {
+    // Allow a reconnect: a dropped lane (idle timeout, transient
+    // network failure) should not permanently demote the session to
+    // synchronous prefetching.
+    std::lock_guard<std::mutex> lk(state->mu);
+    state->lane_attached = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = active_transports_.begin(); it != active_transports_.end();
+         ++it) {
+      if (*it == transport.get()) {
+        active_transports_.erase(it);
+        break;
+      }
+    }
     done->store(true);
     slot_cv_.notify_all();
   }

@@ -10,6 +10,19 @@
 // queue in the listen backlog instead of being dropped). The compiled
 // chain is shared read-only across sessions; the per-circuit flush-point
 // cache is thread-safe (see Circuit::gc_flush_points).
+//
+// Async prefetch lane (protocol v4): a SECOND listener accepts
+// dedicated prefetch connections. The hello ack hands each session an
+// unguessable lane token + the lane port; a client that opens a lane
+// (kAttachLane) streams kPrefetch pushes there while kInfer traffic
+// continues on the primary connection — the refill no longer stalls the
+// inference pipeline. Both connections share one SessionState (the
+// artifact store and its budget accounting), which is also the single
+// place global max_prefetch_bytes reservations are made and released,
+// so every error/teardown path settles the budget exactly once. Lanes
+// do not count against max_sessions (they are bounded at one per
+// session by the single-use token), so a full server never deadlocks a
+// client opening its lane.
 #pragma once
 
 #include <atomic>
@@ -18,9 +31,12 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "crypto/prg.h"
 #include "net/tcp_channel.h"
+#include "runtime/frame.h"
 #include "runtime/streaming.h"
 #include "synth/layer_circuits.h"
 
@@ -65,6 +81,9 @@ class InferenceServer {
 
   /// Port actually bound (resolves ephemeral port 0).
   uint16_t port() const { return listener_.port(); }
+  /// Dedicated async-prefetch-lane listener port (always ephemeral; the
+  /// hello ack advertises it, so clients never need to configure it).
+  uint16_t lane_port() const { return lane_listener_.port(); }
 
   /// Spawn the accept loop. Returns immediately.
   void start();
@@ -87,6 +106,10 @@ class InferenceServer {
   uint64_t prefetch_bytes() const { return prefetch_bytes_.load(); }
   /// kPrefetch pushes rejected because the global budget was exhausted.
   uint64_t prefetches_rejected() const { return prefetches_rejected_.load(); }
+  /// Prefetch lanes successfully attached to a session (v4).
+  uint64_t lanes_attached() const { return lanes_attached_.load(); }
+  /// kAttachLane attempts rejected (unknown/stale/duplicate token).
+  uint64_t lanes_rejected() const { return lanes_rejected_.load(); }
 
  private:
   // One per session: the thread plus a completion flag so finished
@@ -97,9 +120,35 @@ class InferenceServer {
     std::shared_ptr<std::atomic<bool>> done;
   };
 
+  // Per-session state shared between the primary session handler and
+  // its (optional) async prefetch lane — the seam both connections
+  // synchronize on. `reserved_bytes` mirrors this session's share of
+  // the global prefetch_bytes_ reservation so teardown can settle it
+  // exactly once; `pending_pushes` holds quota slots for pushes whose
+  // material is still in flight on the wire.
+  struct SessionState {
+    std::mutex mu;
+    std::unordered_map<uint64_t, EvalMaterial> store;
+    uint64_t reserved_bytes = 0;
+    size_t pending_pushes = 0;
+    bool closed = false;         // primary session torn down
+    bool lane_attached = false;  // at most one lane per session
+  };
+
   void accept_loop();
+  void lane_accept_loop();
   void handle_session(std::unique_ptr<TcpChannel> transport,
                       std::shared_ptr<std::atomic<bool>> done);
+  void handle_lane(std::unique_ptr<TcpChannel> transport,
+                   std::shared_ptr<std::atomic<bool>> done);
+  /// One kPrefetch push into `state` (primary connection or lane):
+  /// quota + global-budget reservation, artifact receive + size checks,
+  /// precomputed-OT label resolution, store. Returns false when the
+  /// carrying connection must close (every rejection sent a kError);
+  /// on failure the reservation is released immediately — never parked
+  /// until teardown.
+  bool handle_prefetch_push(const Frame& f, BufferedChannel& ch,
+                            EvaluatorSession& session, SessionState& state);
   void reap_finished_locked();
 
   std::vector<Circuit> chain_;
@@ -112,11 +161,17 @@ class InferenceServer {
   uint64_t expected_table_bytes_ = 0;
 
   TcpListener listener_;
+  TcpListener lane_listener_;
   std::thread accept_thread_;
+  std::thread lane_accept_thread_;
   std::mutex mu_;
   std::condition_variable slot_cv_;  // signaled when a session ends
   std::vector<SessionHandle> handlers_;
   std::vector<TcpChannel*> active_transports_;  // for forced shutdown
+  // Live sessions by lane token; a lane attach resolves its session
+  // here. Entries die with their session (handle_session erases).
+  std::unordered_map<uint64_t, std::shared_ptr<SessionState>> lane_tokens_;
+  Prg token_prg_ = Prg::from_os_entropy();  // under mu_
   bool running_ = false;
   bool stopping_ = false;
 
@@ -128,6 +183,8 @@ class InferenceServer {
   std::atomic<uint64_t> materials_prefetched_{0};
   std::atomic<uint64_t> prefetch_bytes_{0};
   std::atomic<uint64_t> prefetches_rejected_{0};
+  std::atomic<uint64_t> lanes_attached_{0};
+  std::atomic<uint64_t> lanes_rejected_{0};
 };
 
 }  // namespace deepsecure::runtime

@@ -154,6 +154,74 @@ TEST(RuntimeStream, FramesReassembleByteIdenticalSingleThread) {
   }
 }
 
+// Schedule-aware frame sizing: a capacity drain mid-level no longer
+// cuts a frame, so one wide AND level whose hash windows drain several
+// times ships as ONE length-prefixed frame — with the exact same
+// concatenated payload.
+TEST(RuntimeStream, WideLevelShipsAsOneFrame) {
+  // One dependency level of ANDs spanning four capacity windows.
+  const Circuit c = bench_circuits::wide_and(3 * kGcMaxBatchWindow + 17);
+  GcOptions framed;
+  framed.framed_tables = true;
+  const auto stream = garble_stream(c, Block{3, 9}, framed);
+
+  size_t frames = 0;
+  size_t at = 32;  // constant labels travel raw ahead of the frames
+  while (at < stream.size()) {
+    ASSERT_LE(at + 4, stream.size());
+    uint32_t len = 0;
+    std::memcpy(&len, stream.data() + at, 4);
+    at += 4 + len;
+    ++frames;
+  }
+  ASSERT_EQ(at, stream.size());
+  EXPECT_EQ(frames, 1u);  // four windows, one level, one frame
+  EXPECT_EQ(deframe(stream), garble_stream(c, Block{3, 9}, GcOptions{}));
+}
+
+// Regression: a level whose AND count is an EXACT multiple of the
+// window capacity drains entirely via capacity flushes, so its level
+// boundary arrives on an empty hash window — it must still cut the
+// frame, or the level's tables silently merge into the next level's.
+TEST(RuntimeStream, ExactMultipleLevelStillCutsFrameAtBoundary) {
+  // Level 1: exactly 2*kGcMaxBatchWindow independent ANDs. Level 2: 64
+  // ANDs reading level-1 outputs (the dependency boundary).
+  Builder b;
+  std::vector<Wire> in;
+  for (int i = 0; i < 16; ++i) in.push_back(b.input(Party::kGarbler));
+  for (int i = 0; i < 16; ++i) in.push_back(b.input(Party::kEvaluator));
+  std::vector<Wire> chain{in[0]};
+  const size_t n1 = 2 * kGcMaxBatchWindow;
+  for (size_t i = 1; i <= n1; ++i)
+    chain.push_back(b.xor_(chain.back(), in[i % in.size()]));
+  std::vector<Wire> l1;
+  for (size_t g = 0; g < n1; ++g)
+    l1.push_back(b.and_(chain[g], chain[g + 1]));
+  std::vector<Wire> l2;
+  for (size_t i = 0; i + 1 < 65; ++i)
+    l2.push_back(b.and_(l1[i], l1[i + 1]));
+  for (size_t i = 0; i < 8; ++i) b.output(l2[i]);
+  const Circuit c = b.build();
+
+  GcOptions framed;
+  framed.framed_tables = true;
+  const auto stream = garble_stream(c, Block{6, 6}, framed);
+  size_t frames = 0;
+  size_t at = 32;
+  while (at < stream.size()) {
+    ASSERT_LE(at + 4, stream.size());
+    uint32_t len = 0;
+    std::memcpy(&len, stream.data() + at, 4);
+    at += 4 + len;
+    ++frames;
+  }
+  ASSERT_EQ(at, stream.size());
+  // One frame for level 1 (cut at its boundary), one for level 2's
+  // small remainder (shipped by the end-of-circuit flush).
+  EXPECT_EQ(frames, 2u);
+  EXPECT_EQ(deframe(stream), garble_stream(c, Block{6, 6}, GcOptions{}));
+}
+
 TEST(RuntimeStream, FramesReassembleByteIdenticalMultiThread) {
   ThreadPool pool(3);
   GcOptions mono;

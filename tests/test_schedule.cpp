@@ -341,7 +341,7 @@ TEST(Schedule, WindowStatsMatchesRealBatchedWalk) {
       gc_batched_walk(
           c, [](const Gate&) {},
           [&](const Gate&) { ++pending; },
-          [&]() {
+          [&](bool /*level_boundary*/) {
             if (pending > 0) walked_widths.push_back(pending);
             pending = 0;
           });

@@ -456,6 +456,163 @@ TEST(InferenceServer, IdleTimeoutFreesSessionSlot) {
   server.stop();
 }
 
+// Async prefetch lane (protocol v4): a client that drains its pool
+// mid-burst refills through the second connection concurrently with
+// inference traffic — once a refilled artifact is visible, no request
+// ever falls back to on-demand garbling.
+TEST(InferenceServer, AsyncPrefetchLaneRefillsUnderBurst) {
+  const synth::ModelSpec spec = small_spec();
+  Rng rng(73);
+  const BitVec weights = random_weights(spec, rng);
+
+  runtime::ServerConfig scfg;
+  scfg.max_prefetch = 4;
+  runtime::InferenceServer server(spec, weights, scfg);
+  server.start();
+
+  runtime::ClientConfig ccfg;
+  ccfg.seed = Block{2026, 0xA51};
+  ccfg.pool_target = 2;
+  ccfg.pool_producers = 2;
+  ccfg.async_prefetch = true;
+  runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
+  EXPECT_EQ(client.prefetch(2), 2u);
+  EXPECT_TRUE(client.lane_active());
+
+  constexpr size_t kBurst = 6;  // 3x the pool: drains to empty twice
+  Rng drng(505);
+  for (size_t r = 0; r < kBurst; ++r) {
+    std::vector<Fixed> x;
+    for (size_t i = 0; i < 5; ++i)
+      x.push_back(random_fixed(drng, kDefaultFormat, 0.2));
+    const BitVec data = pack_fixed(x);
+    // Drain-heavy burst, but only race ahead against warm material:
+    // wait for the lane's refill when the store is empty. The assertion
+    // below is exactly "no on-demand fallback once credits allow".
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (client.prefetched() == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GT(client.prefetched(), 0u) << "lane refill stalled";
+    const BitVec out = client.infer_bits(data);
+    EXPECT_EQ(from_bits(out), plaintext_label(spec, weights, data));
+  }
+  EXPECT_EQ(client.pooled_inferences(), kBurst);
+  EXPECT_EQ(client.ondemand_inferences(), 0u);
+  client.close();
+  server.stop();
+  EXPECT_EQ(server.inferences_pooled(), kBurst);
+  EXPECT_EQ(server.inferences_served(), kBurst);
+  EXPECT_EQ(server.lanes_attached(), 1u);
+  // Everything the burst left behind was settled on teardown.
+  EXPECT_EQ(server.prefetch_bytes(), 0u);
+}
+
+TEST(InferenceServer, AttachLaneRejectsUnknownToken) {
+  const synth::ModelSpec spec = small_spec();
+  Rng rng(79);
+  runtime::InferenceServer server(spec, random_weights(spec, rng), {});
+  server.start();
+
+  TcpChannel lane = TcpChannel::connect("127.0.0.1", server.lane_port());
+  runtime::send_id_frame(lane, runtime::FrameType::kAttachLane, 0xBADull);
+  EXPECT_THROW(
+      try { runtime::recv_frame(lane); } catch (const std::exception& e) {
+        EXPECT_NE(std::string(e.what()).find("token"), std::string::npos);
+        throw;
+      },
+      std::runtime_error);
+  server.stop();
+  EXPECT_EQ(server.lanes_rejected(), 1u);
+  EXPECT_EQ(server.lanes_attached(), 0u);
+}
+
+// Budget-leak regression (the satellite fix): a push the server rejects
+// must release its global-budget reservation IMMEDIATELY — not at
+// session teardown — or one malformed push would starve every other
+// session's prefetching for this session's remaining lifetime. The
+// push rides the lane, whose failure leaves the session alive, so the
+// assertion below cannot be satisfied by teardown accounting.
+TEST(InferenceServer, FailedLanePushReleasesBudgetWhileSessionLives) {
+  const synth::ModelSpec spec = small_spec();
+  const auto chain = synth::compile_model_layers(spec);
+  Rng rng(83);
+  runtime::InferenceServer server(spec, random_weights(spec, rng), {});
+  server.start();
+
+  // Real handshake to obtain the lane token + port.
+  TcpChannel raw = TcpChannel::connect("127.0.0.1", server.port());
+  runtime::Hello hello;
+  hello.fingerprint = runtime::chain_fingerprint(chain, gc_schedule_default());
+  runtime::send_hello(raw, hello);
+  const runtime::HelloAck ack =
+      runtime::parse_hello_ack(runtime::recv_frame(raw));
+
+  TcpChannel lane = TcpChannel::connect("127.0.0.1", ack.lane_port);
+  runtime::send_id_frame(lane, runtime::FrameType::kAttachLane,
+                         ack.lane_token);
+  ASSERT_EQ(runtime::recv_frame(lane).type,
+            runtime::FrameType::kAttachLaneAck);
+
+  // Malformed push: empty decode bits + zero-length tables — rejected
+  // at push time. The reservation was made before the material was
+  // read; the rejection must give it back.
+  runtime::send_id_frame(lane, runtime::FrameType::kPrefetch, 1);
+  lane.send_bits({});
+  lane.send_u64(0);
+  EXPECT_THROW(
+      try { runtime::recv_frame(lane); } catch (const std::exception& e) {
+        EXPECT_NE(std::string(e.what()).find("match"), std::string::npos);
+        throw;
+      },
+      std::runtime_error);
+
+  // The primary session is still alive (only the lane died), so a
+  // non-zero reading here would be a real leak, not pending teardown.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.prefetch_bytes() > 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server.prefetch_bytes(), 0u);
+  EXPECT_EQ(server.sessions_active(), 1u);
+  EXPECT_EQ(server.materials_prefetched(), 0u);
+
+  runtime::send_frame(raw, runtime::FrameType::kBye);
+  server.stop();
+}
+
+// Teardown path: a client that vanishes mid-push (reservation made,
+// material half-sent) must not strand its bytes in the global budget.
+TEST(InferenceServer, SessionDeathMidPushReleasesBudget) {
+  const synth::ModelSpec spec = small_spec();
+  const auto chain = synth::compile_model_layers(spec);
+  Rng rng(89);
+  runtime::InferenceServer server(spec, random_weights(spec, rng), {});
+  server.start();
+  {
+    TcpChannel raw = TcpChannel::connect("127.0.0.1", server.port());
+    runtime::Hello hello;
+    hello.fingerprint =
+        runtime::chain_fingerprint(chain, gc_schedule_default());
+    runtime::send_hello(raw, hello);
+    (void)runtime::recv_frame(raw);  // ack
+    runtime::send_id_frame(raw, runtime::FrameType::kPrefetch, 1);
+    raw.send_bits(BitVec(chain.back().outputs.size(), 0));
+    // Declare the right table size but hang up before sending it: the
+    // server is now mid recv_material with the reservation held.
+  }  // socket closes here
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((server.prefetch_bytes() > 0 || server.sessions_active() > 0) &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server.prefetch_bytes(), 0u);
+  EXPECT_EQ(server.sessions_active(), 0u);
+  server.stop();
+}
+
 // The full core-API path — a trained-network-shaped model, sample
 // encoding via sample_bits / weight_bits — over a real TCP loopback.
 TEST(InferenceServer, NetworkModelSecureInferOverTcp) {
