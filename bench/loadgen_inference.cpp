@@ -7,6 +7,7 @@
 //                       [--out FILE] [--precomputed]
 //                       [--strict-precomputed] [--no-schedule]
 //                       [--shard-threads S] [--async-prefetch]
+//                       [--server-core thread|event] [--scaling]
 //
 // Measurements:
 //   1. overlap: one streaming session over TCP loopback garbling a
@@ -33,6 +34,13 @@
 //      the run when warm-pool p50 is not below the on-demand p50
 //      (local acceptance gate — CI runs non-strict because shared
 //      runners make timing flaky).
+//   5. with --scaling, a concurrency sweep (16/64/256/1024 sessions,
+//      one request each) against BOTH server cores — the event-core
+//      headline: sessions/sec and p95 as concurrency grows, with the
+//      serving thread count per point (thread core: one per session;
+//      event core: fixed worker pool).
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -41,6 +49,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "circuit/bench_circuits.h"
@@ -84,6 +93,11 @@ struct Args {
   // Refill server-side stores through the dedicated v4 prefetch lane
   // (a second connection per session) instead of synchronous pushes.
   bool async_prefetch = false;
+  // Which serving core the load runs target (the scaling sweep always
+  // measures both).
+  runtime::ServerCore server_core = runtime::ServerCore::kEventLoop;
+  // Concurrency sweep across both cores (measurement 5 above).
+  bool scaling = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -110,6 +124,13 @@ Args parse_args(int argc, char** argv) {
     else if (k == "--no-schedule") a.schedule = false;
     else if (k == "--shard-threads") a.shard_threads = std::stoul(next());
     else if (k == "--async-prefetch") a.async_prefetch = true;
+    else if (k == "--server-core") {
+      const std::string v = next();
+      if (v == "thread") a.server_core = runtime::ServerCore::kThreadPerSession;
+      else if (v == "event") a.server_core = runtime::ServerCore::kEventLoop;
+      else throw std::runtime_error("--server-core expects thread|event");
+    }
+    else if (k == "--scaling") a.scaling = true;
     else throw std::runtime_error("unknown flag " + k);
   }
   return a;
@@ -275,6 +296,7 @@ struct LoadResult {
   double p50_ms = 0, p95_ms = 0;
   double offline_s = 0;  // pooled mode: prefetch (offline phase) time
   double ttfw_s = 0;     // pooled mode: slowest session's first warm artifact
+  size_t serving_threads = 0;  // thread core: N sessions; event: loop+workers
   uint64_t served = 0;
   uint64_t pooled = 0;
   double requests_per_s() const { return wall_s > 0 ? double(served) / wall_s : 0; }
@@ -312,10 +334,15 @@ LoadResult measure_load(const Args& args, bool pooled) {
   }
 
   runtime::ServerConfig scfg;
+  scfg.core = args.server_core;
   scfg.max_sessions = std::max<size_t>(args.sessions, 1);
   scfg.max_prefetch = std::max<size_t>(args.requests, 1);
   scfg.stream.eval_threads = args.eval_threads;
   scfg.stream.schedule = args.schedule;
+  // A 1024-client thundering connect overruns the default backlog; the
+  // kernel clamps to somaxconn.
+  scfg.backlog = static_cast<int>(
+      std::min<size_t>(std::max<size_t>(args.sessions, 64), 4096));
   runtime::InferenceServer server(spec, weights, scfg);
   server.start();
 
@@ -406,6 +433,15 @@ LoadResult measure_load(const Args& args, bool pooled) {
   r.wall_s = wall.seconds();
   server.stop();
 
+  if (args.server_core == runtime::ServerCore::kEventLoop) {
+    const size_t hc = std::thread::hardware_concurrency();
+    const size_t workers =
+        scfg.workers > 0 ? scfg.workers : std::max<size_t>(2, 2 * hc);
+    r.serving_threads = workers + 1;  // + the reactor loop
+  } else {
+    r.serving_threads = args.sessions;  // one handler thread per session
+  }
+
   std::vector<double> all;
   for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
   std::sort(all.begin(), all.end());
@@ -428,18 +464,58 @@ LoadResult measure_load(const Args& args, bool pooled) {
   return r;
 }
 
+struct ScalingRow {
+  const char* core = "";
+  LoadResult load;
+};
+
+// Concurrency sweep: both cores, one request per session (session churn
+// — handshake + a single on-demand inference — is what stresses the
+// serving core, not per-request crypto volume). The sweep reuses
+// measure_load, so every row is also correctness-checked end to end.
+std::vector<ScalingRow> measure_scaling(const Args& base) {
+  std::vector<ScalingRow> rows;
+  const std::pair<runtime::ServerCore, const char*> cores[] = {
+      {runtime::ServerCore::kThreadPerSession, "thread"},
+      {runtime::ServerCore::kEventLoop, "event"},
+  };
+  for (const auto& [core, name] : cores) {
+    for (size_t n : {size_t{16}, size_t{64}, size_t{256}, size_t{1024}}) {
+      Args a = base;
+      a.sessions = n;
+      a.requests = 1;
+      a.server_core = core;
+      std::fprintf(stderr, "loadgen: scaling %s core, %zu sessions...\n",
+                   name, n);
+      ScalingRow row;
+      row.core = name;
+      row.load = measure_load(a, /*pooled=*/false);
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
 void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                const OfflineResult& off, const LoadResult& l,
-               const LoadResult* pre) {
+               const LoadResult* pre,
+               const std::vector<ScalingRow>* scaling) {
   std::fprintf(f, "{\n  \"bench\": \"loadgen_inference\",\n");
   std::fprintf(f, "  \"scheduled\": %s,\n", args.schedule ? "true" : "false");
+  // cores / core_bound: a shard_speedup below 1.0 on a machine with
+  // fewer cores than shard threads is the runner being core-bound, not
+  // a sharding regression — record the context with the number.
+  const size_t cores = std::thread::hardware_concurrency();
   std::fprintf(f,
                "  \"offline\": {\"layers\": %zu, \"gates_per_layer\": %zu, "
-               "\"shard_threads\": %zu, \"time_to_first_warm_s\": %.6f, "
+               "\"shard_threads\": %zu, \"cores\": %zu, "
+               "\"shard_speedup_core_bound\": %s, "
+               "\"time_to_first_warm_s\": %.6f, "
                "\"time_to_first_warm_sequential_s\": %.6f, "
                "\"shard_speedup\": %.3f},\n",
-               off.layers, off.gates, off.shard_threads, off.ttfw_sharded_s,
-               off.ttfw_sequential_s, off.speedup());
+               off.layers, off.gates, off.shard_threads, cores,
+               cores < off.shard_threads ? "true" : "false",
+               off.ttfw_sharded_s, off.ttfw_sequential_s, off.speedup());
   std::fprintf(f,
                "  \"overlap\": {\"layers\": %zu, \"gates_per_layer\": %zu, "
                "\"garble_threads\": %zu, \"wall_s\": %.6f, \"garble_s\": %.6f, "
@@ -448,15 +524,20 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                o.layers, o.gates, o.threads, o.wall_s, o.garble_s,
                o.transfer_s, o.eval_s, o.phase_sum(), o.setup_s,
                o.phase_sum() > 0 ? o.wall_s / o.phase_sum() : 0.0);
+  const bool more_after_load = pre != nullptr || scaling != nullptr;
   std::fprintf(f,
                "  \"load\": {\"sessions\": %zu, \"requests_per_session\": %zu, "
+               "\"server_core\": \"%s\", \"serving_threads\": %zu, "
                "\"inferences\": %llu, \"wall_s\": %.6f, \"sessions_per_s\": "
                "%.3f, \"requests_per_s\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": "
                "%.3f}%s\n",
                l.sessions, l.requests,
+               args.server_core == runtime::ServerCore::kEventLoop ? "event"
+                                                                   : "thread",
+               l.serving_threads,
                static_cast<unsigned long long>(l.served), l.wall_s,
                l.sessions_per_s(), l.requests_per_s(), l.p50_ms, l.p95_ms,
-               pre != nullptr ? "," : "");
+               more_after_load ? "," : "");
   if (pre != nullptr) {
     // Warm-pool run: p50/p95 cover the online phase only; the offline
     // garbling + prefetch cost is reported beside it, not hidden.
@@ -477,6 +558,23 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
         pre->ttfw_s, pre->offline_s, pre->wall_s, pre->requests_per_s(),
         pre->p50_ms, pre->p95_ms,
         pre->p50_ms > 0 ? l.p50_ms / pre->p50_ms : 0.0);
+    if (scaling != nullptr) std::fprintf(f, ",");
+  }
+  if (scaling != nullptr) {
+    std::fprintf(f, "  \"load_scaling\": [\n");
+    for (size_t i = 0; i < scaling->size(); ++i) {
+      const ScalingRow& row = (*scaling)[i];
+      std::fprintf(f,
+                   "    {\"server_core\": \"%s\", \"sessions\": %zu, "
+                   "\"serving_threads\": %zu, \"wall_s\": %.6f, "
+                   "\"sessions_per_s\": %.3f, \"p50_ms\": %.3f, "
+                   "\"p95_ms\": %.3f}%s\n",
+                   row.core, row.load.sessions, row.load.serving_threads,
+                   row.load.wall_s, row.load.sessions_per_s(),
+                   row.load.p50_ms, row.load.p95_ms,
+                   i + 1 < scaling->size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n");
   }
   std::fprintf(f, "}\n");
 }
@@ -484,6 +582,14 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The 1024-session scaling point holds ~2 fds per session in this one
+  // process (server + client end of every loopback socket, plus lanes):
+  // lift the soft fd limit to the hard cap up front.
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    (void)::setrlimit(RLIMIT_NOFILE, &rl);
+  }
   try {
     const Args args = parse_args(argc, argv);
     const OverlapResult overlap = measure_overlap(args);
@@ -492,11 +598,14 @@ int main(int argc, char** argv) {
     LoadResult pre;
     if (args.precomputed) pre = measure_load(args, /*pooled=*/true);
     const LoadResult* pre_p = args.precomputed ? &pre : nullptr;
-    emit_json(stdout, args, overlap, offline, load, pre_p);
+    std::vector<ScalingRow> scaling;
+    if (args.scaling) scaling = measure_scaling(args);
+    const std::vector<ScalingRow>* scl_p = args.scaling ? &scaling : nullptr;
+    emit_json(stdout, args, overlap, offline, load, pre_p, scl_p);
     if (!args.out.empty()) {
       std::FILE* f = std::fopen(args.out.c_str(), "w");
       if (f == nullptr) throw std::runtime_error("cannot open " + args.out);
-      emit_json(f, args, overlap, offline, load, pre_p);
+      emit_json(f, args, overlap, offline, load, pre_p, scl_p);
       std::fclose(f);
     }
     if (overlap.wall_s >= overlap.phase_sum()) {

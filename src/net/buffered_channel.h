@@ -74,6 +74,11 @@ class BufferedChannel final : public Channel {
   /// Push buffered sends to the underlying channel.
   void flush() { flush_writes(); }
 
+  /// Bytes already read ahead from the transport but not yet consumed.
+  /// The reactor must drain frames while this is nonzero before parking
+  /// the fd in epoll again — readiness APIs cannot see user-space bytes.
+  size_t recv_buffered() const { return rlen_ - rpos_; }
+
   /// Counters reflect the logical payload through this wrapper (the
   /// inner channel counts the same bytes at the transport).
   uint64_t bytes_sent() const override { return sent_; }

@@ -1,0 +1,167 @@
+// Asynchronous-sender decorator for any Channel: the garbler-shard →
+// frame-writer handoff from the event-core work. send_bytes() copies the
+// payload into a chunk, pushes it onto a lock-free SPSC ring
+// (support/spsc_ring.h), and returns immediately; a dedicated writer
+// thread pops chunks and ships them through the inner channel. The
+// producing thread (the garbler emitting table frames, the prefetch
+// lane pushing artifacts) therefore overlaps its next frame's work with
+// the kernel send of the previous one, instead of serializing
+// garble → send → garble.
+//
+// Ordering: the wire sees chunks in push order (one ring, one writer).
+// Receives drain first — recv_bytes/recv_some wait until every queued
+// byte has reached the inner channel before reading, so a
+// request/response exchange (the OT rounds) can never read a reply to a
+// request still sitting in the ring.
+//
+// Threading contract: exactly ONE user thread calls send/recv on this
+// channel (it is the ring's single producer); the internal writer is
+// the single consumer. Parking is futex-backed (std::atomic::wait on
+// the ring cursors / a doorbell counter), so the handoff path itself
+// takes no mutex.
+//
+// Failure: a writer-side send error is parked and rethrown on the next
+// send/recv/drain from the user thread; the writer keeps draining (and
+// discarding) chunks so a producer parked on a full ring can never
+// deadlock on a dead transport.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "net/channel.h"
+#include "support/spsc_ring.h"
+
+namespace deepsecure {
+
+class RingChannel final : public Channel {
+ public:
+  /// `depth` = chunks in flight before a sender parks. The underlying
+  /// transport must outlive this object.
+  explicit RingChannel(Channel& inner, size_t depth = 64)
+      : inner_(inner), ring_(depth) {
+    writer_ = std::thread([this] { writer_loop(); });
+  }
+
+  ~RingChannel() override {
+    stop_.store(true, std::memory_order_release);
+    ring_doorbell();
+    if (writer_.joinable()) writer_.join();
+  }
+
+  void send_bytes(const void* data, size_t n) override {
+    rethrow_if_failed();
+    if (n == 0) return;
+    std::vector<uint8_t> chunk(n);
+    std::memcpy(chunk.data(), data, n);
+    // Counted before the push so drain() can never observe the queue as
+    // settled while this chunk is still on its way in.
+    pending_.fetch_add(n, std::memory_order_release);
+    while (!ring_.try_push(std::move(chunk))) {
+      if (failed_.load(std::memory_order_acquire)) {
+        pending_.fetch_sub(n, std::memory_order_release);
+        rethrow_if_failed();
+      }
+      // Full: park until the writer frees a slot (tail advances).
+      const uint64_t t = ring_.tail().load(std::memory_order_acquire);
+      if (ring_.head().load(std::memory_order_relaxed) - t >=
+          ring_.capacity())
+        ring_.tail().wait(t, std::memory_order_acquire);
+    }
+    ring_doorbell();
+    sent_ += n;
+  }
+
+  void recv_bytes(void* data, size_t n) override {
+    drain();
+    inner_.recv_bytes(data, n);
+    received_ += n;
+  }
+
+  size_t recv_some(void* data, size_t min_n, size_t max_n) override {
+    drain();
+    const size_t got = inner_.recv_some(data, min_n, max_n);
+    received_ += got;
+    return got;
+  }
+
+  /// Block until every accepted byte has been written to the inner
+  /// channel (or the writer failed — rethrown here).
+  void drain() {
+    for (;;) {
+      rethrow_if_failed();
+      const uint64_t p = pending_.load(std::memory_order_acquire);
+      if (p == 0) return;
+      pending_.wait(p, std::memory_order_acquire);
+    }
+  }
+
+  /// Bytes accepted by send_bytes but not yet on the inner channel.
+  uint64_t pending_bytes() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  uint64_t bytes_sent() const override { return sent_; }
+  uint64_t bytes_received() const override { return received_; }
+  void reset_counters() override {
+    sent_ = 0;
+    received_ = 0;
+  }
+
+ private:
+  void ring_doorbell() {
+    doorbell_.fetch_add(1, std::memory_order_release);
+    doorbell_.notify_one();
+  }
+
+  void rethrow_if_failed() {
+    if (failed_.load(std::memory_order_acquire))
+      std::rethrow_exception(error_);  // published before failed_
+  }
+
+  void writer_loop() {
+    for (;;) {
+      std::vector<uint8_t> chunk;
+      if (ring_.try_pop(chunk)) {
+        ring_.tail().notify_one();  // a full-ring sender may be parked
+        if (!failed_.load(std::memory_order_relaxed)) {
+          try {
+            inner_.send_bytes(chunk.data(), chunk.size());
+          } catch (...) {
+            error_ = std::current_exception();
+            failed_.store(true, std::memory_order_release);
+          }
+        }
+        // Settled whether written or discarded-after-failure: drain()
+        // must terminate either way (it rethrows the parked error).
+        pending_.fetch_sub(chunk.size(), std::memory_order_release);
+        pending_.notify_all();
+        continue;
+      }
+      // Empty: wait for a push or stop. The doorbell counter bumps on
+      // both, so the wait below cannot miss either event.
+      const uint64_t seen = doorbell_.load(std::memory_order_acquire);
+      if (ring_.empty()) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        doorbell_.wait(seen, std::memory_order_acquire);
+      }
+    }
+  }
+
+  Channel& inner_;
+  SpscRing<std::vector<uint8_t>> ring_;
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<uint64_t> doorbell_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+  std::thread writer_;
+};
+
+}  // namespace deepsecure

@@ -40,6 +40,14 @@ InferenceClient::InferenceClient(const std::string& host, uint16_t port,
   open_ = true;
 
   if (cfg_.pool_target > 0) {
+    // The prefetch handoff rings (see the header): capacity covers the
+    // full quota, and the credit ring starts with every slot's token in
+    // circulation — the server's store is empty at handshake time.
+    const size_t cap = std::max<size_t>(2, server_prefetch_quota_);
+    prefetched_ = std::make_unique<SpscRing<PrefetchedMaterial>>(cap);
+    credits_ = std::make_unique<SpscRing<uint64_t>>(cap);
+    for (uint64_t i = 0; i < server_prefetch_quota_; ++i)
+      credits_->try_push(i + 1);
     // Pool seeds derive from the session seed but never collide with
     // the on-demand garbler's label PRG (distinct derivation tweak).
     MaterialPoolConfig pcfg;
@@ -80,15 +88,24 @@ void InferenceClient::push_material(GarbledMaterial&& mat) {
   if (in_flight_ > 0)
     throw std::logic_error(
         "client: cannot prefetch with inferences in flight");
+  // Sync mode: this thread is both ring roles. A credit is popped
+  // before anything hits the wire — mirroring the server's quota check
+  // exactly, since a server-side rejection would land mid-OT (see
+  // push_material_over). Callers guard on prefetched() < quota, so a
+  // missing token is a bookkeeping bug, not a race.
+  uint64_t credit;
+  if (credits_ == nullptr || !credits_->try_pop(credit))
+    throw std::logic_error("client: prefetch quota exhausted (no credit)");
   uint64_t id;
   {
     std::lock_guard<std::mutex> lock(mu_);
     id = next_material_id_++;
-    ++pushed_unconsumed_;
   }
+  // A throw below burns the credit with the artifact: the connection is
+  // unrecoverable at that point anyway.
   PrefetchedMaterial pm = push_material_over(*garbler_, std::move(mat), id);
-  std::lock_guard<std::mutex> lock(mu_);
-  prefetched_.push_back(std::move(pm));
+  if (!prefetched_->try_push(std::move(pm)))
+    throw std::logic_error("client: prefetched ring overflow");
 }
 
 // Offline push of one artifact over `g`'s connection (primary session
@@ -129,13 +146,19 @@ void InferenceClient::start_lane(const std::string& host, uint16_t lane_port,
                                  uint64_t lane_token) {
   lane_transport_ = std::make_unique<TcpChannel>(
       TcpChannel::connect(host, lane_port));
+  // Async frame writer: artifact bytes land in the RingChannel's SPSC
+  // ring and ship from its writer thread, so the lane overlaps the
+  // next artifact's serialization + OT compute with the previous one's
+  // kernel sends. Receives drain the ring first, so the OT rounds stay
+  // correctly ordered.
+  lane_ring_ = std::make_unique<RingChannel>(*lane_transport_);
   // The lane garbles nothing (artifacts come from the pool); its
   // StreamingGarbler exists for the session state the precomputed-OT
   // exchange needs, seeded independently of the primary session.
   const Block lane_seed = cfg_.seed == Block{}
                               ? Prg::from_os_entropy().next_block()
                               : (cfg_.seed ^ Block{0x1a4e, 0x517d});
-  lane_garbler_ = std::make_unique<StreamingGarbler>(*lane_transport_,
+  lane_garbler_ = std::make_unique<StreamingGarbler>(*lane_ring_,
                                                      lane_seed, cfg_.stream);
   lane_thread_ = std::thread([this, lane_token] { lane_loop(lane_token); });
 }
@@ -161,14 +184,15 @@ void InferenceClient::lane_loop(uint64_t lane_token) {
     for (;;) {
       {
         std::unique_lock<std::mutex> lock(mu_);
-        // Refill wanted AND a slot credit available (see
-        // pushed_unconsumed_ in the header): without the credit check a
-        // push racing an unprocessed kInfer on the primary connection
-        // would trip the server's quota mid-OT.
+        // Refill wanted AND a slot credit available (see credits_ in
+        // the header): without the credit check a push racing an
+        // unprocessed kInfer on the primary connection would trip the
+        // server's quota mid-OT. The lane is the only credit consumer,
+        // so a token seen here cannot vanish before the pop below.
         lane_cv_.wait(lock, [this] {
           return lane_stop_ ||
-                 (prefetched_.size() < lane_target() &&
-                  pushed_unconsumed_ < server_prefetch_quota_);
+                 (prefetched_->size() < lane_target() &&
+                  !credits_->empty());
         });
         if (lane_stop_) break;
       }
@@ -182,20 +206,26 @@ void InferenceClient::lane_loop(uint64_t lane_token) {
         lane_cv_.wait_for(lock, std::chrono::milliseconds(1));
         continue;
       }
+      // Claim the slot credit only once an artifact is in hand (credits
+      // flow one way per thread: pushing a token back from here would
+      // make two producers).
+      uint64_t credit;
+      if (!credits_->try_pop(credit)) continue;  // unreachable; re-check
       uint64_t id;
       {
         std::lock_guard<std::mutex> lock(mu_);
         id = next_material_id_++;
-        ++pushed_unconsumed_;
       }
       // The push itself runs unlocked: it is pure lane-connection
       // traffic, concurrent with whatever the primary session is doing.
+      // A throw burns the credit with the artifact — the lane is dead.
       PrefetchedMaterial pm =
           push_material_over(*lane_garbler_, std::move(*mat), id);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        prefetched_.push_back(std::move(pm));
-      }
+      if (!prefetched_->try_push(std::move(pm)))
+        throw std::logic_error("client: prefetched ring overflow");
+      // Empty critical section: order the ring push before the notify
+      // so a prefetch() predicate under mu_ cannot miss it.
+      { std::lock_guard<std::mutex> lock(mu_); }
       caught_up_.notify_all();
     }
     // Orderly goodbye so the server's lane handler exits cleanly.
@@ -232,10 +262,10 @@ size_t InferenceClient::prefetch(size_t n) {
     std::unique_lock<std::mutex> lock(mu_);
     lane_cv_.notify_all();
     caught_up_.wait(lock, [&] {
-      return lane_error_ != nullptr || prefetched_.size() >= want;
+      return lane_error_ != nullptr || prefetched_->size() >= want;
     });
     if (lane_error_) std::rethrow_exception(lane_error_);
-    return prefetched_.size();
+    return prefetched_->size();
   }
   // Clamp to the quota the hello ack advertised: exceeding it on the
   // wire would be answered with a session-killing kError, and "push up
@@ -263,20 +293,20 @@ void InferenceClient::top_up() {
 
 void InferenceClient::begin_infer_bits(const BitVec& data_bits) {
   if (!open_) throw std::logic_error("client: session closed");
+  // This thread is the ring's only consumer, so the peek/pop pair is
+  // race-free without a lock.
+  PrefetchedMaterial* next = prefetched_ ? prefetched_->front() : nullptr;
+  if (next == nullptr)
+    throw std::logic_error("client: no prefetched material to pipeline on");
+  // Validate on the borrowed slot before consuming anything: after the
+  // id frame is on the wire the artifact is burned and the server is
+  // committed to reading labels, so a size error must fire while the
+  // call is still a no-op (a ring pop is destructive).
+  if (data_bits.size() != next->data_zeros.size())
+    throw std::invalid_argument("client: data bit count mismatch");
   PrefetchedMaterial mat;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (prefetched_.empty())
-      throw std::logic_error("client: no prefetched material to pipeline on");
-    // Validate before consuming anything: after the id frame is on the
-    // wire the artifact is burned and the server is committed to
-    // reading labels, so a size error must fire while the call is
-    // still a no-op.
-    if (data_bits.size() != prefetched_.front().data_zeros.size())
-      throw std::invalid_argument("client: data bit count mismatch");
-    mat = std::move(prefetched_.front());
-    prefetched_.pop_front();
-  }
+  prefetched_->try_pop(mat);
+  { std::lock_guard<std::mutex> lock(mu_); }  // order pop before notify
   lane_cv_.notify_all();  // room freed: the lane may refill
   Channel& ch = garbler_->channel();
   send_id_frame(ch, FrameType::kInfer, mat.id);
@@ -291,12 +321,12 @@ BitVec InferenceClient::finish_infer() {
   BitVec out = garbler_->session().finish_online();
   --in_flight_;
   ++pooled_inferences_;
-  {
-    // Credit return: the server consumed this inference's artifact
-    // before evaluating, so its store slot is provably free now.
-    std::lock_guard<std::mutex> lock(mu_);
-    if (pushed_unconsumed_ > 0) --pushed_unconsumed_;
-  }
+  // Credit return: the server consumed this inference's artifact before
+  // evaluating, so its store slot is provably free now. Every finished
+  // pooled inference corresponds to exactly one popped token, so the
+  // push cannot overflow the ring.
+  if (credits_) credits_->try_push(uint64_t{1});
+  { std::lock_guard<std::mutex> lock(mu_); }  // order push before notify
   lane_cv_.notify_all();
   if (in_flight_ == 0 && cfg_.auto_top_up) top_up();
   return out;

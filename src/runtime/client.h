@@ -28,20 +28,36 @@
 // connection, so a drain-heavy burst no longer stalls its inference
 // pipeline to re-prefetch. The lane thread is the only writer of the
 // lane connection; the primary connection stays single-threaded.
+//
+// Hot handoffs ride lock-free SPSC rings (support/spsc_ring.h):
+//   * credits_ — the per-session prefetch quota as explicit ring slots.
+//     The ring is seeded with `quota` tokens; the lane (or a sync push)
+//     pops one per artifact shipped, and finish_infer pushes it back
+//     once the server has provably consumed the artifact. The server
+//     never sends credit frames — the pooled-inference RESULT is the
+//     credit return — so an empty ring is exactly "store + pending
+//     occupancy at quota" and the lane parks instead of tripping a
+//     session-killing kError mid-OT.
+//   * prefetched_ — client-side remainders of pushed artifacts, lane
+//     thread → caller.
+//   * the lane's wire bytes go through a RingChannel (net/
+//     ring_channel.h), so artifact serialization and the OT rounds
+//     overlap the kernel sends instead of serializing with them.
 #pragma once
 
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "fixed/fixed_point.h"
+#include "net/ring_channel.h"
 #include "net/tcp_channel.h"
 #include "runtime/frame.h"
 #include "runtime/material_pool.h"
 #include "runtime/streaming.h"
+#include "support/spsc_ring.h"
 #include "synth/layer_circuits.h"
 
 namespace deepsecure::runtime {
@@ -126,10 +142,10 @@ class InferenceClient {
   /// auto_top_up. No-op when pooling is disabled.
   void top_up();
 
-  /// Artifacts pushed to the server and not yet consumed.
+  /// Artifacts pushed to the server and not yet consumed. Lock-free
+  /// (ring cursor read); at most one handoff stale under a racing lane.
   size_t prefetched() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return prefetched_.size();
+    return prefetched_ ? prefetched_->size() : 0;
   }
   /// Artifacts garbled and waiting in the local pool (0 when pooling is
   /// off). Lets a latency-sensitive caller wait for background refill
@@ -179,29 +195,36 @@ class InferenceClient {
   std::unique_ptr<StreamingGarbler> garbler_;
   std::unique_ptr<MaterialPool> pool_;
 
-  // Shared between the caller thread and the lane thread.
+  // Shared between the caller thread and the lane thread. The mutex
+  // guards only the flags and the CV predicates; the artifact and
+  // credit handoffs themselves are the lock-free rings below. Ring ops
+  // pair with an empty mu_ critical section before each notify so a
+  // predicate evaluated under the lock can never miss a push.
   mutable std::mutex mu_;
   std::condition_variable lane_cv_;    // wakes the lane: refill wanted
   std::condition_variable caught_up_;  // wakes prefetch(): lane pushed
-  std::deque<PrefetchedMaterial> prefetched_;
-  /// Credit accounting for the lane (the server never sends explicit
-  /// credit frames — the pooled-inference RESULT is the credit return):
-  /// artifacts pushed whose server-side consume is not yet confirmed.
-  /// A pooled kInfer consumes its artifact before the server evaluates,
-  /// so once finish_infer returns, that slot is provably free. The lane
-  /// pushes only while pushed_unconsumed_ < quota, which keeps the
-  /// server's store+pending occupancy under max_prefetch even though
-  /// lane pushes race kInfer frames on the primary connection — a
-  /// quota kError mid-push would land inside the OT extension where it
-  /// cannot be parsed.
-  uint64_t pushed_unconsumed_ = 0;
+  /// Lane → caller: remainders of pushed artifacts (see file header).
+  /// In sync mode the caller plays both ring roles. Sized to the quota.
+  std::unique_ptr<SpscRing<PrefetchedMaterial>> prefetched_;
+  /// The prefetch quota as explicit credit slots (see file header):
+  /// seeded with `quota` tokens; pop-to-push an artifact, finish_infer
+  /// returns the token. Producer = the caller (finish_infer), consumer
+  /// = whichever side ships artifacts (the lane in async mode, the
+  /// caller in sync mode) — exactly one each way. Total tokens in
+  /// circulation never exceeds the quota, so the ring cannot overflow.
+  std::unique_ptr<SpscRing<uint64_t>> credits_;
   uint64_t next_material_id_ = 1;
   bool lane_stop_ = false;
   bool lane_up_ = false;  // attached and serving
   std::exception_ptr lane_error_;
 
-  // Lane connection: owned here, written only by lane_thread_.
+  // Lane connection: owned here, written only by lane_thread_. The
+  // RingChannel decouples the lane's frame production from the kernel
+  // sends; declaration order = teardown order (garbler flushes through
+  // the ring, the ring drains into the transport, then the socket
+  // closes).
   std::unique_ptr<TcpChannel> lane_transport_;
+  std::unique_ptr<RingChannel> lane_ring_;
   std::unique_ptr<StreamingGarbler> lane_garbler_;
   std::thread lane_thread_;
 

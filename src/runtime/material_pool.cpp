@@ -22,6 +22,11 @@ MaterialPool::MaterialPool(const std::vector<Circuit>& chain,
   // without it, each artifact garbles single-threaded so producers
   // alone carry the cross-artifact parallelism.
   opt_.pool = shard_workers_.get();
+  // The lock-free handoff needs a unique producer (see config docs);
+  // capacity covers the standing inventory plus a waiting acquirer's
+  // ad-hoc production so the overflow deque is cold in steady state.
+  if (cfg.ring_handoff && cfg.producer_threads <= 1)
+    ring_ = std::make_unique<SpscRing<GarbledMaterial>>(target_ + 2);
   std::lock_guard<std::mutex> lock(mu_);
   schedule_refill_locked();
 }
@@ -47,7 +52,8 @@ MaterialPool::~MaterialPool() {
 // from under a waiter whose ad-hoc production it consumed.
 void MaterialPool::schedule_refill_locked() {
   const size_t want = std::max(target_, waiting_);
-  while (!stopping_ && ready_.size() + in_flight_ < want) {
+  const size_t have = ready_.size() + (ring_ ? ring_->size() : 0);
+  while (!stopping_ && have + in_flight_ < want) {
     ++in_flight_;
     workers_->submit([this] { produce_one(); });
   }
@@ -74,14 +80,19 @@ void MaterialPool::produce_one() {
   } catch (...) {
     err = std::current_exception();
   }
+  // Publish through the ring OUTSIDE the lock (single producer): the
+  // consumer can pick the artifact up while this thread is still doing
+  // its bookkeeping below. Full ring (transient, around a waiting
+  // acquirer's ad-hoc production) falls back to the deque.
+  const bool pushed = !err && ring_ != nullptr && ring_->try_push(std::move(mat));
   {
     std::lock_guard<std::mutex> lock(mu_);
     --in_flight_;
-    if (stopping_) return;
+    if (stopping_) return;  // a ring-published artifact dies with the pool
     if (err) {
       if (!error_) error_ = err;
     } else {
-      ready_.push_back(std::move(mat));
+      if (!pushed) ready_.push_back(std::move(mat));
       ++produced_;
     }
   }
@@ -97,9 +108,23 @@ void MaterialPool::rethrow_error_locked() {
   if (error_) std::rethrow_exception(error_);
 }
 
+// Caller holds mu_ (serializing concurrent acquirers against each
+// other; the producer's ring push needs no lock). Ring first — it is
+// the hot path; the deque only holds multi-producer or overflow spill.
+bool MaterialPool::take_ready_locked(GarbledMaterial& out) {
+  if (ring_ != nullptr && ring_->try_pop(out)) return true;
+  if (!ready_.empty()) {
+    out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+  }
+  return false;
+}
+
 std::optional<GarbledMaterial> MaterialPool::try_acquire() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (ready_.empty()) {
+  GarbledMaterial mat;
+  if (!take_ready_locked(mat)) {
     rethrow_error_locked();
     ++misses_;
     schedule_refill_locked();
@@ -112,8 +137,6 @@ std::optional<GarbledMaterial> MaterialPool::try_acquire() {
     }
     return std::nullopt;
   }
-  GarbledMaterial mat = std::move(ready_.front());
-  ready_.pop_front();
   ++acquired_;
   schedule_refill_locked();
   return mat;
@@ -124,11 +147,12 @@ GarbledMaterial MaterialPool::acquire() {
   rethrow_error_locked();
   ++waiting_;
   schedule_refill_locked();
-  ready_cv_.wait(lock, [this] { return !ready_.empty() || error_; });
+  GarbledMaterial mat;
+  bool got = false;
+  ready_cv_.wait(lock,
+                 [&] { return (got = take_ready_locked(mat)) || error_; });
   --waiting_;
-  if (ready_.empty()) rethrow_error_locked();
-  GarbledMaterial mat = std::move(ready_.front());
-  ready_.pop_front();
+  if (!got) rethrow_error_locked();  // woke on a parked producer error
   ++acquired_;
   schedule_refill_locked();
   return mat;
@@ -136,7 +160,7 @@ GarbledMaterial MaterialPool::acquire() {
 
 size_t MaterialPool::ready() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return ready_.size();
+  return ready_.size() + (ring_ ? ring_->size() : 0);
 }
 
 }  // namespace deepsecure::runtime

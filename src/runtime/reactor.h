@@ -1,0 +1,153 @@
+// Event-driven server core (ServerCore::kEventLoop): an epoll reactor
+// plus a small worker pool, replacing thread-per-session scaling with
+// readiness-driven scheduling. Total thread count is workers + 1 (the
+// loop), independent of how many sessions are connected.
+//
+// Structure:
+//
+//   loop thread                         worker pool (≤ 2 × cores)
+//   ───────────                         ─────────────────────────
+//   epoll_wait ──┬─ listener readable → accept-drain, register conn
+//                ├─ conn readable ────→ ready queue ─→ resume state
+//                │                       machine: handshake / lane
+//                │                       attach / serve frames; then
+//                │                       re-park (EPOLLONESHOT re-arm)
+//                ├─ eventfd ──────────→ re-check listener gating / stop
+//                └─ timer wheel tick ─→ evict idle parked conns
+//
+// Per-connection state machine: kHandshake → kOpen (sessions) and
+// kLaneAttach → kLaneOpen (prefetch lanes). Connections are
+// EPOLLONESHOT — an event hands exclusive ownership of the connection
+// to one worker, which serves frames with *blocking semantics over the
+// nonblocking fd* (TcpChannel resumes short reads/writes via poll; see
+// net/tcp_channel.h) and re-arms the fd when the frame burst is done.
+// Before re-parking, the worker drains BufferedChannel user-space
+// read-ahead (recv_buffered) — epoll cannot see bytes already pulled
+// out of the kernel, so pipelined back-to-back frames would otherwise
+// stall until the next wire byte.
+//
+// Idle timeout: a hashed timer wheel in the loop, replacing
+// SO_RCVTIMEO (which nonblocking sockets ignore). Eviction shuts the
+// transport down and lets the resulting readiness event run the normal
+// worker teardown path — the timer never destroys state cross-thread.
+// Mid-exchange stalls are bounded separately by TcpChannel's poll
+// deadline.
+//
+// Session gating: when sessions_active reaches max_sessions, the
+// primary listener is removed from the epoll set — excess clients wait
+// in the listen backlog (same semantics as the thread core's slot
+// wait) — and re-added when a session ends.
+//
+// All protocol logic (handshake validation, infer/prefetch handling,
+// budget settlement, lane tokens) is shared with the thread core via
+// InferenceServer's private helpers: both cores serve byte-identical
+// v4 wire exchanges.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/server.h"
+
+namespace deepsecure::runtime {
+
+class EventCore {
+ public:
+  explicit EventCore(InferenceServer& srv);
+  ~EventCore();
+
+  EventCore(const EventCore&) = delete;
+  EventCore& operator=(const EventCore&) = delete;
+
+  /// Arm listeners, spawn the loop thread and the worker pool.
+  void start();
+
+  /// Drain every live connection through the normal teardown path
+  /// (budget settled exactly once per session), then join all threads.
+  /// Idempotent.
+  void stop();
+
+ private:
+  enum class Stage { kHandshake, kOpen, kLaneAttach, kLaneOpen };
+
+  // One connection's state machine. Ownership alternates between the
+  // epoll set (parked) and exactly one worker (resumed) — never both,
+  // enforced by EPOLLONESHOT. `parked`/`park_gen` are guarded by mu_;
+  // everything else is touched only by the current owner.
+  struct Conn {
+    uint64_t id = 0;
+    bool is_lane = false;
+    Stage stage = Stage::kHandshake;
+    std::unique_ptr<TcpChannel> transport;
+    std::unique_ptr<BufferedChannel> ch;
+    std::shared_ptr<InferenceServer::SessionState> state;
+    uint64_t lane_token = 0;
+    bool token_registered = false;
+    std::unique_ptr<ThreadPool> eval_pool;
+    std::unique_ptr<EvaluatorSession> session;  // references *ch
+    bool registered = false;  // fd has been EPOLL_CTL_ADDed
+    bool parked = false;      // armed in the epoll set
+    uint64_t park_gen = 0;    // invalidates stale timer entries
+  };
+
+  struct WheelEntry {
+    uint64_t id = 0;
+    uint64_t gen = 0;
+  };
+
+  // --- loop side ------------------------------------------------------
+  void loop();
+  void accept_drain(bool lane);
+  void arm_listener(bool lane, bool on);
+  void advance_timers();
+  int epoll_timeout_ms();
+  void wake();
+  uint64_t elapsed_ms() const;
+
+  // --- worker side ----------------------------------------------------
+  void worker_loop();
+  void process(Conn* c);
+  bool do_handshake(Conn& c);
+  bool do_lane_attach(Conn& c);
+  bool serve_session_frame(Conn& c);
+  bool serve_lane_frame(Conn& c);
+  /// Re-arm the fd (EPOLLONESHOT) and schedule the idle timer.
+  bool park(Conn* c);
+  /// Settle protocol state, free the session slot, destroy the conn.
+  void teardown(Conn* c);
+
+  InferenceServer& srv_;
+  int ep_ = -1;
+  int wakefd_ = -1;
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<Conn*> ready_;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool workers_stop_ = false;
+  bool listener_armed_ = false;
+  bool lane_listener_armed_ = false;
+
+  // Hashed timer wheel (idle_timeout_ms > 0 only): buckets of lazily
+  // cancelled {conn, generation} entries, one bucket per tick.
+  uint64_t tick_ms_ = 0;  // 0 = timers disabled
+  uint64_t timeout_ticks_ = 0;
+  uint64_t current_tick_ = 0;
+  size_t timers_live_ = 0;
+  std::vector<std::vector<WheelEntry>> wheel_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace deepsecure::runtime

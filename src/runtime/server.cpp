@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "runtime/frame.h"
+#include "runtime/reactor.h"
 
 namespace deepsecure::runtime {
 
@@ -17,11 +18,11 @@ InferenceServer::InferenceServer(const synth::ModelSpec& spec, BitVec weights,
       // it here also warms the per-circuit schedule cache once, before
       // the first session arrives.
       fingerprint_(chain_fingerprint(chain_, cfg.stream.schedule)),
-      listener_(cfg.port, /*backlog=*/64),
+      listener_(cfg.port, cfg.backlog),
       // The lane listener is always ephemeral: its port travels in the
       // hello ack, so clients never configure it and it cannot collide
       // with a pinned primary port.
-      lane_listener_(0, /*backlog=*/64) {
+      lane_listener_(0, cfg.backlog) {
   size_t want = 0;
   for (const Circuit& c : chain_) {
     want += c.evaluator_inputs.size();
@@ -38,6 +39,11 @@ void InferenceServer::start() {
   if (running_) return;
   running_ = true;
   stopping_ = false;
+  if (cfg_.core == ServerCore::kEventLoop) {
+    event_core_ = std::make_unique<EventCore>(*this);
+    event_core_->start();
+    return;
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
   lane_accept_thread_ = std::thread([this] { lane_accept_loop(); });
 }
@@ -48,6 +54,14 @@ void InferenceServer::stop() {
     if (!running_) return;
     running_ = false;  // claim the shutdown; start() is one-shot
     stopping_ = true;
+  }
+  if (event_core_ != nullptr) {
+    // The reactor owns its connections and listeners end to end; every
+    // live session runs the normal teardown path (budget settlement
+    // included) before stop() returns.
+    event_core_->stop();
+    event_core_.reset();
+    return;
   }
   listener_.close();       // unblocks a pending accept()
   lane_listener_.close();  // same for the prefetch lane
@@ -68,99 +82,108 @@ void InferenceServer::stop() {
     if (h.thread.joinable()) h.thread.join();
 }
 
-// Join handler threads whose sessions already finished. Caller holds
-// mu_; joins are near-instant because `done` is set in the handler's
-// final critical section.
-void InferenceServer::reap_finished_locked() {
-  for (auto it = handlers_.begin(); it != handlers_.end();) {
-    if (it->done->load() && it->thread.joinable()) {
-      it->thread.join();
-      it = handlers_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+// ---------------------------------------------------------------------
+// Protocol steps shared by both cores.
+
+const char* InferenceServer::validate_hello(const Hello& hello) const {
+  if (hello.magic != kProtocolMagic || hello.version != kProtocolVersion)
+    return "protocol magic/version mismatch";
+  if (hello.flags.schedule != cfg_.stream.schedule)
+    return "netlist scheduling mismatch";
+  if (hello.fingerprint != fingerprint_)
+    return "model chain fingerprint mismatch";
+  if (hello.flags.framed_tables != cfg_.stream.framed_tables)
+    return "table framing mismatch";
+  return nullptr;
 }
 
-void InferenceServer::accept_loop() {
-  for (;;) {
+// One kInfer (on-demand byte stream, or the online phase against a
+// prefetched artifact). The pooled path consumes its artifact and
+// returns the budget reservation BEFORE evaluating — one artifact, one
+// evaluation.
+bool InferenceServer::handle_infer_frame(const Frame& f, BufferedChannel& ch,
+                                         EvaluatorSession& session,
+                                         SessionState& state) {
+  if (f.payload.empty()) {
+    // On-demand: the client garbles on the request path.
+    session.run_chain(chain_, weights_);
+  } else {
+    const uint64_t id = parse_id(f);
+    EvalMaterial mat;
+    bool found = false;
     {
-      // Hold accepting until a session slot frees; pending clients wait
-      // in the listen backlog rather than being turned away.
-      std::unique_lock<std::mutex> lock(mu_);
-      slot_cv_.wait(lock, [this] {
-        return stopping_ || sessions_active_.load() < cfg_.max_sessions;
-      });
-      if (stopping_) return;
-      reap_finished_locked();
-    }
-    std::unique_ptr<TcpChannel> transport;
-    try {
-      transport = std::make_unique<TcpChannel>(listener_.accept());
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (stopping_) return;
+      std::lock_guard<std::mutex> lk(state.mu);
+      const auto it = state.store.find(id);
+      if (it != state.store.end()) {
+        mat = std::move(it->second);
+        state.store.erase(it);
+        state.reserved_bytes -= expected_table_bytes_;
+        prefetch_bytes_.fetch_sub(expected_table_bytes_);
+        found = true;
       }
-      // Transient accept failure (fd-limit spike): back off briefly —
-      // outside mu_, so session completions and stop() are not stalled —
-      // and keep serving instead of silently killing the accept loop.
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      continue;
     }
-    sessions_accepted_.fetch_add(1);
-    sessions_active_.fetch_add(1);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stopping_) {  // raced with stop(): drop the connection
-        sessions_active_.fetch_sub(1);
-        return;
-      }
-      // Register the transport before the thread exists so stop()'s
-      // forced-shutdown pass can never miss a live session.
-      active_transports_.push_back(transport.get());
-      auto done = std::make_shared<std::atomic<bool>>(false);
-      SessionHandle h;
-      h.done = done;
-      h.thread = std::thread([this, t = std::move(transport), done]() mutable {
-        handle_session(std::move(t), done);
-      });
-      handlers_.push_back(std::move(h));
+    if (!found) {
+      send_error(ch, "unknown prefetched material id");
+      ch.flush();
+      return false;
     }
+    session.run_online(chain_, mat);
+    inferences_pooled_.fetch_add(1);
   }
+  ch.flush();
+  inferences_served_.fetch_add(1);
+  return true;
 }
 
-// Accept loop for the dedicated prefetch-lane listener. Lanes do not
-// consume max_sessions slots — a full server would otherwise deadlock
-// every client opening its lane — and need no slot gate of their own:
-// a lane is only useful with a valid single-use token, so the connection
-// count is bounded by live sessions (token-less connections are
-// rejected after one control frame).
-void InferenceServer::lane_accept_loop() {
-  for (;;) {
-    std::unique_ptr<TcpChannel> transport;
-    try {
-      transport = std::make_unique<TcpChannel>(lane_listener_.accept());
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (stopping_) return;
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      continue;
-    }
+uint64_t InferenceServer::register_lane_token(
+    const std::shared_ptr<SessionState>& state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t token;
+  do {
+    token = token_prg_.next_u64();
+  } while (token == 0 || lane_tokens_.count(token) != 0);
+  lane_tokens_.emplace(token, state);
+  return token;
+}
+
+void InferenceServer::unregister_lane_token(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lane_tokens_.erase(token);
+}
+
+std::shared_ptr<InferenceServer::SessionState> InferenceServer::attach_lane(
+    uint64_t token, const char** reject) {
+  std::shared_ptr<SessionState> state;
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) return;
-    reap_finished_locked();
-    active_transports_.push_back(transport.get());
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    SessionHandle h;
-    h.done = done;
-    h.thread = std::thread([this, t = std::move(transport), done]() mutable {
-      handle_lane(std::move(t), done);
-    });
-    handlers_.push_back(std::move(h));
+    const auto it = lane_tokens_.find(token);
+    if (it != lane_tokens_.end()) state = it->second;
   }
+  if (state == nullptr) {
+    *reject = "unknown lane token";
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lk(state->mu);
+  if (state->closed) {
+    *reject = "session closed";
+    return nullptr;
+  }
+  if (state->lane_attached) {
+    *reject = "lane already attached";
+    return nullptr;
+  }
+  state->lane_attached = true;
+  return state;
+}
+
+void InferenceServer::settle_session_state(SessionState& state) {
+  std::lock_guard<std::mutex> lk(state.mu);
+  state.closed = true;
+  if (state.reserved_bytes > 0) {
+    prefetch_bytes_.fetch_sub(state.reserved_bytes);
+    state.reserved_bytes = 0;
+  }
+  state.store.clear();
 }
 
 // One prefetch push (primary connection or lane). See server.h.
@@ -274,6 +297,104 @@ bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
   return true;
 }
 
+// ---------------------------------------------------------------------
+// Thread-per-session core.
+
+// Join handler threads whose sessions already finished. Caller holds
+// mu_; joins are near-instant because `done` is set in the handler's
+// final critical section.
+void InferenceServer::reap_finished_locked() {
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if (it->done->load() && it->thread.joinable()) {
+      it->thread.join();
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InferenceServer::accept_loop() {
+  for (;;) {
+    {
+      // Hold accepting until a session slot frees; pending clients wait
+      // in the listen backlog rather than being turned away.
+      std::unique_lock<std::mutex> lock(mu_);
+      slot_cv_.wait(lock, [this] {
+        return stopping_ || sessions_active_.load() < cfg_.max_sessions;
+      });
+      if (stopping_) return;
+      reap_finished_locked();
+    }
+    std::unique_ptr<TcpChannel> transport;
+    try {
+      transport = std::make_unique<TcpChannel>(listener_.accept());
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return;
+      }
+      // Transient accept failure (fd-limit spike): back off briefly —
+      // outside mu_, so session completions and stop() are not stalled —
+      // and keep serving instead of silently killing the accept loop.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    sessions_accepted_.fetch_add(1);
+    sessions_active_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {  // raced with stop(): drop the connection
+        sessions_active_.fetch_sub(1);
+        return;
+      }
+      // Register the transport before the thread exists so stop()'s
+      // forced-shutdown pass can never miss a live session.
+      active_transports_.push_back(transport.get());
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      SessionHandle h;
+      h.done = done;
+      h.thread = std::thread([this, t = std::move(transport), done]() mutable {
+        handle_session(std::move(t), done);
+      });
+      handlers_.push_back(std::move(h));
+    }
+  }
+}
+
+// Accept loop for the dedicated prefetch-lane listener. Lanes do not
+// consume max_sessions slots — a full server would otherwise deadlock
+// every client opening its lane — and need no slot gate of their own:
+// a lane is only useful with a valid single-use token, so the connection
+// count is bounded by live sessions (token-less connections are
+// rejected after one control frame).
+void InferenceServer::lane_accept_loop() {
+  for (;;) {
+    std::unique_ptr<TcpChannel> transport;
+    try {
+      transport = std::make_unique<TcpChannel>(lane_listener_.accept());
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    reap_finished_locked();
+    active_transports_.push_back(transport.get());
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    SessionHandle h;
+    h.done = done;
+    h.thread = std::thread([this, t = std::move(transport), done]() mutable {
+      handle_lane(std::move(t), done);
+    });
+    handlers_.push_back(std::move(h));
+  }
+}
+
 void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
                                      std::shared_ptr<std::atomic<bool>> done) {
   // Shared with this session's prefetch lane (if one attaches); all
@@ -290,31 +411,16 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
 
     // --- handshake ---------------------------------------------------
     const Hello hello = parse_hello(recv_frame(ch));
-    const char* reject = nullptr;
-    if (hello.magic != kProtocolMagic || hello.version != kProtocolVersion)
-      reject = "protocol magic/version mismatch";
-    else if (hello.flags.schedule != cfg_.stream.schedule)
-      reject = "netlist scheduling mismatch";
-    else if (hello.fingerprint != fingerprint_)
-      reject = "model chain fingerprint mismatch";
-    else if (hello.flags.framed_tables != cfg_.stream.framed_tables)
-      reject = "table framing mismatch";
-
+    const char* reject = validate_hello(hello);
     if (reject != nullptr) {
       sessions_rejected_.fetch_add(1);
       send_error(ch, reject);
       ch.flush();
     } else {
-      {
-        // Issue the lane token before the ack ships so a racing
-        // kAttachLane can never observe an unregistered token.
-        std::lock_guard<std::mutex> lock(mu_);
-        do {
-          lane_token = token_prg_.next_u64();
-        } while (lane_token == 0 || lane_tokens_.count(lane_token) != 0);
-        lane_tokens_.emplace(lane_token, state);
-        token_registered = true;
-      }
+      // Issue the lane token before the ack ships so a racing
+      // kAttachLane can never observe an unregistered token.
+      lane_token = register_lane_token(state);
+      token_registered = true;
       HelloAck ack;
       ack.fingerprint = fingerprint_;
       ack.prefetch_quota = cfg_.max_prefetch;
@@ -337,37 +443,7 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
         const Frame f = recv_frame(ch);
         switch (f.type) {
           case FrameType::kInfer:
-            if (f.payload.empty()) {
-              // On-demand: the client garbles on the request path.
-              session.run_chain(chain_, weights_);
-            } else {
-              const uint64_t id = parse_id(f);
-              EvalMaterial mat;
-              bool found = false;
-              {
-                std::lock_guard<std::mutex> lk(state->mu);
-                const auto it = state->store.find(id);
-                if (it != state->store.end()) {
-                  // One artifact, one evaluation: consume it and return
-                  // its budget reservation.
-                  mat = std::move(it->second);
-                  state->store.erase(it);
-                  state->reserved_bytes -= expected_table_bytes_;
-                  prefetch_bytes_.fetch_sub(expected_table_bytes_);
-                  found = true;
-                }
-              }
-              if (!found) {
-                send_error(ch, "unknown prefetched material id");
-                ch.flush();
-                open = false;
-                break;
-              }
-              session.run_online(chain_, mat);
-              inferences_pooled_.fetch_add(1);
-            }
-            ch.flush();
-            inferences_served_.fetch_add(1);
+            open = handle_infer_frame(f, ch, session, *state);
             break;
           case FrameType::kPrefetch:
             open = handle_prefetch_push(f, ch, session, *state);
@@ -392,19 +468,8 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
   // (stored artifacts + pushes still in flight on a lane) is returned
   // in one settlement. A lane mid-push observes `closed` afterwards and
   // knows not to settle again.
-  if (token_registered) {
-    std::lock_guard<std::mutex> lock(mu_);
-    lane_tokens_.erase(lane_token);
-  }
-  {
-    std::lock_guard<std::mutex> lk(state->mu);
-    state->closed = true;
-    if (state->reserved_bytes > 0) {
-      prefetch_bytes_.fetch_sub(state->reserved_bytes);
-      state->reserved_bytes = 0;
-    }
-    state->store.clear();
-  }
+  if (token_registered) unregister_lane_token(lane_token);
+  settle_session_state(*state);
   {
     // Final critical section: unregister, free the slot, flag
     // completion, and notify — all under mu_ so the accept loop's
@@ -444,22 +509,7 @@ void InferenceServer::handle_lane(std::unique_ptr<TcpChannel> transport,
       reject = "expected lane attach";
     } else {
       token = parse_id(attach);
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        const auto it = lane_tokens_.find(token);
-        if (it != lane_tokens_.end()) state = it->second;
-      }
-      if (state == nullptr) {
-        reject = "unknown lane token";
-      } else {
-        std::lock_guard<std::mutex> lk(state->mu);
-        if (state->closed)
-          reject = "session closed";
-        else if (state->lane_attached)
-          reject = "lane already attached";
-        else
-          state->lane_attached = true;
-      }
+      state = attach_lane(token, &reject);
     }
     if (reject != nullptr) {
       lanes_rejected_.fetch_add(1);

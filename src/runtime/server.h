@@ -4,12 +4,26 @@
 // concurrent client sessions over TCP, each with its own channel,
 // OT setup, and per-session label seeds on the client side.
 //
-// Concurrency model: one accept loop + one handler thread per connected
-// session, capped at `max_sessions` concurrent sessions (the accept
-// loop waits for a free slot before accepting more, so excess clients
-// queue in the listen backlog instead of being dropped). The compiled
-// chain is shared read-only across sessions; the per-circuit flush-point
-// cache is thread-safe (see Circuit::gc_flush_points).
+// Two server cores behind ServerConfig::core, serving the identical v4
+// wire protocol:
+//
+//   * kEventLoop (default): an epoll reactor + small worker pool
+//     (runtime/reactor.h). Connections are nonblocking and parked in
+//     the epoll set between frames; a readiness event hands the
+//     connection to a worker, which resumes its per-session state
+//     machine (handshake → lane attach → prefetch/infer frames) and
+//     re-parks it. Thread count is workers + 1 (the loop), independent
+//     of session count; idle timeouts run on a timer wheel in the loop
+//     instead of SO_RCVTIMEO.
+//
+//   * kThreadPerSession: one accept loop + one handler thread per
+//     connected session — the original core, kept for one release so
+//     the loadgen bench can compare both under load.
+//
+// Both cores cap concurrent sessions at `max_sessions` (excess clients
+// queue in the listen backlog instead of being dropped) and share the
+// compiled chain read-only; the per-circuit flush-point cache is
+// thread-safe (see Circuit::gc_flush_points).
 //
 // Async prefetch lane (protocol v4): a SECOND listener accepts
 // dedicated prefetch connections. The hello ack hands each session an
@@ -42,6 +56,16 @@
 
 namespace deepsecure::runtime {
 
+class EventCore;
+
+/// Which concurrency engine drives the session protocol (see file
+/// header). The wire protocol and every observable metric are the same
+/// for both; only the threading model differs.
+enum class ServerCore {
+  kThreadPerSession,
+  kEventLoop,
+};
+
 struct ServerConfig {
   uint16_t port = 0;        // 0 = ephemeral (read back via port())
   size_t max_sessions = 8;  // concurrent session cap
@@ -63,7 +87,19 @@ struct ServerConfig {
   /// timeout bounds *every* receive and cannot tell "stalled" from
   /// "thinking" — set it above the worst-case client-side gap,
   /// including offline garbling before a cold-pool prefetch.
+  /// Thread core: SO_RCVTIMEO. Event core: timer wheel for parked
+  /// connections + poll deadline for mid-exchange stalls.
   uint64_t idle_timeout_ms = 0;
+  /// Concurrency engine (see ServerCore). Event loop is the default.
+  ServerCore core = ServerCore::kEventLoop;
+  /// Event-core worker threads; 0 = auto (2 × hardware_concurrency,
+  /// minimum 2 so a session and its prefetch lane can always progress
+  /// concurrently). Ignored by the thread-per-session core.
+  size_t workers = 0;
+  /// Listen backlog for both listeners. Under the event core a full
+  /// server parks excess clients here, so size it for the expected
+  /// connection burst.
+  int backlog = 64;
   StreamConfig stream;
 };
 
@@ -85,7 +121,7 @@ class InferenceServer {
   /// hello ack advertises it, so clients never need to configure it).
   uint16_t lane_port() const { return lane_listener_.port(); }
 
-  /// Spawn the accept loop. Returns immediately.
+  /// Spawn the serving core. Returns immediately.
   void start();
 
   /// Close the listener, wait for in-flight sessions to finish, join all
@@ -112,9 +148,12 @@ class InferenceServer {
   uint64_t lanes_rejected() const { return lanes_rejected_.load(); }
 
  private:
+  friend class EventCore;  // the reactor drives the same protocol state
+
   // One per session: the thread plus a completion flag so finished
   // handlers can be reaped (joined) while the server keeps running,
   // bounding handlers_ at ~max_sessions instead of total-sessions.
+  // (Thread-per-session core only.)
   struct SessionHandle {
     std::thread thread;
     std::shared_ptr<std::atomic<bool>> done;
@@ -135,12 +174,13 @@ class InferenceServer {
     bool lane_attached = false;  // at most one lane per session
   };
 
-  void accept_loop();
-  void lane_accept_loop();
-  void handle_session(std::unique_ptr<TcpChannel> transport,
-                      std::shared_ptr<std::atomic<bool>> done);
-  void handle_lane(std::unique_ptr<TcpChannel> transport,
-                   std::shared_ptr<std::atomic<bool>> done);
+  // --- protocol steps shared by both cores ---------------------------
+  /// Handshake validation; nullptr = accept, else the kError reason.
+  const char* validate_hello(const Hello& hello) const;
+  /// One kInfer frame (on-demand or pooled). Returns false when the
+  /// connection must close (kError already sent).
+  bool handle_infer_frame(const Frame& f, BufferedChannel& ch,
+                          EvaluatorSession& session, SessionState& state);
   /// One kPrefetch push into `state` (primary connection or lane):
   /// quota + global-budget reservation, artifact receive + size checks,
   /// precomputed-OT label resolution, store. Returns false when the
@@ -149,6 +189,26 @@ class InferenceServer {
   /// until teardown.
   bool handle_prefetch_push(const Frame& f, BufferedChannel& ch,
                             EvaluatorSession& session, SessionState& state);
+  /// Issue + register a fresh unguessable lane token for `state`.
+  uint64_t register_lane_token(const std::shared_ptr<SessionState>& state);
+  void unregister_lane_token(uint64_t token);
+  /// Resolve a kAttachLane token and mark the session's lane attached.
+  /// nullptr on failure with `*reject` set (metrics are the caller's).
+  std::shared_ptr<SessionState> attach_lane(uint64_t token,
+                                            const char** reject);
+  /// Session teardown: close the shared state and return the WHOLE
+  /// remaining budget reservation (stored artifacts + in-flight pushes)
+  /// in one settlement. A lane mid-push observes `closed` afterwards
+  /// and knows not to settle again.
+  void settle_session_state(SessionState& state);
+
+  // --- thread-per-session core ---------------------------------------
+  void accept_loop();
+  void lane_accept_loop();
+  void handle_session(std::unique_ptr<TcpChannel> transport,
+                      std::shared_ptr<std::atomic<bool>> done);
+  void handle_lane(std::unique_ptr<TcpChannel> transport,
+                   std::shared_ptr<std::atomic<bool>> done);
   void reap_finished_locked();
 
   std::vector<Circuit> chain_;
@@ -162,6 +222,7 @@ class InferenceServer {
 
   TcpListener listener_;
   TcpListener lane_listener_;
+  std::unique_ptr<EventCore> event_core_;  // kEventLoop engine
   std::thread accept_thread_;
   std::thread lane_accept_thread_;
   std::mutex mu_;
@@ -169,7 +230,7 @@ class InferenceServer {
   std::vector<SessionHandle> handlers_;
   std::vector<TcpChannel*> active_transports_;  // for forced shutdown
   // Live sessions by lane token; a lane attach resolves its session
-  // here. Entries die with their session (handle_session erases).
+  // here. Entries die with their session (session teardown erases).
   std::unordered_map<uint64_t, std::shared_ptr<SessionState>> lane_tokens_;
   Prg token_prg_ = Prg::from_os_entropy();  // under mu_
   bool running_ = false;

@@ -4,6 +4,7 @@
 // rejection paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -24,6 +25,21 @@ namespace {
 
 using test::pack_fixed;
 using test::random_fixed;
+
+// Sanitizer instrumentation slows every step 5-20x; absolute timeouts
+// that race real work (like the idle reaper vs a live handshake) need
+// headroom or they evict sessions that are merely slow, not stalled.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr uint64_t kIdleTimeoutMs = 1500;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr uint64_t kIdleTimeoutMs = 1500;
+#else
+constexpr uint64_t kIdleTimeoutMs = 150;
+#endif
+#else
+constexpr uint64_t kIdleTimeoutMs = 150;
+#endif
 
 synth::ModelSpec small_spec() {
   synth::ModelSpec spec;
@@ -50,12 +66,34 @@ size_t plaintext_label(const synth::ModelSpec& spec, const BitVec& weights,
   return from_bits(mono.eval(data, weights));
 }
 
-TEST(InferenceServer, EndToEndSecureInferOverTcpLoopback) {
+// The whole suite runs once per server core: the thread-per-session
+// original and the epoll reactor must serve byte-identical v4 wire
+// exchanges, so every behavior asserted below is core-independent.
+class ServerCoreTest : public ::testing::TestWithParam<runtime::ServerCore> {
+ protected:
+  runtime::ServerConfig base_cfg() const {
+    runtime::ServerConfig cfg;
+    cfg.core = GetParam();
+    return cfg;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cores, ServerCoreTest,
+    ::testing::Values(runtime::ServerCore::kThreadPerSession,
+                      runtime::ServerCore::kEventLoop),
+    [](const ::testing::TestParamInfo<runtime::ServerCore>& info) {
+      return info.param == runtime::ServerCore::kThreadPerSession
+                 ? "ThreadPerSession"
+                 : "EventLoop";
+    });
+
+TEST_P(ServerCoreTest, EndToEndSecureInferOverTcpLoopback) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(17);
   const BitVec weights = random_weights(spec, rng);
 
-  runtime::ServerConfig cfg;
+  runtime::ServerConfig cfg = base_cfg();
   runtime::InferenceServer server(spec, weights, cfg);
   server.start();
 
@@ -76,12 +114,12 @@ TEST(InferenceServer, EndToEndSecureInferOverTcpLoopback) {
   EXPECT_EQ(server.sessions_rejected(), 0u);
 }
 
-TEST(InferenceServer, SustainsFourConcurrentTcpSessions) {
+TEST_P(ServerCoreTest, SustainsFourConcurrentTcpSessions) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(23);
   const BitVec weights = random_weights(spec, rng);
 
-  runtime::ServerConfig cfg;
+  runtime::ServerConfig cfg = base_cfg();
   cfg.max_sessions = 4;
   runtime::InferenceServer server(spec, weights, cfg);
   server.start();
@@ -123,10 +161,10 @@ TEST(InferenceServer, SustainsFourConcurrentTcpSessions) {
   EXPECT_EQ(server.inferences_served(), kSessions * kRequests);
 }
 
-TEST(InferenceServer, RejectsFingerprintMismatch) {
+TEST_P(ServerCoreTest, RejectsFingerprintMismatch) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(31);
-  runtime::InferenceServer server(spec, random_weights(spec, rng), {});
+  runtime::InferenceServer server(spec, random_weights(spec, rng), base_cfg());
   server.start();
 
   synth::ModelSpec other = spec;  // different architecture, same inputs
@@ -141,10 +179,10 @@ TEST(InferenceServer, RejectsFingerprintMismatch) {
   EXPECT_EQ(server.sessions_rejected(), 1u);
 }
 
-TEST(InferenceServer, RejectsSchedulingMismatch) {
+TEST_P(ServerCoreTest, RejectsSchedulingMismatch) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(61);
-  runtime::ServerConfig scfg;
+  runtime::ServerConfig scfg = base_cfg();
   scfg.stream.schedule = true;
   runtime::InferenceServer server(spec, random_weights(spec, rng), scfg);
   server.start();
@@ -164,7 +202,7 @@ TEST(InferenceServer, RejectsSchedulingMismatch) {
 // exactly one artifact, a second session's push is rejected even though
 // its per-session quota is untouched; consuming/closing releases the
 // reservation and new pushes succeed.
-TEST(InferenceServer, GlobalPrefetchByteBudgetSharedAcrossSessions) {
+TEST_P(ServerCoreTest, GlobalPrefetchByteBudgetSharedAcrossSessions) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(67);
   const BitVec weights = random_weights(spec, rng);
@@ -176,7 +214,7 @@ TEST(InferenceServer, GlobalPrefetchByteBudgetSharedAcrossSessions) {
   for (const Circuit& c : chain)
     artifact_bytes += 2 * sizeof(Block) + c.stats().table_bytes();
 
-  runtime::ServerConfig scfg;
+  runtime::ServerConfig scfg = base_cfg();
   scfg.max_prefetch = 4;  // per-session quota is NOT the limiter here
   scfg.max_prefetch_bytes = artifact_bytes;
   runtime::InferenceServer server(spec, weights, scfg);
@@ -225,12 +263,12 @@ TEST(InferenceServer, GlobalPrefetchByteBudgetSharedAcrossSessions) {
 
 // Evaluator-side window sharding in the server: sessions evaluate with
 // a shard pool and still agree with plaintext.
-TEST(InferenceServer, EvaluatorThreadsServeCorrectInferences) {
+TEST_P(ServerCoreTest, EvaluatorThreadsServeCorrectInferences) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(71);
   const BitVec weights = random_weights(spec, rng);
 
-  runtime::ServerConfig scfg;
+  runtime::ServerConfig scfg = base_cfg();
   scfg.stream.eval_threads = 2;
   runtime::InferenceServer server(spec, weights, scfg);
   server.start();
@@ -249,10 +287,10 @@ TEST(InferenceServer, EvaluatorThreadsServeCorrectInferences) {
   server.stop();
 }
 
-TEST(InferenceServer, RejectsFramingMismatch) {
+TEST_P(ServerCoreTest, RejectsFramingMismatch) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(37);
-  runtime::ServerConfig scfg;
+  runtime::ServerConfig scfg = base_cfg();
   scfg.stream.framed_tables = true;
   runtime::InferenceServer server(spec, random_weights(spec, rng), scfg);
   server.start();
@@ -270,12 +308,12 @@ TEST(InferenceServer, RejectsFramingMismatch) {
 // Offline/online split over a real TCP loopback: the same session runs
 // one inference from prefetched material (online phase only) and one
 // on-demand, on the same sample — identical outputs, both correct.
-TEST(InferenceServer, PooledAndOnDemandProduceIdenticalOutputs) {
+TEST_P(ServerCoreTest, PooledAndOnDemandProduceIdenticalOutputs) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(41);
   const BitVec weights = random_weights(spec, rng);
 
-  runtime::InferenceServer server(spec, weights, {});
+  runtime::InferenceServer server(spec, weights, base_cfg());
   server.start();
 
   std::vector<Fixed> x;
@@ -306,12 +344,12 @@ TEST(InferenceServer, PooledAndOnDemandProduceIdenticalOutputs) {
 
 // Cross-request pipelining: several kInfer frames queued back-to-back
 // against prefetched material, results collected afterwards in order.
-TEST(InferenceServer, PipelinesBackToBackPooledInfers) {
+TEST_P(ServerCoreTest, PipelinesBackToBackPooledInfers) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(43);
   const BitVec weights = random_weights(spec, rng);
 
-  runtime::InferenceServer server(spec, weights, {});
+  runtime::InferenceServer server(spec, weights, base_cfg());
   server.start();
 
   constexpr size_t kDepth = 3;
@@ -347,10 +385,10 @@ TEST(InferenceServer, PipelinesBackToBackPooledInfers) {
   EXPECT_EQ(server.inferences_pooled(), kDepth);
 }
 
-TEST(InferenceServer, EnforcesPrefetchQuota) {
+TEST_P(ServerCoreTest, EnforcesPrefetchQuota) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(47);
-  runtime::ServerConfig scfg;
+  runtime::ServerConfig scfg = base_cfg();
   scfg.max_prefetch = 1;
   runtime::InferenceServer server(spec, random_weights(spec, rng), scfg);
   server.start();
@@ -376,7 +414,7 @@ TEST(InferenceServer, EnforcesPrefetchQuota) {
 // frame-level client (the real InferenceClient mirrors the quota and
 // always sends well-formed material, so these paths need a misbehaving
 // peer).
-TEST(InferenceServer, RejectsBadPrefetchFrames) {
+TEST_P(ServerCoreTest, RejectsBadPrefetchFrames) {
   const synth::ModelSpec spec = small_spec();
   const auto chain = synth::compile_model_layers(spec);
   Rng rng(53);
@@ -394,7 +432,7 @@ TEST(InferenceServer, RejectsBadPrefetchFrames) {
   {
     // Quota exceeded: a server with max_prefetch = 0 rejects the first
     // push outright.
-    runtime::ServerConfig scfg;
+    runtime::ServerConfig scfg = base_cfg();
     scfg.max_prefetch = 0;
     runtime::InferenceServer server(spec, random_weights(spec, rng), scfg);
     server.start();
@@ -412,7 +450,7 @@ TEST(InferenceServer, RejectsBadPrefetchFrames) {
   {
     // Material that cannot belong to the chain (empty decode bits +
     // empty tables): rejected at push time, not at kInfer time.
-    runtime::InferenceServer server(spec, random_weights(spec, rng), {});
+    runtime::InferenceServer server(spec, random_weights(spec, rng), base_cfg());
     server.start();
     TcpChannel raw = TcpChannel::connect("127.0.0.1", server.port());
     handshake(raw);
@@ -432,11 +470,11 @@ TEST(InferenceServer, RejectsBadPrefetchFrames) {
 
 // Idle-timeout satellite: a connected-but-silent client is dropped so
 // it cannot pin one of the max_sessions slots forever.
-TEST(InferenceServer, IdleTimeoutFreesSessionSlot) {
+TEST_P(ServerCoreTest, IdleTimeoutFreesSessionSlot) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(59);
-  runtime::ServerConfig scfg;
-  scfg.idle_timeout_ms = 150;
+  runtime::ServerConfig scfg = base_cfg();
+  scfg.idle_timeout_ms = kIdleTimeoutMs;
   runtime::InferenceServer server(spec, random_weights(spec, rng), scfg);
   server.start();
 
@@ -447,7 +485,7 @@ TEST(InferenceServer, IdleTimeoutFreesSessionSlot) {
   EXPECT_EQ(server.sessions_accepted(), 1u);
   // Say nothing: the server must reap the session on its own.
   const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::seconds(5);
+                        std::chrono::seconds(10);
   while (server.sessions_active() > 0 &&
          std::chrono::steady_clock::now() < deadline)
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -460,12 +498,12 @@ TEST(InferenceServer, IdleTimeoutFreesSessionSlot) {
 // mid-burst refills through the second connection concurrently with
 // inference traffic — once a refilled artifact is visible, no request
 // ever falls back to on-demand garbling.
-TEST(InferenceServer, AsyncPrefetchLaneRefillsUnderBurst) {
+TEST_P(ServerCoreTest, AsyncPrefetchLaneRefillsUnderBurst) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(73);
   const BitVec weights = random_weights(spec, rng);
 
-  runtime::ServerConfig scfg;
+  runtime::ServerConfig scfg = base_cfg();
   scfg.max_prefetch = 4;
   runtime::InferenceServer server(spec, weights, scfg);
   server.start();
@@ -509,10 +547,10 @@ TEST(InferenceServer, AsyncPrefetchLaneRefillsUnderBurst) {
   EXPECT_EQ(server.prefetch_bytes(), 0u);
 }
 
-TEST(InferenceServer, AttachLaneRejectsUnknownToken) {
+TEST_P(ServerCoreTest, AttachLaneRejectsUnknownToken) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(79);
-  runtime::InferenceServer server(spec, random_weights(spec, rng), {});
+  runtime::InferenceServer server(spec, random_weights(spec, rng), base_cfg());
   server.start();
 
   TcpChannel lane = TcpChannel::connect("127.0.0.1", server.lane_port());
@@ -534,11 +572,11 @@ TEST(InferenceServer, AttachLaneRejectsUnknownToken) {
 // session's prefetching for this session's remaining lifetime. The
 // push rides the lane, whose failure leaves the session alive, so the
 // assertion below cannot be satisfied by teardown accounting.
-TEST(InferenceServer, FailedLanePushReleasesBudgetWhileSessionLives) {
+TEST_P(ServerCoreTest, FailedLanePushReleasesBudgetWhileSessionLives) {
   const synth::ModelSpec spec = small_spec();
   const auto chain = synth::compile_model_layers(spec);
   Rng rng(83);
-  runtime::InferenceServer server(spec, random_weights(spec, rng), {});
+  runtime::InferenceServer server(spec, random_weights(spec, rng), base_cfg());
   server.start();
 
   // Real handshake to obtain the lane token + port.
@@ -585,11 +623,11 @@ TEST(InferenceServer, FailedLanePushReleasesBudgetWhileSessionLives) {
 
 // Teardown path: a client that vanishes mid-push (reservation made,
 // material half-sent) must not strand its bytes in the global budget.
-TEST(InferenceServer, SessionDeathMidPushReleasesBudget) {
+TEST_P(ServerCoreTest, SessionDeathMidPushReleasesBudget) {
   const synth::ModelSpec spec = small_spec();
   const auto chain = synth::compile_model_layers(spec);
   Rng rng(89);
-  runtime::InferenceServer server(spec, random_weights(spec, rng), {});
+  runtime::InferenceServer server(spec, random_weights(spec, rng), base_cfg());
   server.start();
   {
     TcpChannel raw = TcpChannel::connect("127.0.0.1", server.port());
@@ -615,7 +653,7 @@ TEST(InferenceServer, SessionDeathMidPushReleasesBudget) {
 
 // The full core-API path — a trained-network-shaped model, sample
 // encoding via sample_bits / weight_bits — over a real TCP loopback.
-TEST(InferenceServer, NetworkModelSecureInferOverTcp) {
+TEST_P(ServerCoreTest, NetworkModelSecureInferOverTcp) {
   Rng rng(53);
   nn::Network net(nn::Shape{1, 1, 6});
   net.dense(4, rng).act(nn::Act::kReLU).dense(2, rng);
@@ -624,7 +662,7 @@ TEST(InferenceServer, NetworkModelSecureInferOverTcp) {
   const synth::ModelSpec spec = model_spec_from_network(net, opt, "tcp_mlp");
   const BitVec weights = weight_bits(net, opt.fmt);
 
-  runtime::InferenceServer server(spec, weights, {});
+  runtime::InferenceServer server(spec, weights, base_cfg());
   server.start();
 
   const nn::VecF sample{0.1f, -0.2f, 0.05f, 0.3f, -0.15f, 0.2f};
@@ -636,6 +674,70 @@ TEST(InferenceServer, NetworkModelSecureInferOverTcp) {
   server.stop();
 
   EXPECT_EQ(label, plaintext_label(spec, weights, data));
+}
+
+// 256-session loopback soak: raw frame-level sessions (handshake + one
+// cheap exchange — no garbling) so the load is on the CORE (accept,
+// readiness dispatch, session-slot gating, teardown accounting), not on
+// crypto. Concurrency intentionally exceeds max_sessions, so the
+// listener-gating / slot-wait path is exercised the whole run. Half the
+// sessions end with a malformed kPrefetch (reservation made, push
+// rejected, session killed by kError) and half with a clean kBye —
+// both teardown paths must settle: zero dropped handshakes, zero
+// sessions left active, and a fully returned prefetch byte budget.
+TEST_P(ServerCoreTest, Soaks256LoopbackSessions) {
+  const synth::ModelSpec spec = small_spec();
+  const auto chain = synth::compile_model_layers(spec);
+  Rng rng(97);
+
+  runtime::ServerConfig scfg = base_cfg();
+  scfg.max_sessions = 16;  // < concurrency: the gate stays hot
+  runtime::InferenceServer server(spec, random_weights(spec, rng), scfg);
+  server.start();
+
+  constexpr size_t kThreads = 32;
+  constexpr size_t kSessionsPerThread = 8;  // 256 total
+  std::atomic<size_t> handshakes_ok{0};
+  std::vector<std::thread> soak;
+  for (size_t t = 0; t < kThreads; ++t) {
+    soak.emplace_back([&, t] {
+      for (size_t s = 0; s < kSessionsPerThread; ++s) {
+        TcpChannel raw = TcpChannel::connect("127.0.0.1", server.port());
+        runtime::Hello hello;
+        hello.fingerprint =
+            runtime::chain_fingerprint(chain, gc_schedule_default());
+        runtime::send_hello(raw, hello);
+        const runtime::Frame ack = runtime::recv_frame(raw);
+        if (ack.type != runtime::FrameType::kHelloAck) return;  // dropped
+        handshakes_ok.fetch_add(1);
+        if ((t + s) % 2 == 0) {
+          // Malformed push: reserves budget, gets rejected, session
+          // dies by kError — the reservation must come back.
+          runtime::send_id_frame(raw, runtime::FrameType::kPrefetch, 1);
+          raw.send_bits({});
+          raw.send_u64(0);
+          EXPECT_THROW((void)runtime::recv_frame(raw), std::runtime_error);
+        } else {
+          runtime::send_frame(raw, runtime::FrameType::kBye);
+        }
+      }
+    });
+  }
+  for (auto& th : soak) th.join();
+
+  EXPECT_EQ(handshakes_ok.load(), kThreads * kSessionsPerThread)
+      << "dropped sessions under soak";
+  EXPECT_EQ(server.sessions_accepted(), kThreads * kSessionsPerThread);
+
+  // Teardown is asynchronous on both cores: poll until settled.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while ((server.sessions_active() > 0 || server.prefetch_bytes() > 0) &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server.sessions_active(), 0u);
+  EXPECT_EQ(server.prefetch_bytes(), 0u);
+  server.stop();
 }
 
 }  // namespace

@@ -29,13 +29,13 @@ TEST(TcpChannel, ByteRoundTrip) {
   // listener is up.
   uint16_t chosen = 0;
   std::thread srv([&] {
-    TcpChannel ch = TcpChannel::listen_and_accept(34567, &chosen);
+    TcpChannel ch = TcpChannel::listen_and_accept(24567, &chosen);
     uint64_t v = ch.recv_u64();
     ch.send_u64(v + 1);
     const BitVec bits = ch.recv_bits();
     ch.send_bits(bits);
   });
-  TcpChannel cli = TcpChannel::connect("127.0.0.1", 34567);
+  TcpChannel cli = TcpChannel::connect("127.0.0.1", 24567);
   cli.send_u64(41);
   EXPECT_EQ(cli.recv_u64(), 42u);
   const BitVec sent{1, 0, 1, 1, 0, 1, 0, 0, 1};
@@ -68,12 +68,12 @@ TEST(TcpChannel, SecureInferenceOverLoopback) {
 
   BitVec client_out, server_out;
   std::thread server_thread([&] {
-    TcpChannel ch = TcpChannel::listen_and_accept(34568);
+    TcpChannel ch = TcpChannel::listen_and_accept(24568);
     EvaluatorSession session(ch);
     server_out = session.run_chain(chain, weights);
   });
   {
-    TcpChannel ch = TcpChannel::connect("127.0.0.1", 34568);
+    TcpChannel ch = TcpChannel::connect("127.0.0.1", 24568);
     GarblerSession session(ch, Block{2024, 610});
     client_out = session.run_chain(chain, data);
   }
@@ -109,12 +109,12 @@ TEST(TcpChannel, StreamingSamplesReuseOtSetup) {
   std::vector<BitVec> client_outs(kSamples);
   double setup_first = 0, setup_later = 0;
   std::thread server_thread([&] {
-    TcpChannel ch = TcpChannel::listen_and_accept(34569);
+    TcpChannel ch = TcpChannel::listen_and_accept(24569);
     EvaluatorSession session(ch);
     for (int s = 0; s < kSamples; ++s) session.run_chain(chain, weights);
   });
   {
-    TcpChannel ch = TcpChannel::connect("127.0.0.1", 34569);
+    TcpChannel ch = TcpChannel::connect("127.0.0.1", 24569);
     GarblerSession session(ch, Block{11, 11});
     for (int s = 0; s < kSamples; ++s) {
       client_outs[s] = session.run_chain(chain, datas[s]);
