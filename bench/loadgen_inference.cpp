@@ -8,6 +8,7 @@
 //                       [--strict-precomputed] [--no-schedule]
 //                       [--shard-threads S] [--async-prefetch]
 //                       [--server-core thread|event] [--scaling]
+//                       [--trace FILE]
 //
 // Measurements:
 //   1. overlap: one streaming session over TCP loopback garbling a
@@ -56,6 +57,7 @@
 #include "fixed/fixed_point.h"
 #include "gc/material.h"
 #include "net/tcp_channel.h"
+#include "obs/trace.h"
 #include "runtime/client.h"
 #include "runtime/server.h"
 #include "runtime/streaming.h"
@@ -98,6 +100,9 @@ struct Args {
   runtime::ServerCore server_core = runtime::ServerCore::kEventLoop;
   // Concurrency sweep across both cores (measurement 5 above).
   bool scaling = false;
+  // Enable the span tracer for the whole run and write the collected
+  // events as chrome://tracing JSON to this file (src/obs/trace.h).
+  std::string trace;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -131,6 +136,7 @@ Args parse_args(int argc, char** argv) {
       else throw std::runtime_error("--server-core expects thread|event");
     }
     else if (k == "--scaling") a.scaling = true;
+    else if (k == "--trace") a.trace = next();
     else throw std::runtime_error("unknown flag " + k);
   }
   return a;
@@ -290,15 +296,28 @@ OfflineResult measure_offline(const Args& args) {
   return r;
 }
 
+// Percentiles of a SORTED sample (nearest-rank, matching the p50/p95
+// convention the earlier BENCH files established).
+double pct(const std::vector<double>& sorted, size_t p) {
+  if (sorted.empty()) return 0.0;
+  return sorted[std::min(sorted.size() - 1, (sorted.size() * p) / 100)];
+}
+
 struct LoadResult {
   size_t sessions = 0, requests = 0;
   double wall_s = 0;
-  double p50_ms = 0, p95_ms = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  // Accept-to-first-byte queueing delay: how long a session waited from
+  // connect() to a served handshake ack. Under the gated listener this
+  // is where backlog time shows up — the client-side complement of the
+  // server's phase accounting.
+  double connect_p50_ms = 0, connect_p95_ms = 0, connect_p99_ms = 0;
   double offline_s = 0;  // pooled mode: prefetch (offline phase) time
   double ttfw_s = 0;     // pooled mode: slowest session's first warm artifact
   size_t serving_threads = 0;  // thread core: N sessions; event: loop+workers
   uint64_t served = 0;
   uint64_t pooled = 0;
+  std::string server_stats;  // InferenceServer::stats_json() post-run
   double requests_per_s() const { return wall_s > 0 ? double(served) / wall_s : 0; }
   double sessions_per_s() const {
     return wall_s > 0 ? double(sessions) / wall_s : 0;
@@ -347,6 +366,7 @@ LoadResult measure_load(const Args& args, bool pooled) {
   server.start();
 
   std::vector<std::vector<double>> latencies(args.sessions);
+  std::vector<double> connect_ms(args.sessions, 0.0);
   std::vector<double> offline(args.sessions, 0.0);
   std::vector<double> ttfw(args.sessions, 0.0);
   std::vector<std::exception_ptr> errors(args.sessions);
@@ -370,7 +390,12 @@ LoadResult measure_load(const Args& args, bool pooled) {
         ccfg.async_prefetch = args.async_prefetch;
         ccfg.auto_top_up = false;  // every timed request hits warm material
       }
+      // Connect-to-ready: construction blocks through connect + hello +
+      // ack, so this stopwatch captures the accept-to-first-byte
+      // queueing delay (listen-backlog wait included) per session.
+      Stopwatch connect_sw;
       runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
+      connect_ms[s] = connect_sw.seconds() * 1e3;
       if (pooled) {
         Stopwatch osw;
         // Time-to-first-warm-artifact: pool production starts at client
@@ -431,7 +456,10 @@ LoadResult measure_load(const Args& args, bool pooled) {
     if (err) std::rethrow_exception(err);
   LoadResult r;
   r.wall_s = wall.seconds();
+  // stop() drains every session through teardown, so the snapshot below
+  // has complete session_wall observations for the accounting block.
   server.stop();
+  r.server_stats = server.stats_json();
 
   if (args.server_core == runtime::ServerCore::kEventLoop) {
     const size_t hc = std::thread::hardware_concurrency();
@@ -455,8 +483,13 @@ LoadResult measure_load(const Args& args, bool pooled) {
   for (double t : ttfw) r.ttfw_s = std::max(r.ttfw_s, t);
   if (!all.empty()) {
     r.p50_ms = all[all.size() / 2];
-    r.p95_ms = all[std::min(all.size() - 1, (all.size() * 95) / 100)];
+    r.p95_ms = pct(all, 95);
+    r.p99_ms = pct(all, 99);
   }
+  std::sort(connect_ms.begin(), connect_ms.end());
+  r.connect_p50_ms = pct(connect_ms, 50);
+  r.connect_p95_ms = pct(connect_ms, 95);
+  r.connect_p99_ms = pct(connect_ms, 99);
   if (r.served != uint64_t(args.sessions * args.requests))
     throw std::runtime_error("loadgen: server served fewer inferences than sent");
   if (pooled && r.pooled != r.served)
@@ -530,13 +563,17 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                "\"server_core\": \"%s\", \"serving_threads\": %zu, "
                "\"inferences\": %llu, \"wall_s\": %.6f, \"sessions_per_s\": "
                "%.3f, \"requests_per_s\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": "
-               "%.3f}%s\n",
+               "%.3f, \"p99_ms\": %.3f, \"connect_p50_ms\": %.3f, "
+               "\"connect_p95_ms\": %.3f, \"connect_p99_ms\": %.3f, "
+               "\"server_stats\": %s}%s\n",
                l.sessions, l.requests,
                args.server_core == runtime::ServerCore::kEventLoop ? "event"
                                                                    : "thread",
                l.serving_threads,
                static_cast<unsigned long long>(l.served), l.wall_s,
                l.sessions_per_s(), l.requests_per_s(), l.p50_ms, l.p95_ms,
+               l.p99_ms, l.connect_p50_ms, l.connect_p95_ms, l.connect_p99_ms,
+               l.server_stats.empty() ? "{}" : l.server_stats.c_str(),
                more_after_load ? "," : "");
   if (pre != nullptr) {
     // Warm-pool run: p50/p95 cover the online phase only; the offline
@@ -550,14 +587,18 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
         "\"time_to_first_warm_s\": %.6f, "
         "\"offline_prefetch_s\": %.6f, \"wall_s\": %.6f, "
         "\"requests_per_s\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
-        "\"p50_speedup_vs_ondemand\": %.3f}\n",
+        "\"p99_ms\": %.3f, \"connect_p50_ms\": %.3f, "
+        "\"connect_p95_ms\": %.3f, \"connect_p99_ms\": %.3f, "
+        "\"p50_speedup_vs_ondemand\": %.3f, \"server_stats\": %s}\n",
         pre->sessions, pre->requests,
         static_cast<unsigned long long>(pre->served),
         static_cast<unsigned long long>(pre->pooled), pre->pool_hit_rate(),
         args.shard_threads, args.async_prefetch ? "true" : "false",
         pre->ttfw_s, pre->offline_s, pre->wall_s, pre->requests_per_s(),
-        pre->p50_ms, pre->p95_ms,
-        pre->p50_ms > 0 ? l.p50_ms / pre->p50_ms : 0.0);
+        pre->p50_ms, pre->p95_ms, pre->p99_ms, pre->connect_p50_ms,
+        pre->connect_p95_ms, pre->connect_p99_ms,
+        pre->p50_ms > 0 ? l.p50_ms / pre->p50_ms : 0.0,
+        pre->server_stats.empty() ? "{}" : pre->server_stats.c_str());
     if (scaling != nullptr) std::fprintf(f, ",");
   }
   if (scaling != nullptr) {
@@ -568,10 +609,17 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                    "    {\"server_core\": \"%s\", \"sessions\": %zu, "
                    "\"serving_threads\": %zu, \"wall_s\": %.6f, "
                    "\"sessions_per_s\": %.3f, \"p50_ms\": %.3f, "
-                   "\"p95_ms\": %.3f}%s\n",
+                   "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                   "\"connect_p50_ms\": %.3f, \"connect_p95_ms\": %.3f, "
+                   "\"connect_p99_ms\": %.3f, \"server_stats\": %s}%s\n",
                    row.core, row.load.sessions, row.load.serving_threads,
                    row.load.wall_s, row.load.sessions_per_s(),
-                   row.load.p50_ms, row.load.p95_ms,
+                   row.load.p50_ms, row.load.p95_ms, row.load.p99_ms,
+                   row.load.connect_p50_ms, row.load.connect_p95_ms,
+                   row.load.connect_p99_ms,
+                   row.load.server_stats.empty()
+                       ? "{}"
+                       : row.load.server_stats.c_str(),
                    i + 1 < scaling->size() ? "," : "");
     }
     std::fprintf(f, "  ]\n");
@@ -592,6 +640,7 @@ int main(int argc, char** argv) {
   }
   try {
     const Args args = parse_args(argc, argv);
+    if (!args.trace.empty()) obs::set_trace_enabled(true);
     const OverlapResult overlap = measure_overlap(args);
     const OfflineResult offline = measure_offline(args);
     const LoadResult load = measure_load(args, /*pooled=*/false);
@@ -601,6 +650,13 @@ int main(int argc, char** argv) {
     std::vector<ScalingRow> scaling;
     if (args.scaling) scaling = measure_scaling(args);
     const std::vector<ScalingRow>* scl_p = args.scaling ? &scaling : nullptr;
+    if (!args.trace.empty()) {
+      obs::write_chrome_trace(args.trace);
+      std::fprintf(stderr, "loadgen: wrote %zu trace events (%llu dropped) to %s\n",
+                   obs::trace_collected(),
+                   static_cast<unsigned long long>(obs::trace_dropped()),
+                   args.trace.c_str());
+    }
     emit_json(stdout, args, overlap, offline, load, pre_p, scl_p);
     if (!args.out.empty()) {
       std::FILE* f = std::fopen(args.out.c_str(), "w");

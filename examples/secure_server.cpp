@@ -63,5 +63,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(server.inferences_served()),
               static_cast<unsigned long long>(server.inferences_pooled()));
   server.stop();
+  // Full stats after stop(): every teardown has settled, so the phase
+  // histograms cover each session end to end.
+  std::printf("secure_server: stats %s\n", server.stats_json().c_str());
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "obs/metrics.h"
 
 namespace deepsecure {
 
@@ -91,6 +92,14 @@ class BufferedChannel final : public Channel {
  private:
   void flush_writes() {
     if (wbuf_.empty()) return;
+    // Coalescing effectiveness, process-wide: bytes per flush is what
+    // the buffer size is tuned against (resolved once, all channels).
+    static obs::Counter& flushes =
+        obs::Registry::global().counter("net.buffered.flushes");
+    static obs::Counter& flush_bytes =
+        obs::Registry::global().counter("net.buffered.flush_bytes");
+    flushes.add();
+    flush_bytes.add(wbuf_.size());
     inner_.send_bytes(wbuf_.data(), wbuf_.size());
     wbuf_.clear();
   }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "net/channel.h"
+#include "obs/metrics.h"
 #include "support/spsc_ring.h"
 
 namespace deepsecure {
@@ -61,10 +62,17 @@ class RingChannel final : public Channel {
     // Counted before the push so drain() can never observe the queue as
     // settled while this chunk is still on its way in.
     pending_.fetch_add(n, std::memory_order_release);
+    bool stalled = false;
     while (!ring_.try_push(std::move(chunk))) {
       if (failed_.load(std::memory_order_acquire)) {
         pending_.fetch_sub(n, std::memory_order_release);
         rethrow_if_failed();
+      }
+      if (!stalled) {
+        // A full ring means the producer outran the writer — the
+        // back-pressure signal the depth parameter is tuned against.
+        stalled = true;
+        c_full_stalls_.add();
       }
       // Full: park until the writer frees a slot (tail advances).
       const uint64_t t = ring_.tail().load(std::memory_order_acquire);
@@ -153,6 +161,10 @@ class RingChannel final : public Channel {
   }
 
   Channel& inner_;
+  // Process-wide stall counter (Registry::global()): how often a sender
+  // parked on a full ring across every RingChannel in the process.
+  obs::Counter& c_full_stalls_ =
+      obs::Registry::global().counter("net.ring.full_stalls");
   SpscRing<std::vector<uint8_t>> ring_;
   std::atomic<uint64_t> pending_{0};
   std::atomic<uint64_t> doorbell_{0};

@@ -15,8 +15,28 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace deepsecure {
 namespace {
+
+// Process-wide TCP instruments (Registry::global()): aggregate across
+// every channel. Resolved once via function-local statics so channel
+// construction stays cheap.
+obs::Counter& tcp_poll_resumes() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("net.tcp.poll_resumes");
+  return c;
+}
+obs::Counter& tcp_bytes_in() {
+  static obs::Counter& c = obs::Registry::global().counter("net.tcp.bytes_in");
+  return c;
+}
+obs::Counter& tcp_bytes_out() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("net.tcp.bytes_out");
+  return c;
+}
 
 [[noreturn]] void die(const std::string& what) {
   throw std::runtime_error("tcp: " + what + ": " + std::strerror(errno));
@@ -217,6 +237,7 @@ void TcpChannel::set_nonblocking(bool on) {
 // forever. POLLERR/POLLHUP fall through to the syscall, which reports
 // the precise error.
 void TcpChannel::wait_ready(short events) {
+  tcp_poll_resumes().add();
   const int timeout =
       timeout_ms_ > 0 ? static_cast<int>(timeout_ms_) : -1;
   pollfd p{fd_, events, 0};
@@ -248,6 +269,7 @@ void TcpChannel::send_bytes(const void* data, size_t n) {
     done += static_cast<size_t>(w);
   }
   sent_ += n;
+  tcp_bytes_out().add(n);
 }
 
 void TcpChannel::recv_bytes(void* data, size_t n) {
@@ -270,6 +292,7 @@ void TcpChannel::recv_bytes(void* data, size_t n) {
     done += static_cast<size_t>(r);
   }
   received_ += n;
+  tcp_bytes_in().add(n);
 }
 
 size_t TcpChannel::recv_some(void* data, size_t min_n, size_t max_n) {
@@ -294,6 +317,7 @@ size_t TcpChannel::recv_some(void* data, size_t min_n, size_t max_n) {
     done += static_cast<size_t>(r);
   }
   received_ += done;
+  tcp_bytes_in().add(done);
   return done;
 }
 

@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+namespace deepsecure::obs {
+
+namespace detail {
+
+size_t shard_index() {
+  // Round-robin assignment on first use: adjacent-started threads land
+  // on different cache lines. The modulo keeps collisions correct.
+  static std::atomic<size_t> next{0};
+  thread_local const size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+}  // namespace detail
+
+size_t histogram_bucket(uint64_t v) {
+  return static_cast<size_t>(std::bit_width(v));
+}
+
+uint64_t histogram_bucket_lo(size_t b) {
+  if (b == 0) return 0;
+  return uint64_t{1} << (b - 1);
+}
+
+std::array<uint64_t, kBuckets> Histogram::merged_buckets() const {
+  std::array<uint64_t, kBuckets> out{};
+  for (const auto& s : shards_)
+    for (size_t b = 0; b < kBuckets; ++b)
+      out[b] += s.buckets[b].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Snapshot::Hist::quantile(double q) const {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based), then walk the bins.
+  const double rank = q * static_cast<double>(total);
+  double seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double next = seen + static_cast<double>(buckets[b]);
+    if (next >= rank) {
+      const double lo = static_cast<double>(histogram_bucket_lo(b));
+      const double hi = b == 0 ? 1.0 : lo * 2.0;
+      const double frac =
+          buckets[b] > 0
+              ? std::clamp((rank - seen) / static_cast<double>(buckets[b]),
+                           0.0, 1.0)
+              : 0.0;
+      return lo + (hi - lo) * frac;
+    }
+    seen = next;
+  }
+  return static_cast<double>(histogram_bucket_lo(kBuckets - 1));
+}
+
+Snapshot Snapshot::delta(const Snapshot& baseline) const {
+  auto base_counter = [&](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : baseline.counters)
+      if (n == name) return v;
+    return 0;
+  };
+  Snapshot out;
+  out.counters.reserve(counters.size());
+  for (const auto& [n, v] : counters) {
+    const uint64_t b = base_counter(n);
+    out.counters.emplace_back(n, v >= b ? v - b : 0);
+  }
+  out.gauges = gauges;  // levels carry through
+  out.hists.reserve(hists.size());
+  for (const Hist& h : hists) {
+    const Hist* b = baseline.find_hist(h.name);
+    Hist d = h;
+    if (b != nullptr) {
+      d.count = h.count >= b->count ? h.count - b->count : 0;
+      d.sum = h.sum >= b->sum ? h.sum - b->sum : 0;
+      for (size_t i = 0; i < kBuckets; ++i)
+        d.buckets[i] =
+            h.buckets[i] >= b->buckets[i] ? h.buckets[i] - b->buckets[i] : 0;
+    }
+    out.hists.push_back(std::move(d));
+  }
+  return out;
+}
+
+const Snapshot::Hist* Snapshot::find_hist(std::string_view name) const {
+  for (const Hist& h : hists)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+uint64_t Snapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  char buf[256];
+  bool first = true;
+  for (const auto& [n, v] : counters) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                  n.c_str(), static_cast<unsigned long long>(v));
+    out += buf;
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [n, v] : gauges) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%lld", first ? "" : ",",
+                  n.c_str(), static_cast<long long>(v));
+    out += buf;
+    first = false;
+  }
+  out += "},\"hists\":{";
+  first = true;
+  for (const Hist& h : hists) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"p50\":%.1f,"
+                  "\"p95\":%.1f,\"p99\":%.1f}",
+                  first ? "" : ",", h.name.c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum), h.quantile(0.50),
+                  h.quantile(0.95), h.quantile(0.99));
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end())
+    it = hists_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [n, c] : counters_) s.counters.emplace_back(n, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [n, g] : gauges_) s.gauges.emplace_back(n, g->value());
+  s.hists.reserve(hists_.size());
+  for (const auto& [n, h] : hists_) {
+    Snapshot::Hist sh;
+    sh.name = n;
+    sh.count = h->count();
+    sh.sum = h->sum();
+    sh.buckets = h->merged_buckets();
+    s.hists.push_back(std::move(sh));
+  }
+  return s;
+}
+
+uint64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+}  // namespace deepsecure::obs

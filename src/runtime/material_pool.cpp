@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace deepsecure::runtime {
 
 MaterialPool::MaterialPool(const std::vector<Circuit>& chain,
@@ -44,6 +46,10 @@ MaterialPool::~MaterialPool() {
     stopping_ = true;  // queued producer tasks become no-ops
   }
   workers_.reset();  // drains the task queue, joins the workers
+  // Unconsumed inventory dies with the pool: settle the process-wide
+  // occupancy gauge so short-lived pools don't leave it elevated.
+  g_ready_.sub(
+      static_cast<int64_t>(ready_.size() + (ring_ ? ring_->size() : 0)));
 }
 
 // Caller holds mu_. Keeps enough production scheduled for the standing
@@ -75,16 +81,22 @@ void MaterialPool::produce_one() {
   // next acquire to rethrow instead.
   GarbledMaterial mat;
   std::exception_ptr err;
-  try {
-    mat = garble_offline(chain_, seed, opt_);
-  } catch (...) {
-    err = std::current_exception();
+  const uint64_t t0 = obs::now_ns();
+  {
+    obs::Span span("pool.produce");
+    try {
+      mat = garble_offline(chain_, seed, opt_);
+    } catch (...) {
+      err = std::current_exception();
+    }
   }
+  if (!err) h_refill_ns_.observe(obs::now_ns() - t0);
   // Publish through the ring OUTSIDE the lock (single producer): the
   // consumer can pick the artifact up while this thread is still doing
   // its bookkeeping below. Full ring (transient, around a waiting
   // acquirer's ad-hoc production) falls back to the deque.
   const bool pushed = !err && ring_ != nullptr && ring_->try_push(std::move(mat));
+  if (pushed) g_ready_.add(1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     --in_flight_;
@@ -92,8 +104,12 @@ void MaterialPool::produce_one() {
     if (err) {
       if (!error_) error_ = err;
     } else {
-      if (!pushed) ready_.push_back(std::move(mat));
+      if (!pushed) {
+        ready_.push_back(std::move(mat));
+        g_ready_.add(1);
+      }
       ++produced_;
+      c_produced_.add();
     }
   }
   // notify_all: concurrent acquirers each submitted their own
@@ -112,10 +128,14 @@ void MaterialPool::rethrow_error_locked() {
 // other; the producer's ring push needs no lock). Ring first — it is
 // the hot path; the deque only holds multi-producer or overflow spill.
 bool MaterialPool::take_ready_locked(GarbledMaterial& out) {
-  if (ring_ != nullptr && ring_->try_pop(out)) return true;
+  if (ring_ != nullptr && ring_->try_pop(out)) {
+    g_ready_.sub(1);
+    return true;
+  }
   if (!ready_.empty()) {
     out = std::move(ready_.front());
     ready_.pop_front();
+    g_ready_.sub(1);
     return true;
   }
   return false;
@@ -127,6 +147,7 @@ std::optional<GarbledMaterial> MaterialPool::try_acquire() {
   if (!take_ready_locked(mat)) {
     rethrow_error_locked();
     ++misses_;
+    c_misses_.add();
     schedule_refill_locked();
     // Honor "triggers a refill either way" at target 0 too: a caller
     // polling try_acquire must eventually get an artifact even though
@@ -138,6 +159,7 @@ std::optional<GarbledMaterial> MaterialPool::try_acquire() {
     return std::nullopt;
   }
   ++acquired_;
+  c_hits_.add();
   schedule_refill_locked();
   return mat;
 }
@@ -154,6 +176,7 @@ GarbledMaterial MaterialPool::acquire() {
   --waiting_;
   if (!got) rethrow_error_locked();  // woke on a parked producer error
   ++acquired_;
+  c_hits_.add();
   schedule_refill_locked();
   return mat;
 }

@@ -35,6 +35,7 @@
 
 #include "crypto/prg.h"
 #include "gc/material.h"
+#include "obs/metrics.h"
 #include "support/spsc_ring.h"
 #include "support/thread_pool.h"
 
@@ -130,6 +131,17 @@ class MaterialPool {
   uint64_t produced_ = 0;
   uint64_t acquired_ = 0;
   uint64_t misses_ = 0;
+
+  // Process-wide instruments (Registry::global()): pools are client-side
+  // infrastructure and tests create many short-lived ones, so these
+  // aggregate across every pool in the process. The per-pool exact
+  // counters above remain the source of truth for assertions.
+  obs::Counter& c_hits_ = obs::Registry::global().counter("pool.hits");
+  obs::Counter& c_misses_ = obs::Registry::global().counter("pool.misses");
+  obs::Counter& c_produced_ = obs::Registry::global().counter("pool.produced");
+  obs::Histogram& h_refill_ns_ =
+      obs::Registry::global().histogram("pool.refill_ns");
+  obs::Gauge& g_ready_ = obs::Registry::global().gauge("pool.ready");
 
   // Window-shard pool shared by all producers (see file header); must
   // outlive workers_, whose draining tasks garble through it.

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "runtime/frame.h"
 
 namespace deepsecure::runtime {
@@ -23,7 +24,15 @@ constexpr uint64_t kLaneListenerTag = 3;
 
 }  // namespace
 
-EventCore::EventCore(InferenceServer& srv) : srv_(srv) {}
+EventCore::EventCore(InferenceServer& srv)
+    : srv_(srv),
+      c_rearms_(srv.metrics_.counter("reactor.rearms")),
+      c_timer_evictions_(srv.metrics_.counter("reactor.timer_evictions")),
+      c_listener_gated_(srv.metrics_.counter("reactor.listener_gated")),
+      c_listener_gated_ns_(srv.metrics_.counter("reactor.listener_gated_ns")),
+      g_queue_depth_(srv.metrics_.gauge("reactor.queue_depth")),
+      h_dispatch_(srv.metrics_.histogram("phase.dispatch")),
+      h_parked_(srv.metrics_.histogram("phase.parked")) {}
 
 EventCore::~EventCore() { stop(); }
 
@@ -146,6 +155,10 @@ void EventCore::accept_drain(bool lane) {
       // slot-wait semantics); a session teardown wakes the loop to
       // re-arm below.
       arm_listener(/*lane=*/false, /*on=*/false);
+      if (listener_gated_since_ == 0) {
+        listener_gated_since_ = obs::now_ns();
+        c_listener_gated_.add();
+      }
       return;
     }
     std::unique_ptr<TcpChannel> transport;
@@ -169,8 +182,9 @@ void EventCore::accept_drain(bool lane) {
       c->transport->set_recv_timeout_ms(srv_.cfg_.idle_timeout_ms);
     c->ch = std::make_unique<BufferedChannel>(*c->transport,
                                               srv_.cfg_.stream.channel_buffer);
+    c->accept_ns = obs::now_ns();
     if (!lane) {
-      srv_.sessions_accepted_.fetch_add(1);
+      srv_.c_sessions_accepted_.add();
       srv_.sessions_active_.fetch_add(1);
     }
     Conn* raw = c.get();
@@ -202,6 +216,7 @@ void EventCore::advance_timers() {
       // Evict: shutdown makes the parked fd readable, and the worker
       // that picks up the event runs the one true teardown path —
       // budget settlement included, nothing destroyed cross-thread.
+      c_timer_evictions_.add();
       c->transport->shutdown();
     }
     bucket.clear();
@@ -245,6 +260,8 @@ void EventCore::loop() {
         std::lock_guard<std::mutex> lk(mu_);
         c->parked = false;
         ++c->park_gen;  // cancel the pending idle timer
+        c->ready_ns = obs::now_ns();
+        g_queue_depth_.add(1);
         ready_.push_back(c);
         ready_cv_.notify_one();
       }
@@ -261,6 +278,10 @@ void EventCore::loop() {
       } else if (!listener_armed_ &&
                  srv_.sessions_active_.load() < srv_.cfg_.max_sessions) {
         arm_listener(/*lane=*/false, /*on=*/true);
+        if (listener_gated_since_ != 0) {
+          c_listener_gated_ns_.add(obs::now_ns() - listener_gated_since_);
+          listener_gated_since_ = 0;
+        }
       }
     }
   }
@@ -278,6 +299,7 @@ void EventCore::worker_loop() {
       if (ready_.empty()) return;  // workers_stop_ and nothing left
       c = ready_.front();
       ready_.pop_front();
+      g_queue_depth_.sub(1);
     }
     process(c);
   }
@@ -295,10 +317,12 @@ bool EventCore::park(Conn* c) {
       first_timer = (timers_live_++ == 0);
     }
   }
+  c->parked_at_ns = obs::now_ns();
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
   ev.data.u64 = reinterpret_cast<uint64_t>(c);
   const int op = c->registered ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+  if (c->registered) c_rearms_.add();
   c->registered = true;
   if (::epoll_ctl(ep_, op, c->transport->fd(), &ev) != 0) return false;
   // The loop may be sleeping with an infinite epoll timeout; the first
@@ -320,6 +344,17 @@ void EventCore::teardown(Conn* c) {
     c->state->lane_attached = false;
   }
   const bool was_session = !c->is_lane;
+  if (c->accept_ns != 0) {
+    obs::Histogram& wall =
+        was_session ? srv_.h_session_wall_ : srv_.h_lane_wall_;
+    wall.observe(obs::now_ns() - c->accept_ns);
+  }
+  if (was_session) {
+    srv_.h_session_bytes_in_.observe(c->transport->bytes_received());
+    srv_.h_session_bytes_out_.observe(c->transport->bytes_sent());
+  }
+  srv_.c_bytes_in_.add(c->transport->bytes_received());
+  srv_.c_bytes_out_.add(c->transport->bytes_sent());
   {
     std::lock_guard<std::mutex> lk(mu_);
     conns_.erase(c->id);  // destroys the conn, closes the fd
@@ -331,6 +366,22 @@ void EventCore::teardown(Conn* c) {
 }
 
 void EventCore::process(Conn* c) {
+  // Account the gap since the last park: park → readiness is the
+  // connection's idle (client-side) time, readiness → here is scheduler
+  // dispatch latency. Together with the serve phases below they cover
+  // the conn's whole parked lifetime, which is what lets stats_json()
+  // explain a session's wall time under the event core.
+  const uint64_t t_pick = obs::now_ns();
+  if (c->parked_at_ns != 0 && c->ready_ns >= c->parked_at_ns) {
+    h_parked_.observe(c->ready_ns - c->parked_at_ns);
+    obs::trace_interval("reactor.parked", c->parked_at_ns,
+                        c->ready_ns - c->parked_at_ns);
+    c->parked_at_ns = 0;
+  }
+  if (c->ready_ns != 0 && t_pick >= c->ready_ns) {
+    h_dispatch_.observe(t_pick - c->ready_ns);
+    obs::trace_interval("reactor.dispatch", c->ready_ns, t_pick - c->ready_ns);
+  }
   bool open = true;
   bool more = false;
   try {
@@ -365,12 +416,18 @@ void EventCore::process(Conn* c) {
 }
 
 bool EventCore::do_handshake(Conn& c) {
+  // Unlike the thread core, the wait for the hello is NOT in here — the
+  // conn was parked until the hello's bytes arrived (phase.parked), so
+  // this phase is pure handshake work.
+  const uint64_t t0 = obs::now_ns();
+  obs::Span span("server.handshake");
   const Hello hello = parse_hello(recv_frame(*c.ch));
   const char* reject = srv_.validate_hello(hello);
   if (reject != nullptr) {
-    srv_.sessions_rejected_.fetch_add(1);
+    srv_.c_sessions_rejected_.add();
     send_error(*c.ch, reject);
     c.ch->flush();
+    srv_.h_handshake_.observe(obs::now_ns() - t0);
     return false;
   }
   c.state = std::make_shared<InferenceServer::SessionState>();
@@ -390,6 +447,7 @@ bool EventCore::do_handshake(Conn& c) {
   c.session = std::make_unique<EvaluatorSession>(
       *c.ch, srv_.cfg_.stream.gc_options(c.eval_pool.get()));
   c.stage = Stage::kOpen;
+  srv_.h_handshake_.observe(obs::now_ns() - t0);
   return true;
 }
 
@@ -404,13 +462,13 @@ bool EventCore::do_lane_attach(Conn& c) {
     c.state = srv_.attach_lane(token, &reject);
   }
   if (reject != nullptr) {
-    srv_.lanes_rejected_.fetch_add(1);
+    srv_.c_lanes_rejected_.add();
     c.state = nullptr;  // nothing to detach at teardown
     send_error(*c.ch, reject);
     c.ch->flush();
     return false;
   }
-  srv_.lanes_attached_.fetch_add(1);
+  srv_.c_lanes_attached_.add();
   send_id_frame(*c.ch, FrameType::kAttachLaneAck, token);
   c.ch->flush();
   // The lane never evaluates, so no eval shard pool here.
@@ -421,7 +479,13 @@ bool EventCore::do_lane_attach(Conn& c) {
 }
 
 bool EventCore::serve_session_frame(Conn& c) {
+  // Usually satisfied from read-ahead; a partially-arrived frame waits
+  // here (same phase name as the thread core's idle wait).
+  const uint64_t t_wait = obs::now_ns();
+  obs::Span wait_span("server.recv_wait");
   const Frame f = recv_frame(*c.ch);
+  wait_span.end();
+  srv_.h_recv_wait_.observe(obs::now_ns() - t_wait);
   switch (f.type) {
     case FrameType::kInfer:
       return srv_.handle_infer_frame(f, *c.ch, *c.session, *c.state);
@@ -437,7 +501,11 @@ bool EventCore::serve_session_frame(Conn& c) {
 }
 
 bool EventCore::serve_lane_frame(Conn& c) {
+  const uint64_t t_wait = obs::now_ns();
+  obs::Span wait_span("server.recv_wait");
   const Frame f = recv_frame(*c.ch);
+  wait_span.end();
+  srv_.h_recv_wait_.observe(obs::now_ns() - t_wait);
   if (f.type == FrameType::kBye) return false;
   if (f.type == FrameType::kPrefetch)
     return srv_.handle_prefetch_push(f, *c.ch, *c.session, *c.state);

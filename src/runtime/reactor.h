@@ -95,6 +95,11 @@ class EventCore {
     bool registered = false;  // fd has been EPOLL_CTL_ADDed
     bool parked = false;      // armed in the epoll set
     uint64_t park_gen = 0;    // invalidates stale timer entries
+    // Observability stamps (obs::now_ns): accept time for the session
+    // wall, park time and readiness time for the parked/dispatch phases.
+    uint64_t accept_ns = 0;
+    uint64_t parked_at_ns = 0;
+    uint64_t ready_ns = 0;
   };
 
   struct WheelEntry {
@@ -124,6 +129,20 @@ class EventCore {
   void teardown(Conn* c);
 
   InferenceServer& srv_;
+
+  // --- observability: handles into srv_.metrics_ (resolved once in the
+  // constructor; hot paths never do name lookups) ----------------------
+  obs::Counter& c_rearms_;           // EPOLLONESHOT re-arms (MOD only)
+  obs::Counter& c_timer_evictions_;  // idle conns shut down by the wheel
+  obs::Counter& c_listener_gated_;   // times the listener was gated
+  obs::Counter& c_listener_gated_ns_;  // total gated duration
+  obs::Gauge& g_queue_depth_;        // ready_ occupancy (loop → workers)
+  obs::Histogram& h_dispatch_;       // readiness → worker pickup (ns)
+  obs::Histogram& h_parked_;         // park → readiness (ns)
+  // Loop-thread only: when != 0, the primary listener is currently
+  // gated at max_sessions and this is the gating start time.
+  uint64_t listener_gated_since_ = 0;
+
   int ep_ = -1;
   int wakefd_ = -1;
   std::thread loop_thread_;

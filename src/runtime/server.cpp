@@ -1,13 +1,33 @@
 #include "runtime/server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "runtime/frame.h"
 #include "runtime/reactor.h"
 
 namespace deepsecure::runtime {
+
+namespace {
+
+// OT/label-transfer seconds accumulated in a session's trace — the gc
+// layer already samples per-phase times; the server lifts the deltas
+// into its histograms instead of re-timing inside the protocol.
+double trace_ot_seconds(const SessionTrace& t) {
+  double s = 0;
+  for (const auto& p : t.phases) s += p.ot_s;
+  return s;
+}
+
+uint64_t seconds_to_ns(double s) {
+  return s <= 0 ? 0 : static_cast<uint64_t>(s * 1e9);
+}
+
+}  // namespace
 
 InferenceServer::InferenceServer(const synth::ModelSpec& spec, BitVec weights,
                                  ServerConfig cfg)
@@ -104,9 +124,14 @@ const char* InferenceServer::validate_hello(const Hello& hello) const {
 bool InferenceServer::handle_infer_frame(const Frame& f, BufferedChannel& ch,
                                          EvaluatorSession& session,
                                          SessionState& state) {
+  const uint64_t t0 = obs::now_ns();
+  const double eval0 = session.trace().sum_eval();
+  const double ot0 = trace_ot_seconds(session.trace());
   if (f.payload.empty()) {
     // On-demand: the client garbles on the request path.
+    obs::Span span("server.infer_ondemand");
     session.run_chain(chain_, weights_);
+    h_infer_ondemand_.observe(obs::now_ns() - t0);
   } else {
     const uint64_t id = parse_id(f);
     EvalMaterial mat;
@@ -127,11 +152,15 @@ bool InferenceServer::handle_infer_frame(const Frame& f, BufferedChannel& ch,
       ch.flush();
       return false;
     }
+    obs::Span span("server.infer_online");
     session.run_online(chain_, mat);
-    inferences_pooled_.fetch_add(1);
+    h_infer_online_.observe(obs::now_ns() - t0);
+    c_inferences_pooled_.add();
   }
+  h_eval_.observe(seconds_to_ns(session.trace().sum_eval() - eval0));
+  h_ot_online_.observe(seconds_to_ns(trace_ot_seconds(session.trace()) - ot0));
   ch.flush();
-  inferences_served_.fetch_add(1);
+  c_inferences_served_.add();
   return true;
 }
 
@@ -190,6 +219,8 @@ void InferenceServer::settle_session_state(SessionState& state) {
 bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
                                            EvaluatorSession& session,
                                            SessionState& state) {
+  const uint64_t t0 = obs::now_ns();
+  obs::Span span("server.prefetch_push");
   const uint64_t id = parse_id(f);
   {
     const char* reject = nullptr;
@@ -211,7 +242,7 @@ bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
                            expected_table_bytes_;
       if (cfg_.max_prefetch_bytes > 0 && now > cfg_.max_prefetch_bytes) {
         prefetch_bytes_.fetch_sub(expected_table_bytes_);
-        prefetches_rejected_.fetch_add(1);
+        c_prefetches_rejected_.add();
         reject = "global prefetch byte budget exhausted";
       } else {
         state.reserved_bytes += expected_table_bytes_;
@@ -258,8 +289,11 @@ bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
     } else {
       // Offline OT: precompute + derandomize against the static weight
       // bits — after this the request path has no OT left.
+      obs::Span ot_span("server.ot_offline");
+      const uint64_t ot0 = obs::now_ns();
       const OtPrecompReceiver pre = session.precompute_ot(weights_.size());
       mat.eval_labels = session.recv_labels_derandomized(pre, weights_);
+      h_ot_offline_.observe(obs::now_ns() - ot0);
     }
   } catch (...) {
     settle(/*keep_reservation=*/false);
@@ -293,8 +327,53 @@ bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
   }
   send_id_frame(ch, FrameType::kPrefetchAck, id);
   ch.flush();
-  materials_prefetched_.fetch_add(1);
+  c_materials_prefetched_.add();
+  h_prefetch_push_.observe(obs::now_ns() - t0);
   return true;
+}
+
+std::string InferenceServer::stats_json() const {
+  const obs::Snapshot s = metrics_.snapshot();
+  // The phases that partition a session's lifetime. Thread core: a
+  // handler is always in exactly one of handshake / recv_wait / serving
+  // a frame. Event core: parked + dispatch replace most of recv_wait
+  // (the connection sits in epoll between frames). Sub-phases
+  // (subphase.*) nest inside these and are deliberately not summed.
+  static constexpr const char* kAccountedPhases[] = {
+      "phase.handshake",     "phase.recv_wait", "phase.infer_ondemand",
+      "phase.infer_online",  "phase.prefetch_push",
+      "phase.parked",        "phase.dispatch",
+  };
+  double phase_total_s = 0;
+  for (const char* name : kAccountedPhases) {
+    const obs::Snapshot::Hist* h = s.find_hist(name);
+    if (h != nullptr) phase_total_s += static_cast<double>(h->sum) / 1e9;
+  }
+  // Denominator: connection lifetimes — sessions plus prefetch lanes
+  // (lanes contribute parked/recv_wait/prefetch time to the numerator,
+  // so they must contribute their wall time here too).
+  double wall_s = 0;
+  for (const char* name : {"phase.session_wall", "phase.lane_wall"}) {
+    const obs::Snapshot::Hist* h = s.find_hist(name);
+    if (h != nullptr) wall_s += static_cast<double>(h->sum) / 1e9;
+  }
+  const double accounted =
+      wall_s > 0 ? std::min(phase_total_s / wall_s, 1.0) : 0.0;
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "{\"core\":\"%s\",\"sessions_active\":%llu,"
+                "\"prefetch_bytes\":%llu,"
+                "\"accounting\":{\"phase_total_s\":%.6f,"
+                "\"session_wall_s\":%.6f,\"accounted_fraction\":%.4f},"
+                "\"metrics\":",
+                cfg_.core == ServerCore::kEventLoop ? "event" : "thread",
+                static_cast<unsigned long long>(sessions_active_.load()),
+                static_cast<unsigned long long>(prefetch_bytes_.load()),
+                phase_total_s, wall_s, accounted);
+  std::string out = head;
+  out += s.to_json();
+  out += "}";
+  return out;
 }
 
 // ---------------------------------------------------------------------
@@ -340,7 +419,7 @@ void InferenceServer::accept_loop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    sessions_accepted_.fetch_add(1);
+    c_sessions_accepted_.add();
     sessions_active_.fetch_add(1);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -402,6 +481,7 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
   auto state = std::make_shared<SessionState>();
   uint64_t lane_token = 0;
   bool token_registered = false;
+  const uint64_t t_accept = obs::now_ns();
   try {
     // Idle sessions may not pin a slot: every recv on this session is
     // bounded, and a timeout tears the session down like any peer error.
@@ -409,13 +489,16 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
       transport->set_recv_timeout_ms(cfg_.idle_timeout_ms);
     BufferedChannel ch(*transport, cfg_.stream.channel_buffer);
 
-    // --- handshake ---------------------------------------------------
+    // --- handshake (includes the wait for the client's hello) --------
+    obs::Span hs_span("server.handshake");
     const Hello hello = parse_hello(recv_frame(ch));
     const char* reject = validate_hello(hello);
     if (reject != nullptr) {
-      sessions_rejected_.fetch_add(1);
+      c_sessions_rejected_.add();
       send_error(ch, reject);
       ch.flush();
+      hs_span.end();
+      h_handshake_.observe(obs::now_ns() - t_accept);
     } else {
       // Issue the lane token before the ack ships so a racing
       // kAttachLane can never observe an unregistered token.
@@ -428,6 +511,8 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
       ack.lane_port = lane_listener_.port();
       send_hello_ack(ch, ack);
       ch.flush();
+      hs_span.end();
+      h_handshake_.observe(obs::now_ns() - t_accept);
 
       // --- session loop: one EvaluatorSession (one OT setup), many
       // inferences — the streaming amortization the paper's Figure 6
@@ -440,7 +525,14 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
         eval_pool = std::make_unique<ThreadPool>(cfg_.stream.eval_threads);
       EvaluatorSession session(ch, cfg_.stream.gc_options(eval_pool.get()));
       for (bool open = true; open;) {
+        // The wait for the next frame is the thread core's idle phase:
+        // everything between serving bursts lands here, which is what
+        // lets stats_json() account a session's whole wall time.
+        const uint64_t t_wait = obs::now_ns();
+        obs::Span wait_span("server.recv_wait");
         const Frame f = recv_frame(ch);
+        wait_span.end();
+        h_recv_wait_.observe(obs::now_ns() - t_wait);
         switch (f.type) {
           case FrameType::kInfer:
             open = handle_infer_frame(f, ch, session, *state);
@@ -470,6 +562,11 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
   // knows not to settle again.
   if (token_registered) unregister_lane_token(lane_token);
   settle_session_state(*state);
+  h_session_wall_.observe(obs::now_ns() - t_accept);
+  h_session_bytes_in_.observe(transport->bytes_received());
+  h_session_bytes_out_.observe(transport->bytes_sent());
+  c_bytes_in_.add(transport->bytes_received());
+  c_bytes_out_.add(transport->bytes_sent());
   {
     // Final critical section: unregister, free the slot, flag
     // completion, and notify — all under mu_ so the accept loop's
@@ -497,12 +594,17 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
 void InferenceServer::handle_lane(std::unique_ptr<TcpChannel> transport,
                                   std::shared_ptr<std::atomic<bool>> done) {
   std::shared_ptr<SessionState> state;
+  const uint64_t t_accept = obs::now_ns();
   try {
     if (cfg_.idle_timeout_ms > 0)
       transport->set_recv_timeout_ms(cfg_.idle_timeout_ms);
     BufferedChannel ch(*transport, cfg_.stream.channel_buffer);
 
+    const uint64_t t_attach = obs::now_ns();
+    obs::Span wait_span("server.recv_wait");
     const Frame attach = recv_frame(ch);
+    wait_span.end();
+    h_recv_wait_.observe(obs::now_ns() - t_attach);
     uint64_t token = 0;
     const char* reject = nullptr;
     if (attach.type != FrameType::kAttachLane) {
@@ -512,18 +614,22 @@ void InferenceServer::handle_lane(std::unique_ptr<TcpChannel> transport,
       state = attach_lane(token, &reject);
     }
     if (reject != nullptr) {
-      lanes_rejected_.fetch_add(1);
+      c_lanes_rejected_.add();
       state = nullptr;  // nothing to detach below
       send_error(ch, reject);
       ch.flush();
     } else {
-      lanes_attached_.fetch_add(1);
+      c_lanes_attached_.add();
       send_id_frame(ch, FrameType::kAttachLaneAck, token);
       ch.flush();
       // The lane never evaluates, so no eval shard pool here.
       EvaluatorSession session(ch, cfg_.stream.gc_options(nullptr));
       for (bool open = true; open;) {
+        const uint64_t t_wait = obs::now_ns();
+        obs::Span lane_wait("server.recv_wait");
         const Frame f = recv_frame(ch);
+        lane_wait.end();
+        h_recv_wait_.observe(obs::now_ns() - t_wait);
         if (f.type == FrameType::kBye) {
           open = false;
         } else if (f.type == FrameType::kPrefetch) {
@@ -546,6 +652,9 @@ void InferenceServer::handle_lane(std::unique_ptr<TcpChannel> transport,
     std::lock_guard<std::mutex> lk(state->mu);
     state->lane_attached = false;
   }
+  h_lane_wall_.observe(obs::now_ns() - t_accept);
+  c_bytes_in_.add(transport->bytes_received());
+  c_bytes_out_.add(transport->bytes_sent());
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = active_transports_.begin(); it != active_transports_.end();

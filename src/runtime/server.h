@@ -50,6 +50,7 @@
 
 #include "crypto/prg.h"
 #include "net/tcp_channel.h"
+#include "obs/metrics.h"
 #include "runtime/frame.h"
 #include "runtime/streaming.h"
 #include "synth/layer_circuits.h"
@@ -128,24 +129,45 @@ class InferenceServer {
   /// threads. Idempotent.
   void stop();
 
-  uint64_t sessions_accepted() const { return sessions_accepted_.load(); }
+  // Serving counters live in this server's private metrics registry
+  // (src/obs/metrics.h); these accessors are thin reads of the sharded
+  // counters, per-instance exact, same semantics as the former ad-hoc
+  // atomics.
+  uint64_t sessions_accepted() const { return c_sessions_accepted_.value(); }
   uint64_t sessions_active() const { return sessions_active_.load(); }
-  uint64_t inferences_served() const { return inferences_served_.load(); }
-  uint64_t sessions_rejected() const { return sessions_rejected_.load(); }
+  uint64_t inferences_served() const { return c_inferences_served_.value(); }
+  uint64_t sessions_rejected() const { return c_sessions_rejected_.value(); }
   /// Of inferences_served, how many ran the online phase against
   /// prefetched material (the rest garbled on demand).
-  uint64_t inferences_pooled() const { return inferences_pooled_.load(); }
+  uint64_t inferences_pooled() const { return c_inferences_pooled_.value(); }
   uint64_t materials_prefetched() const {
-    return materials_prefetched_.load();
+    return c_materials_prefetched_.value();
   }
   /// Bytes currently reserved against max_prefetch_bytes.
   uint64_t prefetch_bytes() const { return prefetch_bytes_.load(); }
   /// kPrefetch pushes rejected because the global budget was exhausted.
-  uint64_t prefetches_rejected() const { return prefetches_rejected_.load(); }
+  uint64_t prefetches_rejected() const {
+    return c_prefetches_rejected_.value();
+  }
   /// Prefetch lanes successfully attached to a session (v4).
-  uint64_t lanes_attached() const { return lanes_attached_.load(); }
+  uint64_t lanes_attached() const { return c_lanes_attached_.value(); }
   /// kAttachLane attempts rejected (unknown/stale/duplicate token).
-  uint64_t lanes_rejected() const { return lanes_rejected_.load(); }
+  uint64_t lanes_rejected() const { return c_lanes_rejected_.value(); }
+
+  /// This server's full observability surface as one JSON object:
+  /// {"core","sessions_active","prefetch_bytes","accounting":{...},
+  ///  "metrics":{counters,gauges,hists}}. The accounting block sums the
+  /// non-overlapping per-phase histograms (handshake, recv_wait,
+  /// infer_*, prefetch_push, parked, dispatch) against session_wall, so
+  /// a scaling sweep can say WHERE each session-second went — the
+  /// fraction is meaningful once sessions have completed (live sessions
+  /// have phases recorded but no wall yet). Safe to call any time from
+  /// any thread (relaxed snapshot; see obs/metrics.h).
+  std::string stats_json() const;
+
+  /// Direct registry access (tests, exporters). The registry outlives
+  /// every session; instrument handles in it are stable.
+  const obs::Registry& metrics() const { return metrics_; }
 
  private:
   friend class EventCore;  // the reactor drives the same protocol state
@@ -236,16 +258,53 @@ class InferenceServer {
   bool running_ = false;
   bool stopping_ = false;
 
-  std::atomic<uint64_t> sessions_accepted_{0};
+  // --- observability -------------------------------------------------
+  // Per-instance registry (exact per-server counts for tests and serial
+  // bench runs). Handles are resolved once here; hot paths touch only
+  // the cached references. Two atomics deliberately stay OUTSIDE the
+  // registry because they are control variables, not telemetry:
+  // prefetch_bytes_ needs fetch_add's atomic read-back for the global
+  // budget check, and sessions_active_ gates max_sessions — sharded
+  // cells cannot express either.
+  obs::Registry metrics_;
+  obs::Counter& c_sessions_accepted_ =
+      metrics_.counter("server.sessions_accepted");
+  obs::Counter& c_inferences_served_ =
+      metrics_.counter("server.inferences_served");
+  obs::Counter& c_sessions_rejected_ =
+      metrics_.counter("server.sessions_rejected");
+  obs::Counter& c_inferences_pooled_ =
+      metrics_.counter("server.inferences_pooled");
+  obs::Counter& c_materials_prefetched_ =
+      metrics_.counter("server.materials_prefetched");
+  obs::Counter& c_prefetches_rejected_ =
+      metrics_.counter("server.prefetches_rejected");
+  obs::Counter& c_lanes_attached_ = metrics_.counter("server.lanes_attached");
+  obs::Counter& c_lanes_rejected_ = metrics_.counter("server.lanes_rejected");
+  obs::Counter& c_bytes_in_ = metrics_.counter("server.bytes_in");
+  obs::Counter& c_bytes_out_ = metrics_.counter("server.bytes_out");
+  // Non-overlapping wall-time phases (ns observations); their sums vs
+  // phase.session_wall form stats_json()'s accounting block.
+  obs::Histogram& h_handshake_ = metrics_.histogram("phase.handshake");
+  obs::Histogram& h_recv_wait_ = metrics_.histogram("phase.recv_wait");
+  obs::Histogram& h_infer_ondemand_ =
+      metrics_.histogram("phase.infer_ondemand");
+  obs::Histogram& h_infer_online_ = metrics_.histogram("phase.infer_online");
+  obs::Histogram& h_prefetch_push_ = metrics_.histogram("phase.prefetch_push");
+  obs::Histogram& h_session_wall_ = metrics_.histogram("phase.session_wall");
+  obs::Histogram& h_lane_wall_ = metrics_.histogram("phase.lane_wall");
+  // Sub-phases nested inside the above (informational, not summed).
+  obs::Histogram& h_ot_offline_ = metrics_.histogram("subphase.ot_offline");
+  obs::Histogram& h_ot_online_ = metrics_.histogram("subphase.ot_online");
+  obs::Histogram& h_eval_ = metrics_.histogram("subphase.eval");
+  // Per-session transport byte totals (bytes observations).
+  obs::Histogram& h_session_bytes_in_ =
+      metrics_.histogram("server.session_bytes_in");
+  obs::Histogram& h_session_bytes_out_ =
+      metrics_.histogram("server.session_bytes_out");
+
   std::atomic<uint64_t> sessions_active_{0};
-  std::atomic<uint64_t> inferences_served_{0};
-  std::atomic<uint64_t> sessions_rejected_{0};
-  std::atomic<uint64_t> inferences_pooled_{0};
-  std::atomic<uint64_t> materials_prefetched_{0};
   std::atomic<uint64_t> prefetch_bytes_{0};
-  std::atomic<uint64_t> prefetches_rejected_{0};
-  std::atomic<uint64_t> lanes_attached_{0};
-  std::atomic<uint64_t> lanes_rejected_{0};
 };
 
 }  // namespace deepsecure::runtime

@@ -1,0 +1,249 @@
+// Observability substrate (src/obs): lock-free sharded counters /
+// gauges / log-bucketed histograms, snapshot semantics under concurrent
+// writers, and the span tracer's never-block overrun contract. The
+// concurrency tests double as TSan targets (CI runs this binary under
+// -DDEEPSECURE_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace deepsecure::obs {
+namespace {
+
+// Minimal structural JSON check: balanced {}/[] outside string
+// literals, with escape handling. Not a validator — enough to catch
+// the serializer emitting torn or unbalanced output.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_str = false, esc = false;
+  for (char c : s) {
+    if (in_str) {
+      if (esc) esc = false;
+      else if (c == '\\') esc = true;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_str;
+}
+
+TEST(ObsMetrics, CounterExactUnderConcurrentIncrements) {
+  Registry reg;
+  Counter& c = reg.counter("test.hits");
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> ts;
+  for (size_t i = 0; i < kThreads; ++i)
+    ts.emplace_back([&c] {
+      for (uint64_t n = 0; n < kPerThread; ++n) c.add();
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, GaugeBalancesAcrossThreads) {
+  Registry reg;
+  Gauge& g = reg.gauge("test.depth");
+  std::vector<std::thread> ts;
+  for (size_t i = 0; i < 4; ++i)
+    ts.emplace_back([&g] {
+      for (int n = 0; n < 10000; ++n) {
+        g.add(3);
+        g.sub(3);
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(g.value(), 0);
+  g.add(7);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket(1023), 10u);
+  EXPECT_EQ(histogram_bucket(1024), 11u);
+  EXPECT_EQ(histogram_bucket(UINT64_MAX), 64u);
+  EXPECT_EQ(histogram_bucket_lo(0), 0u);
+  EXPECT_EQ(histogram_bucket_lo(1), 1u);
+  EXPECT_EQ(histogram_bucket_lo(11), 1024u);
+}
+
+TEST(ObsMetrics, HistogramCountSumQuantileAndMergeUnderConcurrency) {
+  Registry reg;
+  Histogram& h = reg.histogram("test.lat");
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> ts;
+  for (size_t i = 0; i < kThreads; ++i)
+    ts.emplace_back([&h, i] {
+      for (uint64_t n = 0; n < kPerThread; ++n) h.observe(100 + i);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  uint64_t want_sum = 0;
+  for (size_t i = 0; i < kThreads; ++i) want_sum += (100 + i) * kPerThread;
+  EXPECT_EQ(h.sum(), want_sum);
+  // All observations in [100, 107] → bucket 7 ([64, 128)); quantiles
+  // interpolate inside that bin.
+  const Snapshot s = reg.snapshot();
+  const Snapshot::Hist* sh = s.find_hist("test.lat");
+  ASSERT_NE(sh, nullptr);
+  EXPECT_EQ(sh->buckets[7], kThreads * kPerThread);
+  EXPECT_GE(sh->quantile(0.5), 64.0);
+  EXPECT_LE(sh->quantile(0.5), 128.0);
+  EXPECT_GE(sh->quantile(0.99), sh->quantile(0.01));
+}
+
+TEST(ObsMetrics, SnapshotWhileWritingStaysMonotonic) {
+  Registry reg;
+  Counter& c = reg.counter("test.mono");
+  Histogram& h = reg.histogram("test.mono_hist");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      c.add();
+      h.observe(42);
+    }
+  });
+  // Counters and histogram counts must never go backwards between
+  // snapshots taken while the writer keeps writing.
+  uint64_t last_c = 0, last_h = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Snapshot s = reg.snapshot();
+    const uint64_t now_c = s.counter_value("test.mono");
+    const Snapshot::Hist* sh = s.find_hist("test.mono_hist");
+    ASSERT_NE(sh, nullptr);
+    EXPECT_GE(now_c, last_c);
+    EXPECT_GE(sh->count, last_h);
+    last_c = now_c;
+    last_h = sh->count;
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(reg.snapshot().counter_value("test.mono"), c.value());
+}
+
+TEST(ObsMetrics, SnapshotDeltaSubtractsBaseline) {
+  Registry reg;
+  Counter& c = reg.counter("test.win");
+  Histogram& h = reg.histogram("test.win_hist");
+  c.add(10);
+  h.observe(5);
+  const Snapshot base = reg.snapshot();
+  c.add(7);
+  h.observe(5);
+  h.observe(9);
+  const Snapshot d = reg.snapshot().delta(base);
+  EXPECT_EQ(d.counter_value("test.win"), 7u);
+  const Snapshot::Hist* dh = d.find_hist("test.win_hist");
+  ASSERT_NE(dh, nullptr);
+  EXPECT_EQ(dh->count, 2u);
+  EXPECT_EQ(dh->sum, 14u);
+}
+
+TEST(ObsMetrics, RegistryHandlesAreStableAndToJsonBalanced) {
+  Registry reg;
+  Counter& a = reg.counter("dup");
+  Counter& b = reg.counter("dup");
+  EXPECT_EQ(&a, &b);
+  reg.gauge("g").add(3);
+  reg.histogram("h").observe(1000);
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"hists\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ObsTrace, DisabledSpansCollectNothing) {
+  set_trace_enabled(false);
+  trace_reset();
+  { Span s("never"); }
+  trace_drain();
+  EXPECT_EQ(trace_collected(), 0u);
+}
+
+TEST(ObsTrace, EnabledSpansExportChromeJson) {
+  set_trace_enabled(false);
+  trace_reset();
+  set_trace_enabled(true);
+  {
+    Span s("unit_test_span");
+    Span early("unit_test_early");
+    early.end();
+  }
+  trace_interval("unit_test_interval", now_ns(), 123);
+  set_trace_enabled(false);
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("unit_test_span"), std::string::npos);
+  EXPECT_NE(json.find("unit_test_early"), std::string::npos);
+  EXPECT_NE(json.find("unit_test_interval"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  trace_reset();
+}
+
+TEST(ObsTrace, RingOverrunDropsAreCountedAndNeverBlock) {
+  set_trace_enabled(false);
+  trace_reset();
+  set_trace_ring_capacity(8);  // new thread rings only
+  set_trace_enabled(true);
+  const uint64_t dropped_before = trace_dropped();
+  // A fresh thread gets an 8-slot ring; 200 undrained emits must
+  // complete (never block) and count their overruns.
+  std::thread producer([] {
+    for (int i = 0; i < 200; ++i) Span s("overrun_span");
+  });
+  producer.join();
+  set_trace_enabled(false);
+  EXPECT_GE(trace_dropped() - dropped_before, 100u);
+  trace_drain();
+  EXPECT_GT(trace_collected(), 0u);   // the ring's tail still exported
+  EXPECT_LE(trace_collected(), 16u);  // ... but no more than it held
+  set_trace_ring_capacity(4096);
+  trace_reset();
+}
+
+TEST(ObsTrace, ConcurrentEmittersKeepThreadIdsDistinct) {
+  set_trace_enabled(false);
+  trace_reset();
+  set_trace_enabled(true);
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 4; ++i)
+    ts.emplace_back([] {
+      for (int n = 0; n < 50; ++n) Span s("mt_span");
+    });
+  for (auto& t : ts) t.join();
+  set_trace_enabled(false);
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_EQ(trace_collected(), 200u);
+  trace_reset();
+}
+
+TEST(ObsMetrics, NowNsIsMonotonic) {
+  const uint64_t a = now_ns();
+  const uint64_t b = now_ns();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace deepsecure::obs

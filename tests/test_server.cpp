@@ -114,6 +114,52 @@ TEST_P(ServerCoreTest, EndToEndSecureInferOverTcpLoopback) {
   EXPECT_EQ(server.sessions_rejected(), 0u);
 }
 
+TEST_P(ServerCoreTest, StatsJsonExplainsServedSession) {
+  const synth::ModelSpec spec = small_spec();
+  Rng rng(19);
+  const BitVec weights = random_weights(spec, rng);
+
+  runtime::ServerConfig cfg = base_cfg();
+  runtime::InferenceServer server(spec, weights, cfg);
+  server.start();
+
+  std::vector<Fixed> x;
+  for (size_t i = 0; i < 5; ++i)
+    x.push_back(random_fixed(rng, kDefaultFormat, 0.2));
+  const BitVec data = pack_fixed(x);
+
+  runtime::ClientConfig ccfg;
+  ccfg.seed = Block{2025, 808};
+  ccfg.stream.garble_threads = 2;
+  runtime::InferenceClient client("127.0.0.1", server.port(), spec, ccfg);
+  (void)client.infer_bits(data);
+  client.close();
+  server.stop();
+
+  // Counter accessors and the registry must agree: the accessors are
+  // thin reads of the same instruments stats_json() serializes.
+  EXPECT_EQ(server.inferences_served(), 1u);
+  EXPECT_EQ(server.metrics().snapshot().counter_value(
+                "server.inferences_served"),
+            1u);
+
+  const std::string js = server.stats_json();
+  for (const char* key :
+       {"\"core\"", "\"accounting\"", "\"accounted_fraction\"",
+        "\"phase_total_s\"", "\"session_wall_s\"", "\"metrics\"",
+        "\"server.sessions_accepted\"", "\"phase.handshake\"",
+        "\"phase.session_wall\"", "\"subphase.eval\""})
+    EXPECT_NE(js.find(key), std::string::npos) << key << " missing:\n" << js;
+
+  // After stop() every teardown has observed session_wall, so the
+  // accounted phases must explain a sane share of the wall time.
+  const obs::Snapshot snap = server.metrics().snapshot();
+  const obs::Snapshot::Hist* wall = snap.find_hist("phase.session_wall");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->count, 1u);
+  EXPECT_GT(wall->sum, 0u);
+}
+
 TEST_P(ServerCoreTest, SustainsFourConcurrentTcpSessions) {
   const synth::ModelSpec spec = small_spec();
   Rng rng(23);
