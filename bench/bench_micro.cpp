@@ -7,6 +7,7 @@
 #include "circuit/bench_circuits.h"
 #include "circuit/schedule.h"
 #include "crypto/aes128.h"
+#include "crypto/hash_backend.h"
 #include "crypto/ed25519.h"
 #include "crypto/prg.h"
 #include "crypto/sha256.h"
@@ -234,6 +235,57 @@ void BM_BuildTanhLut(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildTanhLut)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Per-backend rows — the headline table of the pluggable-backend work.
+// Registered at runtime (RegisterBenchmark in main) so only the
+// backends this host can actually run appear, each under its registry
+// name: BM_GcHashBatchBackend/<name>, BM_GarbleWideBackend/<name>.
+// ---------------------------------------------------------------------
+
+void hash_batch_backend(benchmark::State& state, const HashBackend* be) {
+  constexpr size_t n = 1024;
+  std::vector<Block> in(n), out(n);
+  Prg prg(Block{5, 6});
+  prg.next_blocks(in.data(), n);
+  std::vector<uint64_t> tweaks(n);
+  for (size_t i = 0; i < n; ++i) tweaks[i] = i;
+  for (auto _ : state) {
+    gc_hash_batch(*be, in.data(), tweaks.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["hashes/s"] = benchmark::Counter(
+      static_cast<double>(n) * state.iterations(), benchmark::Counter::kIsRate);
+}
+
+// AND-gates/s through the full batched garbling pipeline with the
+// window sweeps pinned to one backend: the scalar row is the old
+// portable path, bitsliced8 the new portable floor, aesni8/vaes16 the
+// hardware kernels.
+void garble_wide_backend(benchmark::State& state, const HashBackend* be) {
+  static const Circuit c = bench_circuits::wide_and(1 << 14);
+  GcOptions opt;
+  opt.hash_backend = be;
+  garble_throughput(state, c, opt);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  for (const HashBackend* be : compiled_hash_backends()) {
+    if (!be->available()) continue;
+    benchmark::RegisterBenchmark(
+        (std::string("BM_GcHashBatchBackend/") + be->name).c_str(),
+        [be](benchmark::State& s) { hash_batch_backend(s, be); });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_GarbleWideBackend/") + be->name).c_str(),
+        [be](benchmark::State& s) { garble_wide_backend(s, be); });
+  }
+  benchmark::AddCustomContext("hash_backend", deepsecure::hash_backend().name);
+  benchmark::AddCustomContext("cpu_features",
+                              deepsecure::hash_backend_cpu_features());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "circuit/bench_circuits.h"
+#include "crypto/hash_backend.h"
 #include "fixed/fixed_point.h"
 #include "gc/material.h"
 #include "net/tcp_channel.h"
@@ -103,6 +104,10 @@ struct Args {
   // Enable the span tracer for the whole run and write the collected
   // events as chrome://tracing JSON to this file (src/obs/trace.h).
   std::string trace;
+  // Force the process-wide batch AES kernel by name (vaes16 / aesni8 /
+  // bitsliced8 / scalar). Empty = env + CPUID auto-dispatch. The
+  // selected backend is recorded in the JSON either way.
+  std::string hash_backend;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -137,6 +142,7 @@ Args parse_args(int argc, char** argv) {
     }
     else if (k == "--scaling") a.scaling = true;
     else if (k == "--trace") a.trace = next();
+    else if (k == "--hash-backend") a.hash_backend = next();
     else throw std::runtime_error("unknown flag " + k);
   }
   return a;
@@ -535,6 +541,10 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                const std::vector<ScalingRow>* scaling) {
   std::fprintf(f, "{\n  \"bench\": \"loadgen_inference\",\n");
   std::fprintf(f, "  \"scheduled\": %s,\n", args.schedule ? "true" : "false");
+  // Which AES kernel produced every rate below — without this a vaes16
+  // row and a bitsliced8 row are indistinguishable in dashboards.
+  std::fprintf(f, "  \"hash_backend\": \"%s\",\n  \"cpu_features\": \"%s\",\n",
+               hash_backend().name, hash_backend_cpu_features().c_str());
   // cores / core_bound: a shard_speedup below 1.0 on a machine with
   // fewer cores than shard threads is the runner being core-bound, not
   // a sharding regression — record the context with the number.
@@ -640,6 +650,9 @@ int main(int argc, char** argv) {
   }
   try {
     const Args args = parse_args(argc, argv);
+    if (!args.hash_backend.empty() && !set_hash_backend(args.hash_backend))
+      throw std::runtime_error("--hash-backend " + args.hash_backend +
+                               ": unknown or unavailable on this host");
     if (!args.trace.empty()) obs::set_trace_enabled(true);
     const OverlapResult overlap = measure_overlap(args);
     const OfflineResult offline = measure_offline(args);

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstring>
 
+#include "crypto/hash_backend.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <cpuid.h>
 #endif
@@ -127,6 +129,14 @@ Block aes128_encrypt_soft(const Aes128Key& key, Block pt) {
   return Block::from_bytes(s);
 }
 
+void aes128_encrypt_batch_soft(const Aes128Key& key, Block* blocks, size_t n) {
+  for (size_t i = 0; i < n; ++i) blocks[i] = aes128_encrypt_soft(key, blocks[i]);
+}
+
+bool aes128_software_forced() {
+  return g_force_software.load(std::memory_order_relaxed);
+}
+
 }  // namespace detail
 
 bool aes128_ni_available() {
@@ -136,6 +146,9 @@ bool aes128_ni_available() {
 
 void aes128_force_software(bool force) {
   g_force_software.store(force, std::memory_order_relaxed);
+  // Hardware backends gate on this flag; drop the cached selection so
+  // the next sweep re-resolves against the new availability set.
+  detail::hash_backend_reselect();
 }
 
 Block aes128_encrypt(const Aes128Key& key, Block pt) {
@@ -146,14 +159,8 @@ Block aes128_encrypt(const Aes128Key& key, Block pt) {
 }
 
 void aes128_encrypt_batch(const Aes128Key& key, Block* blocks, size_t n) {
-#if defined(DEEPSECURE_AESNI_COMPILED)
-  if (aes128_ni_available()) {
-    detail::aes128_encrypt_batch_ni(key, blocks, n);
-    return;
-  }
-#endif
-  for (size_t i = 0; i < n; ++i)
-    blocks[i] = detail::aes128_encrypt_soft(key, blocks[i]);
+  const HashBackend& be = hash_backend();
+  be.encrypt_batch(key, blocks, n);
 }
 
 const Aes128Key& fixed_garbling_key() {
@@ -174,14 +181,14 @@ Block gc_hash2(Block x, Block y, uint64_t tweak) {
 }
 
 namespace {
-// Chunk size for the batched hashes: large enough to keep the 8-wide
-// AES-NI pipeline saturated, small enough to stay in L1 (and on the
-// stack). Counted in blocks.
+// Chunk size for the batched hashes: large enough to keep the widest
+// (16-block VAES) pipeline saturated, small enough to stay in L1 (and
+// on the stack). Counted in blocks.
 constexpr size_t kHashChunk = 128;
 }  // namespace
 
-void gc_hash_batch(const Block* inputs, const uint64_t* tweaks, Block* out,
-                   size_t n) {
+void gc_hash_batch(const HashBackend& be, const Block* inputs,
+                   const uint64_t* tweaks, Block* out, size_t n) {
   const Aes128Key& key = fixed_garbling_key();
   Block k[kHashChunk];
   for (size_t base = 0; base < n; base += kHashChunk) {
@@ -189,13 +196,14 @@ void gc_hash_batch(const Block* inputs, const uint64_t* tweaks, Block* out,
     for (size_t i = 0; i < m; ++i)
       k[i] = inputs[base + i].gf_double() ^ Block{tweaks[base + i], 0};
     std::memcpy(out + base, k, m * sizeof(Block));
-    aes128_encrypt_batch(key, out + base, m);
+    be.encrypt_batch(key, out + base, m);
     for (size_t i = 0; i < m; ++i) out[base + i] ^= k[i];
   }
 }
 
-void gc_hash_and_quads(const Block* a0, const Block* b0, Block delta,
-                       const uint64_t* tweaks, Block* out, size_t n) {
+void gc_hash_and_quads(const HashBackend& be, const Block* a0, const Block* b0,
+                       Block delta, const uint64_t* tweaks, Block* out,
+                       size_t n) {
   const Aes128Key& key = fixed_garbling_key();
   const Block d2 = delta.gf_double();
   constexpr size_t kGateChunk = kHashChunk / 4;
@@ -212,9 +220,19 @@ void gc_hash_and_quads(const Block* a0, const Block* b0, Block delta,
       k[4 * i + 3] = kb ^ d2;
     }
     std::memcpy(out + 4 * base, k, 4 * m * sizeof(Block));
-    aes128_encrypt_batch(key, out + 4 * base, 4 * m);
+    be.encrypt_batch(key, out + 4 * base, 4 * m);
     for (size_t i = 0; i < 4 * m; ++i) out[4 * base + i] ^= k[i];
   }
+}
+
+void gc_hash_batch(const Block* inputs, const uint64_t* tweaks, Block* out,
+                   size_t n) {
+  gc_hash_batch(hash_backend(), inputs, tweaks, out, n);
+}
+
+void gc_hash_and_quads(const Block* a0, const Block* b0, Block delta,
+                       const uint64_t* tweaks, Block* out, size_t n) {
+  gc_hash_and_quads(hash_backend(), a0, b0, delta, tweaks, out, n);
 }
 
 }  // namespace deepsecure

@@ -1,8 +1,9 @@
 // AES-128 with expanded-key encryption only — everything the garbling
-// engine needs. Two backends:
-//   * portable table-based software implementation (always available)
-//   * AES-NI (compiled when the toolchain supports -maes, selected at
-//     runtime via CPUID)
+// engine needs. Batch encryption is a runtime-dispatched backend
+// (crypto/hash_backend.h): scalar S-box reference, bitsliced constant-
+// time software, 8-wide AES-NI, 16-wide VAES/AVX-512 — all compiled
+// when the toolchain allows, selected via CPUID (+ env/option
+// overrides), all producing identical bytes.
 // The fixed-key garbling hash (Bellare et al., S&P'13) lives here too:
 //   H(X, T) = pi(K) ^ K  with  K = 2X ^ T, pi = AES-128 under a fixed key.
 #pragma once
@@ -25,13 +26,17 @@ Aes128Key aes128_expand(Block key);
 /// Encrypt one block (backend chosen at runtime).
 Block aes128_encrypt(const Aes128Key& key, Block pt);
 
-/// Encrypt `n` blocks in place; the AES-NI backend pipelines these.
+/// Encrypt `n` blocks in place through the active hash backend
+/// (hash_backend() in crypto/hash_backend.h) — wide-SIMD pipelined when
+/// the host supports it, bitsliced software otherwise.
 void aes128_encrypt_batch(const Aes128Key& key, Block* blocks, size_t n);
 
 /// True when the AES-NI backend is compiled in and the CPU supports it.
 bool aes128_ni_available();
 
-/// Force the portable backend (for tests that cross-check both paths).
+/// Restrict to software backends (for tests that cross-check hardware
+/// vs software paths). Also re-runs the hash-backend selection so
+/// AES-NI/VAES backends become unavailable while forced.
 void aes128_force_software(bool force);
 
 /// The process-wide fixed garbling key (Bellare-Hoang-Keelveedhi-Rogaway
@@ -66,11 +71,22 @@ void gc_hash_and_quads(const Block* a0, const Block* b0, Block delta,
                        const uint64_t* tweaks, Block* out, size_t n);
 
 namespace detail {
-// Software backend entry points (exposed for cross-checking in tests).
+// Backend entry points (exposed for cross-checking in tests; production
+// code goes through the dispatch in crypto/hash_backend.h).
 Block aes128_encrypt_soft(const Aes128Key& key, Block pt);
+void aes128_encrypt_batch_soft(const Aes128Key& key, Block* blocks, size_t n);
+// Bitsliced constant-time software AES (aes128_bitsliced.cpp): always
+// compiled, no ISA requirement.
+void aes128_encrypt_batch_bitsliced(const Aes128Key& key, Block* blocks,
+                                    size_t n);
+// True while aes128_force_software(true) is in effect.
+bool aes128_software_forced();
 #if defined(DEEPSECURE_AESNI_COMPILED)
 Block aes128_encrypt_ni(const Aes128Key& key, Block pt);
 void aes128_encrypt_batch_ni(const Aes128Key& key, Block* blocks, size_t n);
+#endif
+#if defined(DEEPSECURE_VAES_COMPILED)
+void aes128_encrypt_batch_vaes(const Aes128Key& key, Block* blocks, size_t n);
 #endif
 }  // namespace detail
 

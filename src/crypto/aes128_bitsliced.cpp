@@ -1,0 +1,389 @@
+// Bitsliced constant-time software AES-128 (encrypt only) — the
+// portable batch backend. Four blocks at a time are orthogonalized into
+// eight 64-bit bitplanes; SubBytes becomes the Boyar–Peralta S-box
+// circuit evaluated once over all 64 byte lanes, ShiftRows a masked
+// in-word rotation, MixColumns a handful of word rotations and XORs.
+// There are no table lookups and no secret-dependent branches anywhere,
+// so the backend is constant-time — and, unlike the scalar S-box loop,
+// it amortizes every gate of the S-box over four blocks, which is what
+// lets non-AES-NI hosts profit from the scheduler's wide batch windows.
+//
+// Lane layout (fixed by the ShiftRows/MixColumns masks below): plane
+// q[i] holds bit i of every state byte; within a plane, bit position
+//   lane = 16*row + 4*col + block        (row, col, block in 0..3)
+// so a row is a contiguous 16-bit group (ShiftRows = rotate the group
+// by 4*row bits) and the next row is 16 bits up (MixColumns combines a
+// byte with its column neighbours via 16/32/48-bit word rotations).
+//
+// The outer batch loop runs two independent 4-block lines per
+// iteration (backend width 8): the second line's circuit fills the
+// pipeline bubbles the first line's 16-deep S-box dependency chain
+// leaves open.
+#include "crypto/aes128.h"
+
+#include <cstring>
+
+namespace deepsecure::detail {
+namespace {
+
+// ---------------------------------------------------------------------
+// Packing: 4 blocks <-> 8 bitplanes.
+// ---------------------------------------------------------------------
+
+// Spread the 4 bytes of a 32-bit word to the even byte positions of a
+// 64-bit word (b0 _ b1 _ b2 _ b3 _).
+inline uint64_t spread_bytes(uint32_t w) {
+  uint64_t x = w;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFull;
+  return x;
+}
+
+// Inverse of spread_bytes: gather the even bytes back into 32 bits.
+inline uint32_t gather_bytes(uint64_t x) {
+  x &= 0x00FF00FF00FF00FFull;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFull;
+  return static_cast<uint32_t>(x);
+}
+
+// Interleave one block (state bytes s0..s15, column-major) into the two
+// pre-transpose words: qlo bytes = s0 s8 s1 s9 s2 s10 s3 s11 (columns
+// 0/2), qhi = s4 s12 s5 s13 s6 s14 s7 s15 (columns 1/3). Together with
+// the transpose below this realizes the lane layout in the file header.
+inline void interleave_in(uint64_t* qlo, uint64_t* qhi, const Block& b) {
+  const auto w0 = static_cast<uint32_t>(b.lo);
+  const auto w1 = static_cast<uint32_t>(b.lo >> 32);
+  const auto w2 = static_cast<uint32_t>(b.hi);
+  const auto w3 = static_cast<uint32_t>(b.hi >> 32);
+  *qlo = spread_bytes(w0) | (spread_bytes(w2) << 8);
+  *qhi = spread_bytes(w1) | (spread_bytes(w3) << 8);
+}
+
+inline Block interleave_out(uint64_t qlo, uint64_t qhi) {
+  const uint64_t w0 = gather_bytes(qlo);
+  const uint64_t w2 = gather_bytes(qlo >> 8);
+  const uint64_t w1 = gather_bytes(qhi);
+  const uint64_t w3 = gather_bytes(qhi >> 8);
+  return Block{w0 | (w1 << 32), w2 | (w3 << 32)};
+}
+
+// 8x8 bit-matrix transpose across the eight words (per byte column):
+// moves each byte's bits onto their planes. Involution — packing and
+// unpacking call the same function.
+inline void ortho(uint64_t q[8]) {
+  const auto swapn = [&](uint64_t cl, int s, int x, int y) {
+    const uint64_t a = q[x], b = q[y];
+    q[x] = (a & cl) | ((b & cl) << s);
+    q[y] = ((a & ~cl) >> s) | (b & ~cl);
+  };
+  swapn(0x5555555555555555ull, 1, 0, 1);
+  swapn(0x5555555555555555ull, 1, 2, 3);
+  swapn(0x5555555555555555ull, 1, 4, 5);
+  swapn(0x5555555555555555ull, 1, 6, 7);
+  swapn(0x3333333333333333ull, 2, 0, 2);
+  swapn(0x3333333333333333ull, 2, 1, 3);
+  swapn(0x3333333333333333ull, 2, 4, 6);
+  swapn(0x3333333333333333ull, 2, 5, 7);
+  swapn(0x0F0F0F0F0F0F0F0Full, 4, 0, 4);
+  swapn(0x0F0F0F0F0F0F0F0Full, 4, 1, 5);
+  swapn(0x0F0F0F0F0F0F0F0Full, 4, 2, 6);
+  swapn(0x0F0F0F0F0F0F0F0Full, 4, 3, 7);
+}
+
+// ---------------------------------------------------------------------
+// Round functions on the bitplane representation.
+// ---------------------------------------------------------------------
+
+// Boyar–Peralta combinational S-box (the depth-16, 113-gate circuit),
+// evaluated over all 64 lanes at once. x0 is the MSB plane (q[7]).
+inline void sub_bytes(uint64_t q[8]) {
+  const uint64_t x0 = q[7], x1 = q[6], x2 = q[5], x3 = q[4];
+  const uint64_t x4 = q[3], x5 = q[2], x6 = q[1], x7 = q[0];
+
+  // Top linear transform.
+  const uint64_t y14 = x3 ^ x5;
+  const uint64_t y13 = x0 ^ x6;
+  const uint64_t y9 = x0 ^ x3;
+  const uint64_t y8 = x0 ^ x5;
+  const uint64_t t0 = x1 ^ x2;
+  const uint64_t y1 = t0 ^ x7;
+  const uint64_t y4 = y1 ^ x3;
+  const uint64_t y12 = y13 ^ y14;
+  const uint64_t y2 = y1 ^ x0;
+  const uint64_t y5 = y1 ^ x6;
+  const uint64_t y3 = y5 ^ y8;
+  const uint64_t t1 = x4 ^ y12;
+  const uint64_t y15 = t1 ^ x5;
+  const uint64_t y20 = t1 ^ x1;
+  const uint64_t y6 = y15 ^ x7;
+  const uint64_t y10 = y15 ^ t0;
+  const uint64_t y11 = y20 ^ y9;
+  const uint64_t y7 = x7 ^ y11;
+  const uint64_t y17 = y10 ^ y11;
+  const uint64_t y19 = y10 ^ y8;
+  const uint64_t y16 = t0 ^ y11;
+  const uint64_t y21 = y13 ^ y16;
+  const uint64_t y18 = x0 ^ y16;
+
+  // Shared nonlinear middle (GF(2^4) inversion tower).
+  const uint64_t t2 = y12 & y15;
+  const uint64_t t3 = y3 & y6;
+  const uint64_t t4 = t3 ^ t2;
+  const uint64_t t5 = y4 & x7;
+  const uint64_t t6 = t5 ^ t2;
+  const uint64_t t7 = y13 & y16;
+  const uint64_t t8 = y5 & y1;
+  const uint64_t t9 = t8 ^ t7;
+  const uint64_t t10 = y2 & y7;
+  const uint64_t t11 = t10 ^ t7;
+  const uint64_t t12 = y9 & y11;
+  const uint64_t t13 = y14 & y17;
+  const uint64_t t14 = t13 ^ t12;
+  const uint64_t t15 = y8 & y10;
+  const uint64_t t16 = t15 ^ t12;
+  const uint64_t t17 = t4 ^ t14;
+  const uint64_t t18 = t6 ^ t16;
+  const uint64_t t19 = t9 ^ t14;
+  const uint64_t t20 = t11 ^ t16;
+  const uint64_t t21 = t17 ^ y20;
+  const uint64_t t22 = t18 ^ y19;
+  const uint64_t t23 = t19 ^ y21;
+  const uint64_t t24 = t20 ^ y18;
+  const uint64_t t25 = t21 ^ t22;
+  const uint64_t t26 = t21 & t23;
+  const uint64_t t27 = t24 ^ t26;
+  const uint64_t t28 = t25 & t27;
+  const uint64_t t29 = t28 ^ t22;
+  const uint64_t t30 = t23 ^ t24;
+  const uint64_t t31 = t22 ^ t26;
+  const uint64_t t32 = t31 & t30;
+  const uint64_t t33 = t32 ^ t24;
+  const uint64_t t34 = t23 ^ t33;
+  const uint64_t t35 = t27 ^ t33;
+  const uint64_t t36 = t24 & t35;
+  const uint64_t t37 = t36 ^ t34;
+  const uint64_t t38 = t27 ^ t36;
+  const uint64_t t39 = t29 & t38;
+  const uint64_t t40 = t25 ^ t39;
+  const uint64_t t41 = t40 ^ t37;
+  const uint64_t t42 = t29 ^ t33;
+  const uint64_t t43 = t29 ^ t40;
+  const uint64_t t44 = t33 ^ t37;
+  const uint64_t t45 = t42 ^ t41;
+  const uint64_t z0 = t44 & y15;
+  const uint64_t z1 = t37 & y6;
+  const uint64_t z2 = t33 & x7;
+  const uint64_t z3 = t43 & y16;
+  const uint64_t z4 = t40 & y1;
+  const uint64_t z5 = t29 & y7;
+  const uint64_t z6 = t42 & y11;
+  const uint64_t z7 = t45 & y17;
+  const uint64_t z8 = t41 & y10;
+  const uint64_t z9 = t44 & y12;
+  const uint64_t z10 = t37 & y3;
+  const uint64_t z11 = t33 & y4;
+  const uint64_t z12 = t43 & y13;
+  const uint64_t z13 = t40 & y5;
+  const uint64_t z14 = t29 & y2;
+  const uint64_t z15 = t42 & y9;
+  const uint64_t z16 = t45 & y14;
+  const uint64_t z17 = t41 & y8;
+
+  // Bottom linear transform (four outputs inverted, per the affine map).
+  const uint64_t tc1 = z15 ^ z16;
+  const uint64_t tc2 = z10 ^ tc1;
+  const uint64_t tc3 = z9 ^ tc2;
+  const uint64_t tc4 = z0 ^ z2;
+  const uint64_t tc5 = z1 ^ z0;
+  const uint64_t tc6 = z3 ^ z4;
+  const uint64_t tc7 = z12 ^ tc4;
+  const uint64_t tc8 = z7 ^ tc6;
+  const uint64_t tc9 = z8 ^ tc7;
+  const uint64_t tc10 = tc8 ^ tc9;
+  const uint64_t tc11 = tc6 ^ tc5;
+  const uint64_t tc12 = z3 ^ z5;
+  const uint64_t tc13 = z13 ^ tc1;
+  const uint64_t tc14 = tc4 ^ tc12;
+  const uint64_t s3 = tc3 ^ tc11;
+  const uint64_t tc16 = z6 ^ tc8;
+  const uint64_t tc17 = z14 ^ tc10;
+  const uint64_t tc18 = tc13 ^ tc14;
+  const uint64_t s7 = ~(z12 ^ tc18);
+  const uint64_t tc20 = z15 ^ tc16;
+  const uint64_t tc21 = tc2 ^ z11;
+  const uint64_t s0 = tc3 ^ tc16;
+  const uint64_t s6 = ~(tc10 ^ tc18);
+  const uint64_t s4 = tc14 ^ s3;
+  const uint64_t s1 = ~(s3 ^ tc16);
+  const uint64_t tc26 = tc17 ^ tc20;
+  const uint64_t s2 = ~(tc26 ^ z17);
+  const uint64_t s5 = tc21 ^ tc17;
+
+  q[7] = s0;
+  q[6] = s1;
+  q[5] = s2;
+  q[4] = s3;
+  q[3] = s4;
+  q[2] = s5;
+  q[1] = s6;
+  q[0] = s7;
+}
+
+// Row r (bits 16r..16r+15 of every plane) rotates right by 4r bits:
+// column c takes column c+r.
+inline void shift_rows(uint64_t q[8]) {
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t x = q[i];
+    q[i] = (x & 0x000000000000FFFFull) |
+           ((x >> 4) & 0x000000000FFF0000ull) |
+           ((x << 12) & 0x00000000F0000000ull) |
+           ((x >> 8) & 0x000000FF00000000ull) |
+           ((x << 8) & 0x0000FF0000000000ull) |
+           ((x >> 12) & 0x000F000000000000ull) |
+           ((x << 4) & 0xFFF0000000000000ull);
+  }
+}
+
+// Pull each lane's value from the row below (row r reads row r+1).
+inline uint64_t rot_row(uint64_t x) { return (x >> 16) | (x << 48); }
+inline uint64_t rot_row2(uint64_t x) { return (x >> 32) | (x << 32); }
+
+// new_i = d_i ^ rot(d_i) ^ rot(a_i) ^ rot2(a_i) ^ rot3(a_i), where d is
+// the xtime'd state expressed on planes (d0=a7, d1=a0^a7, d2=a1,
+// d3=a2^a7, d4=a3^a7, d5=a4, d6=a5, d7=a6 — the 0x1B feedback taps).
+inline void mix_columns(uint64_t q[8]) {
+  uint64_t r[8], s[8];
+  for (int i = 0; i < 8; ++i) r[i] = rot_row(q[i]);
+  for (int i = 0; i < 8; ++i) s[i] = rot_row2(q[i] ^ r[i]);
+  const uint64_t hi = q[7] ^ r[7];
+  const uint64_t n0 = hi ^ r[0] ^ s[0];
+  const uint64_t n1 = q[0] ^ r[0] ^ hi ^ r[1] ^ s[1];
+  const uint64_t n2 = q[1] ^ r[1] ^ r[2] ^ s[2];
+  const uint64_t n3 = q[2] ^ r[2] ^ hi ^ r[3] ^ s[3];
+  const uint64_t n4 = q[3] ^ r[3] ^ hi ^ r[4] ^ s[4];
+  const uint64_t n5 = q[4] ^ r[4] ^ r[5] ^ s[5];
+  const uint64_t n6 = q[5] ^ r[5] ^ r[6] ^ s[6];
+  const uint64_t n7 = q[6] ^ r[6] ^ r[7] ^ s[7];
+  q[0] = n0;
+  q[1] = n1;
+  q[2] = n2;
+  q[3] = n3;
+  q[4] = n4;
+  q[5] = n5;
+  q[6] = n6;
+  q[7] = n7;
+}
+
+// ---------------------------------------------------------------------
+// Key schedule on planes + the 4-block line primitive.
+// ---------------------------------------------------------------------
+
+// Round keys orthogonalized once per key: each 16-byte round key is
+// replicated across the 4 block lanes and packed like state.
+struct BitslicedKey {
+  uint64_t rk[11][8];
+};
+
+void expand_bitsliced(const Aes128Key& key, BitslicedKey* out) {
+  for (int r = 0; r <= 10; ++r) {
+    uint64_t q[8];
+    uint64_t lo, hi;
+    interleave_in(&lo, &hi, key.rounds[r]);
+    for (int b = 0; b < 4; ++b) {
+      q[b] = lo;
+      q[b + 4] = hi;
+    }
+    ortho(q);
+    std::memcpy(out->rk[r], q, sizeof(out->rk[r]));
+  }
+}
+
+// The (11 interleaves + orthos) of key expansion are cheap but not free;
+// Prg re-enters with the same key every 128-block chunk, so memoize the
+// last schedule per thread. Keys are compared by value: the expansion
+// is a pure function of the round-key bytes.
+const BitslicedKey& cached_key(const Aes128Key& key) {
+  thread_local Aes128Key last{};
+  thread_local BitslicedKey expanded{};
+  thread_local bool valid = false;
+  if (!valid || std::memcmp(&last, &key, sizeof(key)) != 0) {
+    expand_bitsliced(key, &expanded);
+    last = key;
+    valid = true;
+  }
+  return expanded;
+}
+
+inline void add_round_key(uint64_t q[8], const uint64_t rk[8]) {
+  for (int i = 0; i < 8; ++i) q[i] ^= rk[i];
+}
+
+inline void load4(uint64_t q[8], const Block* blocks) {
+  for (int b = 0; b < 4; ++b) interleave_in(&q[b], &q[b + 4], blocks[b]);
+  ortho(q);
+}
+
+inline void store4(uint64_t q[8], Block* blocks) {
+  ortho(q);
+  for (int b = 0; b < 4; ++b) blocks[b] = interleave_out(q[b], q[b + 4]);
+}
+
+inline void round_fn(uint64_t q[8], const uint64_t rk[8]) {
+  sub_bytes(q);
+  shift_rows(q);
+  mix_columns(q);
+  add_round_key(q, rk);
+}
+
+inline void last_round_fn(uint64_t q[8], const uint64_t rk[8]) {
+  sub_bytes(q);
+  shift_rows(q);
+  add_round_key(q, rk);
+}
+
+inline void encrypt4(const BitslicedKey& key, Block* blocks) {
+  uint64_t q[8];
+  load4(q, blocks);
+  add_round_key(q, key.rk[0]);
+  for (int r = 1; r < 10; ++r) round_fn(q, key.rk[r]);
+  last_round_fn(q, key.rk[10]);
+  store4(q, blocks);
+}
+
+// Two independent lines per iteration: each round touches line A then
+// line B, so B's gates fill the issue slots A's depth-16 S-box chain
+// cannot.
+inline void encrypt8(const BitslicedKey& key, Block* blocks) {
+  uint64_t qa[8], qb[8];
+  load4(qa, blocks);
+  load4(qb, blocks + 4);
+  add_round_key(qa, key.rk[0]);
+  add_round_key(qb, key.rk[0]);
+  for (int r = 1; r < 10; ++r) {
+    round_fn(qa, key.rk[r]);
+    round_fn(qb, key.rk[r]);
+  }
+  last_round_fn(qa, key.rk[10]);
+  last_round_fn(qb, key.rk[10]);
+  store4(qa, blocks);
+  store4(qb, blocks + 4);
+}
+
+}  // namespace
+
+void aes128_encrypt_batch_bitsliced(const Aes128Key& key, Block* blocks,
+                                    size_t n) {
+  const BitslicedKey& bk = cached_key(key);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) encrypt8(bk, blocks + i);
+  for (; i + 4 <= n; i += 4) encrypt4(bk, blocks + i);
+  if (i < n) {
+    Block tail[4] = {};
+    std::memcpy(tail, blocks + i, (n - i) * sizeof(Block));
+    encrypt4(bk, tail);
+    std::memcpy(blocks + i, tail, (n - i) * sizeof(Block));
+  }
+}
+
+}  // namespace deepsecure::detail

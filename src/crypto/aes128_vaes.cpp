@@ -1,0 +1,72 @@
+// VAES/AVX-512 backend: 16 blocks in flight as four 512-bit states.
+// Compiled only when the toolchain accepts -mvaes -mavx512f; callers
+// must gate on the vaes16 backend's available() check (VAES + AVX512F
+// CPUID bits plus OS ZMM state via XGETBV).
+#include "crypto/aes128.h"
+
+#if defined(DEEPSECURE_VAES_COMPILED)
+
+#include <immintrin.h>
+
+namespace deepsecure::detail {
+namespace {
+
+// Block{lo,hi} is little-endian 128-bit memory, so four consecutive
+// Blocks load directly as one 512-bit lane group.
+inline __m512i load4(const Block* b) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(b));
+}
+
+inline void store4(Block* b, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(b), v);
+}
+
+}  // namespace
+
+void aes128_encrypt_batch_vaes(const Aes128Key& key, Block* blocks, size_t n) {
+  __m512i rk[11];
+  for (int r = 0; r <= 10; ++r)
+    rk[r] = _mm512_broadcast_i32x4(
+        _mm_set_epi64x(static_cast<long long>(key.rounds[r].hi),
+                       static_cast<long long>(key.rounds[r].lo)));
+
+  size_t i = 0;
+  // 16-wide: four 512-bit states keep the AES units saturated even at
+  // 2-port throughput; _mm512_aesenc_epi128 applies the round per lane.
+  for (; i + 16 <= n; i += 16) {
+    __m512i s0 = _mm512_xor_si512(load4(blocks + i + 0), rk[0]);
+    __m512i s1 = _mm512_xor_si512(load4(blocks + i + 4), rk[0]);
+    __m512i s2 = _mm512_xor_si512(load4(blocks + i + 8), rk[0]);
+    __m512i s3 = _mm512_xor_si512(load4(blocks + i + 12), rk[0]);
+    for (int r = 1; r < 10; ++r) {
+      s0 = _mm512_aesenc_epi128(s0, rk[r]);
+      s1 = _mm512_aesenc_epi128(s1, rk[r]);
+      s2 = _mm512_aesenc_epi128(s2, rk[r]);
+      s3 = _mm512_aesenc_epi128(s3, rk[r]);
+    }
+    store4(blocks + i + 0, _mm512_aesenclast_epi128(s0, rk[10]));
+    store4(blocks + i + 4, _mm512_aesenclast_epi128(s1, rk[10]));
+    store4(blocks + i + 8, _mm512_aesenclast_epi128(s2, rk[10]));
+    store4(blocks + i + 12, _mm512_aesenclast_epi128(s3, rk[10]));
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m512i s = _mm512_xor_si512(load4(blocks + i), rk[0]);
+    for (int r = 1; r < 10; ++r) s = _mm512_aesenc_epi128(s, rk[r]);
+    store4(blocks + i, _mm512_aesenclast_epi128(s, rk[10]));
+  }
+  if (i < n) {
+    // Masked remainder: load the 1-3 leftover blocks into the low lanes
+    // (2 qword lanes per block); AESENC on the zeroed garbage lanes is
+    // harmless since the mask also gates the store.
+    const __mmask8 m = static_cast<__mmask8>((1u << (2 * (n - i))) - 1u);
+    __m512i s = _mm512_maskz_loadu_epi64(m, reinterpret_cast<const void*>(blocks + i));
+    s = _mm512_xor_si512(s, rk[0]);
+    for (int r = 1; r < 10; ++r) s = _mm512_aesenc_epi128(s, rk[r]);
+    s = _mm512_aesenclast_epi128(s, rk[10]);
+    _mm512_mask_storeu_epi64(reinterpret_cast<void*>(blocks + i), m, s);
+  }
+}
+
+}  // namespace deepsecure::detail
+
+#endif  // DEEPSECURE_VAES_COMPILED

@@ -11,10 +11,100 @@
 // that across machines.
 #pragma once
 
+#include <cstdlib>
+#include <memory>
+#include <new>
+
 #include "circuit/circuit.h"
 #include "gc/garble.h"
 
 namespace deepsecure {
+
+// ---------------------------------------------------------------------
+// Dense window staging lines. One window's operands live in a single
+// 64-byte-aligned allocation with power-of-two gate capacity; each
+// operand class (labels, tweaks, hashes, table rows, output wires) is a
+// contiguous segment starting on a cache-line boundary. The hash
+// backends sweep the segments as flat arrays — no per-gate structs to
+// gather from — and the same layout is what a launch-per-window GPU
+// kernel would DMA: one linear copy in, one out.
+// ---------------------------------------------------------------------
+
+namespace detail {
+struct WindowLineFree {
+  void operator()(void* p) const { std::free(p); }
+};
+using WindowLineMem = std::unique_ptr<void, WindowLineFree>;
+
+inline WindowLineMem window_line_alloc(size_t bytes) {
+  // aligned_alloc requires the size be a multiple of the alignment.
+  bytes = (bytes + 63) & ~size_t{63};
+  void* p = std::aligned_alloc(64, bytes);
+  if (p == nullptr) throw std::bad_alloc();
+  return WindowLineMem(p);
+}
+}  // namespace detail
+
+/// Garbler-side staging line: per gate, the two input zero-labels, two
+/// tweaks, four hashes (gc_hash_and_quads output), two table rows, and
+/// the output wire. Segment order puts the 16-byte Block segments
+/// first, so every segment is cache-line aligned for any power-of-two
+/// capacity >= 4.
+struct GarbleWindowLine {
+  explicit GarbleWindowLine(size_t cap) : capacity(cap) {
+    static_assert(sizeof(Block) == 16);
+    const size_t bytes = cap * (9 * sizeof(Block) + 2 * sizeof(uint64_t) +
+                                sizeof(Wire));
+    mem_ = detail::window_line_alloc(bytes);
+    auto* base = static_cast<uint8_t*>(mem_.get());
+    a0 = reinterpret_cast<Block*>(base);
+    b0 = a0 + cap;
+    hashes = b0 + cap;      // 4 per gate
+    tabs = hashes + 4 * cap;  // 2 per gate
+    tweaks = reinterpret_cast<uint64_t*>(tabs + 2 * cap);  // 2 per gate
+    outs = reinterpret_cast<Wire*>(tweaks + 2 * cap);
+  }
+
+  Block* a0;
+  Block* b0;
+  Block* hashes;
+  Block* tabs;
+  uint64_t* tweaks;
+  Wire* outs;
+  size_t size = 0;
+  const size_t capacity;
+
+ private:
+  detail::WindowLineMem mem_;
+};
+
+/// Evaluator-side staging line: two active input labels, two tweaks,
+/// two table rows, two hashes, one output wire per gate.
+struct EvalWindowLine {
+  explicit EvalWindowLine(size_t cap) : capacity(cap) {
+    static_assert(sizeof(Block) == 16);
+    const size_t bytes = cap * (6 * sizeof(Block) + 2 * sizeof(uint64_t) +
+                                sizeof(Wire));
+    mem_ = detail::window_line_alloc(bytes);
+    auto* base = static_cast<uint8_t*>(mem_.get());
+    ins = reinterpret_cast<Block*>(base);  // 2 per gate
+    tabs = ins + 2 * cap;                  // 2 per gate
+    hashes = tabs + 2 * cap;               // 2 per gate
+    tweaks = reinterpret_cast<uint64_t*>(hashes + 2 * cap);  // 2 per gate
+    outs = reinterpret_cast<Wire*>(tweaks + 2 * cap);
+  }
+
+  Block* ins;
+  Block* tabs;
+  Block* hashes;
+  uint64_t* tweaks;
+  Wire* outs;
+  size_t size = 0;
+  const size_t capacity;
+
+ private:
+  detail::WindowLineMem mem_;
+};
 
 /// Walk `c.gates` in order. XOR gates invoke `on_xor(g)` immediately
 /// (free-XOR). AND gates invoke `on_and(g)` to enqueue into the pending

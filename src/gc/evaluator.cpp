@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/aes128.h"
+#include "crypto/hash_backend.h"
 #include "gc/batch_walk.h"
 #include "gc/block_io.h"
 #include "support/thread_pool.h"
@@ -87,54 +88,46 @@ void Evaluator::evaluate_gates_scalar(const Circuit& c, Labels& w,
 // access, and the evaluation result is identical to single-threaded.
 void Evaluator::evaluate_gates_batched(const Circuit& c, Labels& w,
                                        BlockReader& tables) {
-  std::vector<Block> ins, tabs, hashes;  // 2 entries per pending gate
-  std::vector<uint64_t> tweaks;
-  std::vector<Wire> outs;
-  ins.reserve(2 * kGcMaxBatchWindow);
-  tabs.reserve(2 * kGcMaxBatchWindow);
-  hashes.reserve(2 * kGcMaxBatchWindow);
-  tweaks.reserve(2 * kGcMaxBatchWindow);
-  outs.reserve(kGcMaxBatchWindow);
+  const HashBackend& be =
+      opt_.hash_backend != nullptr ? *opt_.hash_backend : hash_backend();
+  EvalWindowLine line(kGcMaxBatchWindow);
 
   auto flush = [&](bool /*level_boundary*/) {
     // The reader side is frame-agnostic (frames self-describe), so the
     // flush reason is irrelevant here — only the drain schedule matters.
-    const size_t n = outs.size();
+    const size_t n = line.size;
     if (n == 0) return;
-    hashes.resize(2 * n);
     auto shard = [&](size_t lo, size_t hi) {
-      gc_hash_batch(ins.data() + 2 * lo, tweaks.data() + 2 * lo,
-                    hashes.data() + 2 * lo, 2 * (hi - lo));
+      gc_hash_batch(be, line.ins + 2 * lo, line.tweaks + 2 * lo,
+                    line.hashes + 2 * lo, 2 * (hi - lo));
       for (size_t i = lo; i < hi; ++i) {
-        const Block wa = ins[2 * i];
-        Block wgc = hashes[2 * i];
-        if (wa.lsb()) wgc ^= tabs[2 * i];
-        Block wec = hashes[2 * i + 1];
-        if (ins[2 * i + 1].lsb()) wec ^= tabs[2 * i + 1] ^ wa;
-        w[outs[i]] = wgc ^ wec;  // disjoint wires across shards
+        const Block wa = line.ins[2 * i];
+        Block wgc = line.hashes[2 * i];
+        if (wa.lsb()) wgc ^= line.tabs[2 * i];
+        Block wec = line.hashes[2 * i + 1];
+        if (line.ins[2 * i + 1].lsb()) wec ^= line.tabs[2 * i + 1] ^ wa;
+        w[line.outs[i]] = wgc ^ wec;  // disjoint wires across shards
       }
     };
     if (opt_.pool != nullptr)
       opt_.pool->parallel_shards(n, opt_.min_shard_gates, shard);
     else
       shard(0, n);
-    ins.clear();
-    tabs.clear();
-    tweaks.clear();
-    outs.clear();
+    line.size = 0;
   };
 
   gc_batched_walk(
       c,
       [&](const Gate& g) { w[g.out] = w[g.a] ^ w[g.b]; },  // free-XOR
       [&](const Gate& g) {
-        ins.push_back(w[g.a]);
-        ins.push_back(w[g.b]);
-        tweaks.push_back(tweak_++);
-        tweaks.push_back(tweak_++);
-        tabs.push_back(tables.get());
-        tabs.push_back(tables.get());
-        outs.push_back(g.out);
+        const size_t i = line.size++;
+        line.ins[2 * i] = w[g.a];
+        line.ins[2 * i + 1] = w[g.b];
+        line.tweaks[2 * i] = tweak_++;
+        line.tweaks[2 * i + 1] = tweak_++;
+        line.tabs[2 * i] = tables.get();
+        line.tabs[2 * i + 1] = tables.get();
+        line.outs[i] = g.out;
       },
       flush);
 }

@@ -18,6 +18,7 @@ namespace deepsecure {
 class BlockWriter;
 class BlockReader;
 class ThreadPool;
+struct HashBackend;
 
 /// Wire labels, indexed like the corresponding input/output vectors.
 using Labels = std::vector<Block>;
@@ -66,6 +67,12 @@ struct GcOptions {
   /// Windows smaller than this are not worth sharding (pool dispatch
   /// overhead exceeds the hash work).
   size_t min_shard_gates = 128;
+  /// Batch AES kernel for this endpoint's window sweeps. nullptr = the
+  /// process-wide selection (crypto/hash_backend.h: env override, then
+  /// CPUID auto-dispatch). Every backend produces byte-identical
+  /// tables, so this is a local throughput knob like `pipeline`. Not
+  /// owned; must outlive the endpoint (registry entries are static).
+  const HashBackend* hash_backend = nullptr;
 };
 
 class Garbler {

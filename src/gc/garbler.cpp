@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/aes128.h"
+#include "crypto/hash_backend.h"
 #include "gc/batch_walk.h"
 #include "gc/block_io.h"
 #include "support/thread_pool.h"
@@ -137,18 +138,12 @@ void Garbler::garble_gates_scalar(const Circuit& c, Labels& w,
 // the transcript stays byte-identical to single-threaded garbling.
 void Garbler::garble_gates_batched(const Circuit& c, Labels& w,
                                    BlockWriter& tables) {
-  std::vector<Block> a0s, b0s, hashes, tabs;
-  std::vector<uint64_t> tweaks;
-  std::vector<Wire> outs;
-  a0s.reserve(kGcMaxBatchWindow);
-  b0s.reserve(kGcMaxBatchWindow);
-  hashes.reserve(4 * kGcMaxBatchWindow);
-  tabs.reserve(2 * kGcMaxBatchWindow);
-  tweaks.reserve(2 * kGcMaxBatchWindow);
-  outs.reserve(kGcMaxBatchWindow);
+  const HashBackend& be =
+      opt_.hash_backend != nullptr ? *opt_.hash_backend : hash_backend();
+  GarbleWindowLine line(kGcMaxBatchWindow);
 
   auto flush = [&](bool level_boundary) {
-    const size_t n = outs.size();
+    const size_t n = line.size;
     if (n == 0) {
       // A level whose AND count is an exact multiple of the window
       // capacity drains entirely via capacity flushes; its boundary
@@ -158,56 +153,51 @@ void Garbler::garble_gates_batched(const Circuit& c, Labels& w,
       if (level_boundary) tables.mark_window(true);
       return;
     }
-    hashes.resize(4 * n);
-    tabs.resize(2 * n);
     auto shard = [&](size_t lo, size_t hi) {
-      gc_hash_and_quads(a0s.data() + lo, b0s.data() + lo, delta_,
-                        tweaks.data() + 2 * lo, hashes.data() + 4 * lo,
-                        hi - lo);
+      gc_hash_and_quads(be, line.a0 + lo, line.b0 + lo, delta_,
+                        line.tweaks + 2 * lo, line.hashes + 4 * lo, hi - lo);
       for (size_t i = lo; i < hi; ++i) {
-        const Block a0 = a0s[i];
-        const Block ha0 = hashes[4 * i + 0];
-        const Block ha1 = hashes[4 * i + 1];
-        const Block hb0 = hashes[4 * i + 2];
-        const Block hb1 = hashes[4 * i + 3];
+        const Block a0 = line.a0[i];
+        const Block ha0 = line.hashes[4 * i + 0];
+        const Block ha1 = line.hashes[4 * i + 1];
+        const Block hb0 = line.hashes[4 * i + 2];
+        const Block hb1 = line.hashes[4 * i + 3];
 
         Block tg = ha0 ^ ha1;
-        if (b0s[i].lsb()) tg ^= delta_;
+        if (line.b0[i].lsb()) tg ^= delta_;
         Block wg = ha0;
         if (a0.lsb()) wg ^= tg;
 
         const Block te = hb0 ^ hb1 ^ a0;
         Block we = hb0;
-        if (b0s[i].lsb()) we ^= te ^ a0;
+        if (line.b0[i].lsb()) we ^= te ^ a0;
 
-        tabs[2 * i] = tg;
-        tabs[2 * i + 1] = te;
-        w[outs[i]] = wg ^ we;  // disjoint wires across shards
+        line.tabs[2 * i] = tg;
+        line.tabs[2 * i + 1] = te;
+        w[line.outs[i]] = wg ^ we;  // disjoint wires across shards
       }
     };
     if (opt_.pool != nullptr)
       opt_.pool->parallel_shards(n, opt_.min_shard_gates, shard);
     else
       shard(0, n);
-    for (size_t i = 0; i < 2 * n; ++i) tables.put(tabs[i]);
+    for (size_t i = 0; i < 2 * n; ++i) tables.put(line.tabs[i]);
     // Frames cut only at level boundaries: a capacity drain mid-level
     // keeps buffering so wide scheduled levels ship as one frame.
     tables.mark_window(level_boundary);
-    a0s.clear();
-    b0s.clear();
-    tweaks.clear();
-    outs.clear();
+    line.size = 0;
   };
 
   gc_batched_walk(
       c,
       [&](const Gate& g) { w[g.out] = w[g.a] ^ w[g.b]; },  // free-XOR
       [&](const Gate& g) {
-        a0s.push_back(w[g.a]);
-        b0s.push_back(w[g.b]);
-        tweaks.push_back(tweak_++);
-        tweaks.push_back(tweak_++);
-        outs.push_back(g.out);
+        const size_t i = line.size++;
+        line.a0[i] = w[g.a];
+        line.b0[i] = w[g.b];
+        line.tweaks[2 * i] = tweak_++;
+        line.tweaks[2 * i + 1] = tweak_++;
+        line.outs[i] = g.out;
       },
       flush);
 }

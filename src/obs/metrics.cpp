@@ -127,12 +127,25 @@ std::string Snapshot::to_json() const {
   for (const Hist& h : hists) {
     std::snprintf(buf, sizeof(buf),
                   "%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"p50\":%.1f,"
-                  "\"p95\":%.1f,\"p99\":%.1f}",
+                  "\"p95\":%.1f,\"p99\":%.1f,\"buckets\":[",
                   first ? "" : ",", h.name.c_str(),
                   static_cast<unsigned long long>(h.count),
                   static_cast<unsigned long long>(h.sum), h.quantile(0.50),
                   h.quantile(0.95), h.quantile(0.99));
     out += buf;
+    // Merged log-bucket bins as [lower_bound, count] pairs, zero bins
+    // elided — enough for a scraper to rebuild the distribution and
+    // compute any quantile, not just the three pre-baked ones.
+    bool bfirst = true;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      std::snprintf(buf, sizeof(buf), "%s[%llu,%llu]", bfirst ? "" : ",",
+                    static_cast<unsigned long long>(histogram_bucket_lo(b)),
+                    static_cast<unsigned long long>(h.buckets[b]));
+      out += buf;
+      bfirst = false;
+    }
+    out += "]}";
     first = false;
   }
   out += "}}";

@@ -169,9 +169,12 @@ struct Snapshot {
 
   /// Compact JSON object:
   ///   {"counters":{...},"gauges":{...},
-  ///    "hists":{"name":{"count":n,"sum":n,"p50":x,"p95":x,"p99":x}}}
+  ///    "hists":{"name":{"count":n,"sum":n,"p50":x,"p95":x,"p99":x,
+  ///                     "buckets":[[lo,count],...]}}}
   /// Histogram quantiles are in the observed unit (this codebase
-  /// observes nanoseconds for latencies, bytes for sizes).
+  /// observes nanoseconds for latencies, bytes for sizes). "buckets"
+  /// lists the non-empty log-bucket bins as [lower_bound, count] pairs
+  /// so scrapers can compute any quantile, not just the pre-baked ones.
   std::string to_json() const;
 
   const Hist* find_hist(std::string_view name) const;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "crypto/hash_backend.h"
 #include "obs/trace.h"
 #include "runtime/frame.h"
 #include "runtime/reactor.h"
@@ -359,16 +360,18 @@ std::string InferenceServer::stats_json() const {
   }
   const double accounted =
       wall_s > 0 ? std::min(phase_total_s / wall_s, 1.0) : 0.0;
-  char head[256];
+  char head[384];
   std::snprintf(head, sizeof(head),
                 "{\"core\":\"%s\",\"sessions_active\":%llu,"
                 "\"prefetch_bytes\":%llu,"
+                "\"hash_backend\":\"%s\",\"cpu_features\":\"%s\","
                 "\"accounting\":{\"phase_total_s\":%.6f,"
                 "\"session_wall_s\":%.6f,\"accounted_fraction\":%.4f},"
                 "\"metrics\":",
                 cfg_.core == ServerCore::kEventLoop ? "event" : "thread",
                 static_cast<unsigned long long>(sessions_active_.load()),
                 static_cast<unsigned long long>(prefetch_bytes_.load()),
+                hash_backend().name, hash_backend_cpu_features().c_str(),
                 phase_total_s, wall_s, accounted);
   std::string out = head;
   out += s.to_json();

@@ -20,7 +20,9 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
+#include "crypto/hash_backend.h"
 #include "gc/protocol.h"
 #include "net/buffered_channel.h"
 #include "support/thread_pool.h"
@@ -45,6 +47,12 @@ struct StreamConfig {
   size_t eval_threads = 0;
   /// BufferedChannel staging size for small protocol messages.
   size_t channel_buffer = 1 << 16;
+  /// Batch AES kernel by name ("vaes16", "aesni8", "bitsliced8",
+  /// "scalar"). Purely local — every backend produces byte-identical
+  /// tables, so this is never negotiated with the peer. Empty, unknown,
+  /// or unavailable on this host = the process-wide selection
+  /// (DEEPSECURE_HASH_BACKEND env, then CPUID auto-dispatch).
+  std::string hash_backend;
 
   GcOptions gc_options(ThreadPool* pool) const {
     GcOptions o;
@@ -52,6 +60,10 @@ struct StreamConfig {
     o.framed_tables = framed_tables;
     o.schedule = schedule;
     o.pool = pool;
+    if (!hash_backend.empty()) {
+      const HashBackend* be = find_hash_backend(hash_backend);
+      if (be != nullptr && be->available()) o.hash_backend = be;
+    }
     return o;
   }
 };
