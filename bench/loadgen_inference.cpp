@@ -8,7 +8,7 @@
 //                       [--strict-precomputed] [--no-schedule]
 //                       [--shard-threads S] [--async-prefetch]
 //                       [--server-core thread|event] [--scaling]
-//                       [--trace FILE]
+//                       [--trace FILE] [--io epoll|uring]
 //
 // Measurements:
 //   1. overlap: one streaming session over TCP loopback garbling a
@@ -35,6 +35,14 @@
 //      the run when warm-pool p50 is not below the on-demand p50
 //      (local acceptance gate — CI runs non-strict because shared
 //      runners make timing flaky).
+//   4b. data_plane: the on-demand load again with the zero-copy table
+//      path disabled (copy fallback), so every BENCH file records
+//      bytes_copied_per_table_byte for both data planes side by side —
+//      the pooled-slab path must copy at least 2x less per shipped
+//      table byte. --io uring additionally routes sends through the
+//      io_uring submission path where the kernel supports it (the
+//      effective backend is recorded; unsupported hosts fall back to
+//      sendmsg and the JSON says so).
 //   5. with --scaling, a concurrency sweep (16/64/256/1024 sessions,
 //      one request each) against BOTH server cores — the event-core
 //      headline: sessions/sec and p95 as concurrency grows, with the
@@ -58,6 +66,8 @@
 #include "fixed/fixed_point.h"
 #include "gc/material.h"
 #include "net/tcp_channel.h"
+#include "net/uring.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/client.h"
 #include "runtime/server.h"
@@ -108,6 +118,9 @@ struct Args {
   // bitsliced8 / scalar). Empty = env + CPUID auto-dispatch. The
   // selected backend is recorded in the JSON either way.
   std::string hash_backend;
+  // Send-submission path on both endpoints; kUring is runtime-probed
+  // and falls back to sendmsg (the JSON records the effective mode).
+  runtime::IoBackend io = runtime::IoBackend::kEpoll;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -143,6 +156,12 @@ Args parse_args(int argc, char** argv) {
     else if (k == "--scaling") a.scaling = true;
     else if (k == "--trace") a.trace = next();
     else if (k == "--hash-backend") a.hash_backend = next();
+    else if (k == "--io") {
+      const std::string v = next();
+      if (v == "epoll") a.io = runtime::IoBackend::kEpoll;
+      else if (v == "uring") a.io = runtime::IoBackend::kUring;
+      else throw std::runtime_error("--io expects epoll|uring");
+    }
     else throw std::runtime_error("unknown flag " + k);
   }
   return a;
@@ -309,6 +328,33 @@ double pct(const std::vector<double>& sorted, size_t p) {
   return sorted[std::min(sorted.size() - 1, (sorted.size() * p) / 100)];
 }
 
+// Snapshot of the process-wide data-plane counters (net/channel.h,
+// support/buffer_pool.h, net/ring_channel.h). Deltas bracket each load
+// run — the runs are sequential, so a delta is that run's traffic.
+struct NetCounters {
+  uint64_t bytes_copied = 0, sends_vectored = 0, syscalls_send = 0;
+  uint64_t slab_acquire = 0, slab_recycle = 0, chunk_reuse = 0;
+  static NetCounters snap() {
+    auto& r = obs::Registry::global();
+    NetCounters c;
+    c.bytes_copied = r.counter("net.bytes_copied").value();
+    c.sends_vectored = r.counter("net.sends_vectored").value();
+    c.syscalls_send = r.counter("net.syscalls_send").value();
+    c.slab_acquire = r.counter("pool.slab_acquire").value();
+    c.slab_recycle = r.counter("pool.slab_recycle").value();
+    c.chunk_reuse = r.counter("net.ring.chunk_reuse").value();
+    return c;
+  }
+  NetCounters operator-(const NetCounters& b) const {
+    return NetCounters{bytes_copied - b.bytes_copied,
+                       sends_vectored - b.sends_vectored,
+                       syscalls_send - b.syscalls_send,
+                       slab_acquire - b.slab_acquire,
+                       slab_recycle - b.slab_recycle,
+                       chunk_reuse - b.chunk_reuse};
+  }
+};
+
 struct LoadResult {
   size_t sessions = 0, requests = 0;
   double wall_s = 0;
@@ -324,6 +370,14 @@ struct LoadResult {
   uint64_t served = 0;
   uint64_t pooled = 0;
   std::string server_stats;  // InferenceServer::stats_json() post-run
+  // Data-plane accounting for this run (process-wide counter deltas).
+  NetCounters net;
+  bool zero_copy = true;      // pooled-slab table path vs copy fallback
+  uint64_t table_bytes = 0;   // garbled-table payload shipped (expected)
+  double bytes_copied_per_table_byte() const {
+    return table_bytes > 0 ? double(net.bytes_copied) / double(table_bytes)
+                           : 0.0;
+  }
   double requests_per_s() const { return wall_s > 0 ? double(served) / wall_s : 0; }
   double sessions_per_s() const {
     return wall_s > 0 ? double(sessions) / wall_s : 0;
@@ -348,7 +402,8 @@ synth::ModelSpec load_spec() {
 // split: each session garbles its artifacts in the background, pushes
 // them to the server *before* the timed window (offline phase, recorded
 // separately), and the timed requests run the online phase only.
-LoadResult measure_load(const Args& args, bool pooled) {
+LoadResult measure_load(const Args& args, bool pooled,
+                        bool zero_copy = true) {
   const synth::ModelSpec spec = load_spec();
   Rng rng(99);
   BitVec weights;
@@ -360,6 +415,8 @@ LoadResult measure_load(const Args& args, bool pooled) {
 
   runtime::ServerConfig scfg;
   scfg.core = args.server_core;
+  scfg.io = args.io;
+  scfg.stream.zero_copy_tables = zero_copy;
   scfg.max_sessions = std::max<size_t>(args.sessions, 1);
   scfg.max_prefetch = std::max<size_t>(args.requests, 1);
   scfg.stream.eval_threads = args.eval_threads;
@@ -382,6 +439,7 @@ LoadResult measure_load(const Args& args, bool pooled) {
   // online phase only (offline cost is reported as offline_prefetch_s).
   std::atomic<size_t> warmed{0};
   std::atomic<bool> go{!pooled};
+  const NetCounters net_before = NetCounters::snap();
   Stopwatch wall;
   for (size_t s = 0; s < args.sessions; ++s) {
     clients.emplace_back([&, s] {
@@ -389,6 +447,8 @@ LoadResult measure_load(const Args& args, bool pooled) {
       runtime::ClientConfig ccfg;
       ccfg.seed = Block{1000 + s, 2000 + s};  // per-session PRG seed
       ccfg.stream.schedule = args.schedule;
+      ccfg.stream.zero_copy_tables = zero_copy;
+      ccfg.io = args.io;
       if (pooled) {
         ccfg.pool_target = args.requests;
         ccfg.pool_producers = 2;
@@ -466,6 +526,14 @@ LoadResult measure_load(const Args& args, bool pooled) {
   // has complete session_wall observations for the accounting block.
   server.stop();
   r.server_stats = server.stats_json();
+  r.net = NetCounters::snap() - net_before;
+  r.zero_copy = zero_copy;
+  // Garbled-table payload per inference, mirroring the server's
+  // expected_table_bytes_ accounting (decode-bits frame + tables).
+  uint64_t per_infer = 0;
+  for (const Circuit& c : synth::compile_model_layers(spec))
+    per_infer += 2 * sizeof(Block) + c.stats().table_bytes();
+  r.table_bytes = per_infer * server.inferences_served();
 
   if (args.server_core == runtime::ServerCore::kEventLoop) {
     const size_t hc = std::thread::hardware_concurrency();
@@ -535,9 +603,41 @@ std::vector<ScalingRow> measure_scaling(const Args& base) {
   return rows;
 }
 
+// The effective send path: --io uring only takes hold where the kernel
+// probe passes (net/uring.h); everywhere else sends fall back to
+// sendmsg, and the JSON must say which one actually ran.
+const char* effective_io(const Args& args) {
+  return args.io == runtime::IoBackend::kUring && net::uring_supported()
+             ? "uring"
+             : "epoll";
+}
+
+// Data-plane counter fragment shared by every load row: which send
+// path ran, what it copied, and how the pool slabs circulated.
+std::string net_json(const Args& args, const LoadResult& l) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"io\": \"%s\", \"zero_copy\": %s, \"bytes_copied\": %llu, "
+      "\"table_bytes\": %llu, \"bytes_copied_per_table_byte\": %.6f, "
+      "\"sends_vectored\": %llu, \"syscalls_send\": %llu, "
+      "\"slab_acquire\": %llu, \"slab_recycle\": %llu, "
+      "\"ring_chunk_reuse\": %llu",
+      effective_io(args), l.zero_copy ? "true" : "false",
+      static_cast<unsigned long long>(l.net.bytes_copied),
+      static_cast<unsigned long long>(l.table_bytes),
+      l.bytes_copied_per_table_byte(),
+      static_cast<unsigned long long>(l.net.sends_vectored),
+      static_cast<unsigned long long>(l.net.syscalls_send),
+      static_cast<unsigned long long>(l.net.slab_acquire),
+      static_cast<unsigned long long>(l.net.slab_recycle),
+      static_cast<unsigned long long>(l.net.chunk_reuse));
+  return buf;
+}
+
 void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                const OfflineResult& off, const LoadResult& l,
-               const LoadResult* pre,
+               const LoadResult& lcopy, const LoadResult* pre,
                const std::vector<ScalingRow>* scaling) {
   std::fprintf(f, "{\n  \"bench\": \"loadgen_inference\",\n");
   std::fprintf(f, "  \"scheduled\": %s,\n", args.schedule ? "true" : "false");
@@ -567,6 +667,24 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                o.layers, o.gates, o.threads, o.wall_s, o.garble_s,
                o.transfer_s, o.eval_s, o.phase_sum(), o.setup_s,
                o.phase_sum() > 0 ? o.wall_s / o.phase_sum() : 0.0);
+  // The zero-copy vs copy-fallback headline: same on-demand load twice,
+  // identical wire bytes, different data plane. The pooled-slab path
+  // must memcpy at least 2x less per shipped table byte.
+  std::fprintf(
+      f,
+      "  \"data_plane\": {\"io_requested\": \"%s\", \"io\": \"%s\", "
+      "\"uring_supported\": %s, "
+      "\"zero_copy\": {%s, \"p50_ms\": %.3f}, "
+      "\"copy_fallback\": {%s, \"p50_ms\": %.3f}, "
+      "\"copy_reduction\": %.2f},\n",
+      args.io == runtime::IoBackend::kUring ? "uring" : "epoll",
+      effective_io(args), net::uring_supported() ? "true" : "false",
+      net_json(args, l).c_str(), l.p50_ms,
+      net_json(args, lcopy).c_str(), lcopy.p50_ms,
+      // 1-byte floor: the zero-copy path routinely copies NOTHING, and
+      // a 0-denominator ratio would report the win as 0.
+      double(lcopy.net.bytes_copied) /
+          double(std::max<uint64_t>(l.net.bytes_copied, 1)));
   const bool more_after_load = pre != nullptr || scaling != nullptr;
   std::fprintf(f,
                "  \"load\": {\"sessions\": %zu, \"requests_per_session\": %zu, "
@@ -575,7 +693,7 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                "%.3f, \"requests_per_s\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": "
                "%.3f, \"p99_ms\": %.3f, \"connect_p50_ms\": %.3f, "
                "\"connect_p95_ms\": %.3f, \"connect_p99_ms\": %.3f, "
-               "\"server_stats\": %s}%s\n",
+               "%s, \"server_stats\": %s}%s\n",
                l.sessions, l.requests,
                args.server_core == runtime::ServerCore::kEventLoop ? "event"
                                                                    : "thread",
@@ -583,6 +701,7 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                static_cast<unsigned long long>(l.served), l.wall_s,
                l.sessions_per_s(), l.requests_per_s(), l.p50_ms, l.p95_ms,
                l.p99_ms, l.connect_p50_ms, l.connect_p95_ms, l.connect_p99_ms,
+               net_json(args, l).c_str(),
                l.server_stats.empty() ? "{}" : l.server_stats.c_str(),
                more_after_load ? "," : "");
   if (pre != nullptr) {
@@ -599,7 +718,7 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
         "\"requests_per_s\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
         "\"p99_ms\": %.3f, \"connect_p50_ms\": %.3f, "
         "\"connect_p95_ms\": %.3f, \"connect_p99_ms\": %.3f, "
-        "\"p50_speedup_vs_ondemand\": %.3f, \"server_stats\": %s}\n",
+        "\"p50_speedup_vs_ondemand\": %.3f, %s, \"server_stats\": %s}\n",
         pre->sessions, pre->requests,
         static_cast<unsigned long long>(pre->served),
         static_cast<unsigned long long>(pre->pooled), pre->pool_hit_rate(),
@@ -608,6 +727,7 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
         pre->p50_ms, pre->p95_ms, pre->p99_ms, pre->connect_p50_ms,
         pre->connect_p95_ms, pre->connect_p99_ms,
         pre->p50_ms > 0 ? l.p50_ms / pre->p50_ms : 0.0,
+        net_json(args, *pre).c_str(),
         pre->server_stats.empty() ? "{}" : pre->server_stats.c_str());
     if (scaling != nullptr) std::fprintf(f, ",");
   }
@@ -621,12 +741,12 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                    "\"sessions_per_s\": %.3f, \"p50_ms\": %.3f, "
                    "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
                    "\"connect_p50_ms\": %.3f, \"connect_p95_ms\": %.3f, "
-                   "\"connect_p99_ms\": %.3f, \"server_stats\": %s}%s\n",
+                   "\"connect_p99_ms\": %.3f, %s, \"server_stats\": %s}%s\n",
                    row.core, row.load.sessions, row.load.serving_threads,
                    row.load.wall_s, row.load.sessions_per_s(),
                    row.load.p50_ms, row.load.p95_ms, row.load.p99_ms,
                    row.load.connect_p50_ms, row.load.connect_p95_ms,
-                   row.load.connect_p99_ms,
+                   row.load.connect_p99_ms, net_json(args, row.load).c_str(),
                    row.load.server_stats.empty()
                        ? "{}"
                        : row.load.server_stats.c_str(),
@@ -657,6 +777,10 @@ int main(int argc, char** argv) {
     const OverlapResult overlap = measure_overlap(args);
     const OfflineResult offline = measure_offline(args);
     const LoadResult load = measure_load(args, /*pooled=*/false);
+    // Same load with the zero-copy table path disabled: the copy
+    // fallback reference for the data_plane comparison.
+    const LoadResult load_copy =
+        measure_load(args, /*pooled=*/false, /*zero_copy=*/false);
     LoadResult pre;
     if (args.precomputed) pre = measure_load(args, /*pooled=*/true);
     const LoadResult* pre_p = args.precomputed ? &pre : nullptr;
@@ -670,11 +794,11 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(obs::trace_dropped()),
                    args.trace.c_str());
     }
-    emit_json(stdout, args, overlap, offline, load, pre_p, scl_p);
+    emit_json(stdout, args, overlap, offline, load, load_copy, pre_p, scl_p);
     if (!args.out.empty()) {
       std::FILE* f = std::fopen(args.out.c_str(), "w");
       if (f == nullptr) throw std::runtime_error("cannot open " + args.out);
-      emit_json(f, args, overlap, offline, load, pre_p, scl_p);
+      emit_json(f, args, overlap, offline, load, load_copy, pre_p, scl_p);
       std::fclose(f);
     }
     if (overlap.wall_s >= overlap.phase_sum()) {

@@ -3,7 +3,11 @@
 // sample; the client never sees the weights.
 //
 //   ./example_secure_client [host] [port] [n_requests] [garble_threads]
-//                           [prefetch] [shard_threads] [async]
+//                           [prefetch] [shard_threads] [async] [--stats]
+//
+// --stats asks the server for its runtime counters (protocol v5 kStats
+// round trip) after the requests finish and prints the JSON document —
+// pool slab traffic, vectored sends, copied bytes, io backend.
 //
 // With prefetch > 0 the client garbles instances in the background and
 // pushes them to the server ahead of requests (the offline/online
@@ -22,6 +26,17 @@
 
 int main(int argc, char** argv) {
   using namespace deepsecure;
+
+  // Flags may appear anywhere; strip them before positional parsing.
+  bool want_stats = false;
+  int argn = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--stats")
+      want_stats = true;
+    else
+      argv[argn++] = argv[i];
+  }
+  argc = argn;
 
   const std::string host = argc > 1 ? argv[1] : "127.0.0.1";
   const uint16_t port =
@@ -73,6 +88,9 @@ int main(int argc, char** argv) {
                 return ot * 1e3;
               }(),
               t.phases.size());
+  if (want_stats)
+    std::printf("secure_client: server stats\n%s\n",
+                client.server_stats().c_str());
   client.close();
   return 0;
 }

@@ -27,10 +27,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "net/channel.h"
+#include "net/uring.h"
 
 namespace deepsecure {
 
@@ -52,6 +54,20 @@ class TcpChannel final : public Channel {
   void send_bytes(const void* data, size_t n) override;
   void recv_bytes(void* data, size_t n) override;
   size_t recv_some(void* data, size_t min_n, size_t max_n) override;
+
+  /// True scatter-gather send: one sendmsg (or one linked-SQE io_uring
+  /// submission — see enable_io_uring) per <= IOV_MAX slices instead of
+  /// one syscall per slice, resuming short writes mid-iovec. Slices are
+  /// fully shipped before return, so borrowed refs release here.
+  void send_iov(IoSlice* slices, size_t n) override;
+
+  /// Route sends through a per-channel io_uring submission queue
+  /// (net/uring.h): a vectored send becomes a chain of linked SQEs and
+  /// ONE io_uring_enter. Runtime-probed — returns the effective state
+  /// (false = kernel refused io_uring; sends stay on the sendmsg path,
+  /// which is the documented clean fallback).
+  bool enable_io_uring();
+  bool io_uring_enabled() const { return uring_ != nullptr; }
 
   /// Shut both directions down without closing the fd. A thread blocked
   /// in recv on this channel wakes with a "peer closed" error — the
@@ -94,6 +110,7 @@ class TcpChannel final : public Channel {
   uint64_t timeout_ms_ = 0;  // 0 = unbounded
   uint64_t sent_ = 0;
   uint64_t received_ = 0;
+  std::unique_ptr<net::UringQueue> uring_;  // non-null = uring send path
 };
 
 /// Reusable listening socket bound to loopback. accept() yields one

@@ -1,0 +1,237 @@
+#include "net/uring.h"
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace deepsecure::net {
+namespace {
+
+// Raw syscall stubs — the two entry points the whole interface needs.
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+[[noreturn]] void die(const std::string& what, int err) {
+  throw std::runtime_error("uring: " + what + ": " + std::strerror(err));
+}
+
+bool peer_gone(int err) {
+  return err == EPIPE || err == ECONNRESET || err == ENOTCONN;
+}
+
+constexpr unsigned kSqEntries = 64;   // linked frames per enter, max
+constexpr size_t kIovPerSqe = 1024;   // kernel UIO_MAXIOV per sendmsg op
+
+// The mmap'd ring indices are plain u32s the kernel updates; access
+// them through atomics for the required acquire/release ordering.
+std::atomic<unsigned>* ring_atomic(void* base, unsigned off) {
+  return reinterpret_cast<std::atomic<unsigned>*>(
+      static_cast<uint8_t*>(base) + off);
+}
+
+}  // namespace
+
+bool uring_supported() {
+  static const bool ok = [] {
+    const char* off = std::getenv("DEEPSECURE_NO_URING");
+    if (off != nullptr && off[0] != '\0' && !(off[0] == '0' && off[1] == '\0'))
+      return false;
+    io_uring_params p{};
+    const int fd = sys_io_uring_setup(4, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return ok;
+}
+
+struct UringQueue::Impl {
+  int ring_fd = -1;
+  unsigned sq_entries = 0;
+
+  void* sq_ring = MAP_FAILED;
+  size_t sq_ring_bytes = 0;
+  void* cq_ring = MAP_FAILED;  // == sq_ring under IORING_FEAT_SINGLE_MMAP
+  size_t cq_ring_bytes = 0;
+  io_uring_sqe* sqes = static_cast<io_uring_sqe*>(MAP_FAILED);
+  size_t sqes_bytes = 0;
+  bool single_mmap = false;
+
+  std::atomic<unsigned>* sq_head = nullptr;
+  std::atomic<unsigned>* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+  std::atomic<unsigned>* cq_head = nullptr;
+  std::atomic<unsigned>* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+
+  ~Impl() {
+    if (sqes != MAP_FAILED) ::munmap(sqes, sqes_bytes);
+    if (cq_ring != MAP_FAILED && !single_mmap)
+      ::munmap(cq_ring, cq_ring_bytes);
+    if (sq_ring != MAP_FAILED) ::munmap(sq_ring, sq_ring_bytes);
+    if (ring_fd >= 0) ::close(ring_fd);
+  }
+
+  bool setup() {
+    io_uring_params p{};
+    ring_fd = sys_io_uring_setup(kSqEntries, &p);
+    if (ring_fd < 0) return false;
+    sq_entries = p.sq_entries;
+    single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+
+    sq_ring_bytes = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    cq_ring_bytes = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    if (single_mmap && cq_ring_bytes > sq_ring_bytes)
+      sq_ring_bytes = cq_ring_bytes;
+
+    sq_ring = ::mmap(nullptr, sq_ring_bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQ_RING);
+    if (sq_ring == MAP_FAILED) return false;
+    if (single_mmap) {
+      cq_ring = sq_ring;
+      cq_ring_bytes = sq_ring_bytes;
+    } else {
+      cq_ring = ::mmap(nullptr, cq_ring_bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd,
+                       IORING_OFF_CQ_RING);
+      if (cq_ring == MAP_FAILED) return false;
+    }
+    sqes_bytes = p.sq_entries * sizeof(io_uring_sqe);
+    sqes = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqes_bytes, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQES));
+    if (sqes == MAP_FAILED) return false;
+
+    sq_head = ring_atomic(sq_ring, p.sq_off.head);
+    sq_tail = ring_atomic(sq_ring, p.sq_off.tail);
+    sq_mask = *reinterpret_cast<unsigned*>(
+        static_cast<uint8_t*>(sq_ring) + p.sq_off.ring_mask);
+    sq_array = reinterpret_cast<unsigned*>(
+        static_cast<uint8_t*>(sq_ring) + p.sq_off.array);
+    cq_head = ring_atomic(cq_ring, p.cq_off.head);
+    cq_tail = ring_atomic(cq_ring, p.cq_off.tail);
+    cq_mask = *reinterpret_cast<unsigned*>(
+        static_cast<uint8_t*>(cq_ring) + p.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(
+        static_cast<uint8_t*>(cq_ring) + p.cq_off.cqes);
+    return true;
+  }
+
+  /// Submit `count` msghdrs as one linked chain, one enter, reap all
+  /// completions. `expected[i]` is msg i's full byte length.
+  void submit_chain(int fd, const msghdr* msgs, const size_t* expected,
+                    unsigned count) {
+    unsigned tail = sq_tail->load(std::memory_order_relaxed);
+    for (unsigned i = 0; i < count; ++i) {
+      const unsigned idx = tail & sq_mask;
+      io_uring_sqe& sqe = sqes[idx];
+      std::memset(&sqe, 0, sizeof(sqe));
+      sqe.opcode = IORING_OP_SENDMSG;
+      sqe.fd = fd;
+      sqe.addr = reinterpret_cast<uint64_t>(&msgs[i]);
+      sqe.msg_flags = MSG_WAITALL | MSG_NOSIGNAL;
+      sqe.user_data = i;
+      if (i + 1 < count) sqe.flags = IOSQE_IO_LINK;
+      sq_array[idx] = idx;
+      ++tail;
+    }
+    sq_tail->store(tail, std::memory_order_release);
+
+    unsigned completed = 0;
+    int first_err = 0;
+    unsigned to_submit = count;
+    while (completed < count) {
+      const int rc = sys_io_uring_enter(ring_fd, to_submit, count - completed,
+                                        IORING_ENTER_GETEVENTS);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        die("io_uring_enter", errno);
+      }
+      to_submit = 0;  // submitted on the first successful enter
+      unsigned head = cq_head->load(std::memory_order_relaxed);
+      const unsigned cq_seen = cq_tail->load(std::memory_order_acquire);
+      while (head != cq_seen) {
+        const io_uring_cqe& cqe = cqes[head & cq_mask];
+        if (cqe.res < 0) {
+          // A failed op cancels the rest of its link chain (-ECANCELED
+          // completions follow); remember the root cause only.
+          if (first_err == 0 && cqe.res != -ECANCELED) first_err = -cqe.res;
+        } else if (static_cast<size_t>(cqe.res) !=
+                   expected[cqe.user_data]) {
+          // MSG_WAITALL makes this unreachable on a healthy socket; if
+          // it ever fires, linked successors may already have run and
+          // the stream has a gap — unrecoverable, so fail loudly.
+          if (first_err == 0) first_err = EIO;
+        }
+        ++completed;
+        ++head;
+      }
+      cq_head->store(head, std::memory_order_release);
+    }
+    if (first_err != 0) {
+      if (peer_gone(first_err))
+        throw std::runtime_error("tcp: peer closed connection");
+      die("sendmsg", first_err);
+    }
+  }
+};
+
+std::unique_ptr<UringQueue> UringQueue::create() {
+  if (!uring_supported()) return nullptr;
+  auto q = std::unique_ptr<UringQueue>(new UringQueue());
+  q->impl_ = std::make_unique<Impl>();
+  if (!q->impl_->setup()) return nullptr;
+  return q;
+}
+
+UringQueue::~UringQueue() = default;
+
+size_t UringQueue::send_batch(int fd, const iovec* iov, size_t n) {
+  size_t enters = 0;
+  size_t at = 0;
+  while (at < n) {
+    // One chain: up to sq_entries SQEs, each covering <= kIovPerSqe
+    // iovecs of the caller's array.
+    msghdr msgs[kSqEntries];
+    size_t expected[kSqEntries];
+    const unsigned chain_max = std::min(impl_->sq_entries, kSqEntries);
+    unsigned count = 0;
+    while (at < n && count < chain_max) {
+      const size_t take = std::min(n - at, kIovPerSqe);
+      msghdr& m = msgs[count];
+      std::memset(&m, 0, sizeof(m));
+      m.msg_iov = const_cast<iovec*>(iov + at);
+      m.msg_iovlen = take;
+      size_t bytes = 0;
+      for (size_t i = 0; i < take; ++i) bytes += iov[at + i].iov_len;
+      expected[count] = bytes;
+      at += take;
+      ++count;
+    }
+    impl_->submit_chain(fd, msgs, expected, count);
+    ++enters;
+  }
+  return enters;
+}
+
+}  // namespace deepsecure::net

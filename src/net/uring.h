@@ -1,0 +1,59 @@
+// Minimal raw-syscall io_uring submission queue for batched socket
+// sends. liburing is deliberately not a dependency — this wraps
+// io_uring_setup/io_uring_enter plus the mmap'd SQ/CQ rings directly
+// (see uring.cpp), probing the kernel at runtime so a host (or seccomp
+// policy) that refuses io_uring falls back cleanly to the
+// writev/sendmsg path.
+//
+// Why it exists: a RingChannel writer draining N queued table frames
+// can hand them to one UringQueue::send_batch as N linked
+// IORING_OP_SENDMSG SQEs and pay ONE io_uring_enter syscall, instead
+// of one sendmsg per frame. Each SQE carries MSG_WAITALL, so a short
+// kernel send is retried inside the kernel and a linked successor can
+// never run against a half-written predecessor; a hard error
+// (EPIPE/ECONNRESET) fails the op and cancels the rest of the chain,
+// surfacing as the same "peer closed" the send path already throws.
+//
+// One UringQueue per channel, used from one thread at a time (the
+// channel's existing single-sender contract) — no internal locking.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <memory>
+
+namespace deepsecure::net {
+
+/// One io_uring_setup probe per process (cached): false when the
+/// kernel refuses (ENOSYS/EPERM — old kernel, seccomp, container
+/// policy) or the DEEPSECURE_NO_URING environment variable is set.
+bool uring_supported();
+
+class UringQueue {
+ public:
+  /// nullptr when uring_supported() is false or ring setup fails —
+  /// callers fall back to the plain sendmsg path.
+  static std::unique_ptr<UringQueue> create();
+  ~UringQueue();
+
+  UringQueue(const UringQueue&) = delete;
+  UringQueue& operator=(const UringQueue&) = delete;
+
+  /// Ship `iov[0..n)` on `fd`, in order, as a chain of linked
+  /// MSG_WAITALL sendmsg SQEs (split at the kernel's per-op iovec
+  /// limit), submitting each chain with a single io_uring_enter and
+  /// waiting for every completion. Returns the number of
+  /// io_uring_enter calls made (the caller's net.syscalls_send
+  /// accounting). Throws with the send path's error mapping ("peer
+  /// closed connection" on EPIPE/ECONNRESET, std::runtime_error
+  /// otherwise).
+  size_t send_batch(int fd, const iovec* iov, size_t n);
+
+ private:
+  UringQueue() = default;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace deepsecure::net

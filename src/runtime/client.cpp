@@ -7,6 +7,7 @@
 #include <string>
 
 #include "crypto/prg.h"
+#include "obs/trace.h"
 #include "support/bits.h"
 
 namespace deepsecure::runtime {
@@ -18,6 +19,7 @@ InferenceClient::InferenceClient(const std::string& host, uint16_t port,
       fmt_(spec.fmt),
       cfg_(cfg),
       transport_(TcpChannel::connect(host, port)) {
+  if (cfg_.io == IoBackend::kUring) transport_.enable_io_uring();
   const Block seed = cfg.seed == Block{}
                          ? Prg::from_os_entropy().next_block()
                          : cfg.seed;
@@ -123,10 +125,21 @@ InferenceClient::PrefetchedMaterial InferenceClient::push_material_over(
     StreamingGarbler& g, GarbledMaterial&& mat, uint64_t id) {
   Channel& ch = g.channel();
   send_id_frame(ch, FrameType::kPrefetch, id);
-  send_material(ch, mat);
+  // Donating overload: only mat.tables moves out (borrowed by the
+  // transport until the kernel send completes); delta / data_zeros /
+  // eval_zeros stay valid for the OT exchange and the return below.
+  // The copy fallback keeps the lvalue path so the two data planes can
+  // be compared on identical traffic (bench/loadgen_inference.cpp).
+  if (cfg_.stream.zero_copy_tables)
+    send_material(ch, std::move(mat));
+  else
+    send_material(ch, mat);
   GarblerSession& session = g.session();
-  const OtPrecompSender pre = session.precompute_ot(mat.ot_count());
-  session.send_labels_derandomized(pre, mat.eval_zeros, mat.delta);
+  {
+    obs::Span ot_span("client.ot_offline");
+    const OtPrecompSender pre = session.precompute_ot(mat.ot_count());
+    session.send_labels_derandomized(pre, mat.eval_zeros, mat.delta);
+  }
   g.channel().flush();
   const Frame ack = recv_frame(ch);
   if (ack.type != FrameType::kPrefetchAck || parse_id(ack) != id)
@@ -146,6 +159,7 @@ void InferenceClient::start_lane(const std::string& host, uint16_t lane_port,
                                  uint64_t lane_token) {
   lane_transport_ = std::make_unique<TcpChannel>(
       TcpChannel::connect(host, lane_port));
+  if (cfg_.io == IoBackend::kUring) lane_transport_->enable_io_uring();
   // Async frame writer: artifact bytes land in the RingChannel's SPSC
   // ring and ship from its writer thread, so the lane overlaps the
   // next artifact's serialization + OT compute with the previous one's
@@ -219,10 +233,13 @@ void InferenceClient::lane_loop(uint64_t lane_token) {
       // The push itself runs unlocked: it is pure lane-connection
       // traffic, concurrent with whatever the primary session is doing.
       // A throw burns the credit with the artifact — the lane is dead.
-      PrefetchedMaterial pm =
-          push_material_over(*lane_garbler_, std::move(*mat), id);
-      if (!prefetched_->try_push(std::move(pm)))
-        throw std::logic_error("client: prefetched ring overflow");
+      {
+        obs::Span push_span("client.lane_push");
+        PrefetchedMaterial pm =
+            push_material_over(*lane_garbler_, std::move(*mat), id);
+        if (!prefetched_->try_push(std::move(pm)))
+          throw std::logic_error("client: prefetched ring overflow");
+      }
       // Empty critical section: order the ring push before the notify
       // so a prefetch() predicate under mu_ cannot miss it.
       { std::lock_guard<std::mutex> lock(mu_); }
@@ -351,6 +368,22 @@ BitVec InferenceClient::infer_bits(const BitVec& data_bits) {
   ++ondemand_inferences_;
   if (cfg_.auto_top_up) top_up();
   return out;
+}
+
+std::string InferenceClient::server_stats() {
+  if (!open_) throw std::logic_error("client: session closed");
+  // A kStatsReply arriving between a kInfer and its result frames would
+  // desynchronize finish_infer; the primary connection must be quiet.
+  if (in_flight_ > 0)
+    throw std::logic_error(
+        "client: finish in-flight inferences before requesting stats");
+  Channel& ch = garbler_->channel();
+  send_frame(ch, FrameType::kStats);
+  garbler_->channel().flush();
+  const Frame reply = recv_frame(ch);
+  if (reply.type != FrameType::kStatsReply)
+    throw std::runtime_error("client: bad stats reply");
+  return std::string(reply.payload.begin(), reply.payload.end());
 }
 
 void InferenceClient::close() {

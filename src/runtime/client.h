@@ -91,6 +91,10 @@ struct ClientConfig {
   /// own boundaries. Also disable for deterministic drain behavior
   /// (tests, bounded-memory clients).
   bool auto_top_up = true;
+  /// Send-submission path for the primary and lane connections. kUring
+  /// is runtime-probed per connection and silently falls back to the
+  /// sendmsg path when unavailable (see ServerConfig::io).
+  IoBackend io = IoBackend::kEpoll;
 };
 
 class InferenceClient {
@@ -157,6 +161,13 @@ class InferenceClient {
   uint64_t ondemand_inferences() const { return ondemand_inferences_; }
   /// Whether the async prefetch lane is up (attached and not failed).
   bool lane_active() const;
+
+  /// Ask the server for its runtime counters (protocol v5 kStats): one
+  /// round trip on the primary connection returning the server's
+  /// stats_json() document verbatim. Requires an open session with no
+  /// inference in flight (the reply would interleave with result
+  /// frames).
+  std::string server_stats();
 
   /// Phase timings accumulated across all inferences on this session.
   const SessionTrace& trace() const { return garbler_->trace(); }

@@ -47,7 +47,7 @@ Frame recv_frame(Channel& ch) {
   uint32_t len = 0;
   ch.recv_bytes(&t, 1);
   ch.recv_bytes(&len, 4);
-  if (t < 1 || t > 9 || len > kMaxFrameBytes)
+  if (t < 1 || t > 11 || len > kMaxFrameBytes)
     throw std::runtime_error("runtime: malformed session frame");
   Frame f;
   f.type = static_cast<FrameType>(t);

@@ -47,7 +47,12 @@ inline constexpr uint64_t kProtocolMagic = 0x44535255'4e313031ull;  // "DSRUN101
 // results on one socket). Also schedule-aware table frame sizing: the
 // garbler cuts table frames at AND-level boundaries instead of every
 // batch window (frames self-describe, so this needs no negotiation).
-inline constexpr uint32_t kProtocolVersion = 4;
+// v5: stats introspection — kStats asks the server for its runtime
+// counters; the kStatsReply payload is the self-describing stats_json()
+// document (schema may grow freely: the frame is length-prefixed JSON,
+// so no renegotiation). Optional: a client that never sends kStats is
+// wire-compatible with v4 behavior.
+inline constexpr uint32_t kProtocolVersion = 5;
 
 enum class FrameType : uint8_t {
   kHello = 1,     // client -> server: magic, version, fingerprint, flags
@@ -68,6 +73,12 @@ enum class FrameType : uint8_t {
                      // connection: 8-byte session token from the hello
                      // ack. At most one lane per session.
   kAttachLaneAck = 9,  // server -> client: token echo, lane ready
+  kStats = 10,      // client -> server, empty payload: report runtime
+                    // counters (v5). Valid between inferences on the
+                    // primary connection.
+  kStatsReply = 11,  // server -> client: stats_json() bytes (utf-8 JSON,
+                     // self-describing — fields may grow without a
+                     // version bump)
 };
 
 struct Frame {

@@ -83,7 +83,10 @@ void MaterialPool::produce_one() {
   std::exception_ptr err;
   const uint64_t t0 = obs::now_ns();
   {
-    obs::Span span("pool.produce");
+    // Named for the merged two-party timeline: this is the client
+    // (garbler) side's offline work, regardless of which pool thread
+    // runs it.
+    obs::Span span("client.garble_offline");
     try {
       mat = garble_offline(chain_, seed, opt_);
     } catch (...) {

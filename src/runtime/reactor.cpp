@@ -176,6 +176,7 @@ void EventCore::accept_drain(bool lane) {
     c->stage = lane ? Stage::kLaneAttach : Stage::kHandshake;
     c->transport = std::move(transport);
     c->transport->set_nonblocking(true);
+    if (srv_.cfg_.io == IoBackend::kUring) c->transport->enable_io_uring();
     // Bound mid-exchange stalls with the same deadline the timer wheel
     // applies to parked conns (poll deadline in nonblocking mode).
     if (srv_.cfg_.idle_timeout_ms > 0)
@@ -491,6 +492,12 @@ bool EventCore::serve_session_frame(Conn& c) {
       return srv_.handle_infer_frame(f, *c.ch, *c.session, *c.state);
     case FrameType::kPrefetch:
       return srv_.handle_prefetch_push(f, *c.ch, *c.session, *c.state);
+    case FrameType::kStats: {
+      const std::string stats = srv_.stats_json();
+      send_frame(*c.ch, FrameType::kStatsReply, stats.data(), stats.size());
+      c.ch->flush();
+      return true;
+    }
     case FrameType::kBye:
       return false;
     default:

@@ -360,15 +360,20 @@ std::string InferenceServer::stats_json() const {
   }
   const double accounted =
       wall_s > 0 ? std::min(phase_total_s / wall_s, 1.0) : 0.0;
+  // Effective submission path, not the configured one: a kUring config
+  // on a kernel that refuses io_uring serves on the sendmsg path.
+  const char* io = cfg_.io == IoBackend::kUring && net::uring_supported()
+                       ? "uring"
+                       : "epoll";
   char head[384];
   std::snprintf(head, sizeof(head),
-                "{\"core\":\"%s\",\"sessions_active\":%llu,"
+                "{\"core\":\"%s\",\"io\":\"%s\",\"sessions_active\":%llu,"
                 "\"prefetch_bytes\":%llu,"
                 "\"hash_backend\":\"%s\",\"cpu_features\":\"%s\","
                 "\"accounting\":{\"phase_total_s\":%.6f,"
                 "\"session_wall_s\":%.6f,\"accounted_fraction\":%.4f},"
                 "\"metrics\":",
-                cfg_.core == ServerCore::kEventLoop ? "event" : "thread",
+                cfg_.core == ServerCore::kEventLoop ? "event" : "thread", io,
                 static_cast<unsigned long long>(sessions_active_.load()),
                 static_cast<unsigned long long>(prefetch_bytes_.load()),
                 hash_backend().name, hash_backend_cpu_features().c_str(),
@@ -490,6 +495,7 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
     // bounded, and a timeout tears the session down like any peer error.
     if (cfg_.idle_timeout_ms > 0)
       transport->set_recv_timeout_ms(cfg_.idle_timeout_ms);
+    if (cfg_.io == IoBackend::kUring) transport->enable_io_uring();
     BufferedChannel ch(*transport, cfg_.stream.channel_buffer);
 
     // --- handshake (includes the wait for the client's hello) --------
@@ -543,6 +549,15 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
           case FrameType::kPrefetch:
             open = handle_prefetch_push(f, ch, session, *state);
             break;
+          case FrameType::kStats: {
+            // v5 introspection: the reply payload is the same
+            // self-describing JSON stats_json() serves locally.
+            const std::string stats = stats_json();
+            send_frame(ch, FrameType::kStatsReply, stats.data(),
+                       stats.size());
+            ch.flush();
+            break;
+          }
           case FrameType::kBye:
             open = false;
             break;
@@ -601,6 +616,7 @@ void InferenceServer::handle_lane(std::unique_ptr<TcpChannel> transport,
   try {
     if (cfg_.idle_timeout_ms > 0)
       transport->set_recv_timeout_ms(cfg_.idle_timeout_ms);
+    if (cfg_.io == IoBackend::kUring) transport->enable_io_uring();
     BufferedChannel ch(*transport, cfg_.stream.channel_buffer);
 
     const uint64_t t_attach = obs::now_ns();

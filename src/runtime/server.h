@@ -101,6 +101,11 @@ struct ServerConfig {
   /// server parks excess clients here, so size it for the expected
   /// connection burst.
   int backlog = 64;
+  /// TCP send submission path for accepted connections (both cores and
+  /// the lane listener). kUring is runtime-probed per connection and
+  /// silently falls back to the sendmsg path when the kernel refuses
+  /// io_uring; stats_json()'s "io" field reports the effective mode.
+  IoBackend io = IoBackend::kEpoll;
   StreamConfig stream;
 };
 
