@@ -9,6 +9,7 @@
 //                       [--shard-threads S] [--async-prefetch]
 //                       [--server-core thread|event] [--scaling]
 //                       [--trace FILE] [--io epoll|uring]
+//                       [--chaos SEED:RATE]
 //
 // Measurements:
 //   1. overlap: one streaming session over TCP loopback garbling a
@@ -48,6 +49,14 @@
 //      headline: sessions/sec and p95 as concurrency grows, with the
 //      serving thread count per point (thread core: one per session;
 //      event core: fixed worker pool).
+//   6. with --chaos SEED:RATE, a deterministic fault-injection soak:
+//      both endpoints' transports are wrapped in a seeded FaultChannel
+//      (net/fault_channel.h) injecting short I/O, delays, stalls, and
+//      connection resets, while clients run with a self-healing retry
+//      budget. The run HARD-FAILS unless every inference completes
+//      byte-correct against the plaintext reference — the acceptance
+//      gate that recovery never replays partially consumed garbled
+//      material. The same seed reproduces the same fault plan.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -72,6 +81,7 @@
 #include "runtime/client.h"
 #include "runtime/server.h"
 #include "runtime/streaming.h"
+#include "support/bits.h"
 #include "support/rng.h"
 #include "support/stopwatch.h"
 
@@ -121,6 +131,10 @@ struct Args {
   // Send-submission path on both endpoints; kUring is runtime-probed
   // and falls back to sendmsg (the JSON records the effective mode).
   runtime::IoBackend io = runtime::IoBackend::kEpoll;
+  // Deterministic chaos soak (measurement 6): fault-plan seed and
+  // per-I/O injection probability. rate 0 = off.
+  uint64_t chaos_seed = 0;
+  double chaos_rate = 0.0;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -161,6 +175,16 @@ Args parse_args(int argc, char** argv) {
       if (v == "epoll") a.io = runtime::IoBackend::kEpoll;
       else if (v == "uring") a.io = runtime::IoBackend::kUring;
       else throw std::runtime_error("--io expects epoll|uring");
+    }
+    else if (k == "--chaos") {
+      const std::string v = next();
+      const size_t colon = v.find(':');
+      if (colon == std::string::npos)
+        throw std::runtime_error("--chaos expects SEED:RATE");
+      a.chaos_seed = std::stoull(v.substr(0, colon));
+      a.chaos_rate = std::stod(v.substr(colon + 1));
+      if (a.chaos_rate <= 0.0 || a.chaos_rate >= 1.0)
+        throw std::runtime_error("--chaos rate must be in (0, 1)");
     }
     else throw std::runtime_error("unknown flag " + k);
   }
@@ -334,6 +358,11 @@ double pct(const std::vector<double>& sorted, size_t p) {
 struct NetCounters {
   uint64_t bytes_copied = 0, sends_vectored = 0, syscalls_send = 0;
   uint64_t slab_acquire = 0, slab_recycle = 0, chunk_reuse = 0;
+  // Resilience counters (fault injection + self-healing), so every
+  // BENCH row records whether its numbers were taken under chaos and
+  // how much recovery happened inside the run.
+  uint64_t fault_injected = 0, fault_reset = 0, retries = 0, recovered = 0,
+           poisoned = 0;
   static NetCounters snap() {
     auto& r = obs::Registry::global();
     NetCounters c;
@@ -343,6 +372,11 @@ struct NetCounters {
     c.slab_acquire = r.counter("pool.slab_acquire").value();
     c.slab_recycle = r.counter("pool.slab_recycle").value();
     c.chunk_reuse = r.counter("net.ring.chunk_reuse").value();
+    c.fault_injected = r.counter("fault.injected").value();
+    c.fault_reset = r.counter("fault.reset").value();
+    c.retries = r.counter("client.retries").value();
+    c.recovered = r.counter("client.sessions_recovered").value();
+    c.poisoned = r.counter("pool.poisoned").value();
     return c;
   }
   NetCounters operator-(const NetCounters& b) const {
@@ -351,7 +385,12 @@ struct NetCounters {
                        syscalls_send - b.syscalls_send,
                        slab_acquire - b.slab_acquire,
                        slab_recycle - b.slab_recycle,
-                       chunk_reuse - b.chunk_reuse};
+                       chunk_reuse - b.chunk_reuse,
+                       fault_injected - b.fault_injected,
+                       fault_reset - b.fault_reset,
+                       retries - b.retries,
+                       recovered - b.recovered,
+                       poisoned - b.poisoned};
   }
 };
 
@@ -603,6 +642,129 @@ std::vector<ScalingRow> measure_scaling(const Args& base) {
   return rows;
 }
 
+// Deterministic chaos soak (measurement 6): every transport on both
+// endpoints is wrapped in a seeded FaultChannel and the clients run
+// with a self-healing retry budget. Hard-fails unless every inference
+// completes AND matches the plaintext reference: a recovered session
+// must draw fresh garbled material (the material_poisoned counter in
+// the JSON is the audit trail), and a replay of partially consumed
+// labels would surface as a wrong result here.
+struct ChaosResult {
+  size_t sessions = 0, requests = 0;
+  uint64_t completed = 0;
+  double wall_s = 0;
+  NetCounters net;
+  uint64_t server_shed = 0;
+  std::string server_stats;
+};
+
+ChaosResult measure_chaos(const Args& args) {
+  const synth::ModelSpec spec = load_spec();
+  Rng rng(99);
+  BitVec weights;
+  for (size_t i = 0; i < synth::model_weight_count(spec); ++i) {
+    const double v = (double(rng.next_below(2001)) - 1000.0) / 5000.0;
+    const BitVec b = Fixed::from_double(v, spec.fmt).to_bits();
+    weights.insert(weights.end(), b.begin(), b.end());
+  }
+  const std::vector<Circuit> chain = synth::compile_model_layers(spec);
+  // Plaintext reference label (same encoding as client.infer).
+  auto plain_label = [&](const std::vector<float>& x) {
+    BitVec bits;
+    for (float v : x) {
+      const BitVec b =
+          Fixed::from_double(static_cast<double>(v), spec.fmt).to_bits();
+      bits.insert(bits.end(), b.begin(), b.end());
+    }
+    size_t consumed = 0;
+    for (const Circuit& c : chain) {
+      const BitVec w(
+          weights.begin() + static_cast<ptrdiff_t>(consumed),
+          weights.begin() +
+              static_cast<ptrdiff_t>(consumed + c.evaluator_inputs.size()));
+      consumed += c.evaluator_inputs.size();
+      bits = c.eval(bits, w);
+    }
+    return static_cast<size_t>(from_bits(bits));
+  };
+
+  runtime::ServerConfig scfg;
+  scfg.core = args.server_core;
+  scfg.io = args.io;
+  scfg.max_sessions = std::max<size_t>(args.sessions, 1);
+  scfg.max_prefetch = std::max<size_t>(args.requests, 1);
+  scfg.stream.eval_threads = args.eval_threads;
+  scfg.stream.schedule = args.schedule;
+  scfg.chaos.seed = args.chaos_seed;
+  scfg.chaos.rate = args.chaos_rate;
+  runtime::InferenceServer server(spec, weights, scfg);
+  server.start();
+
+  std::vector<std::exception_ptr> errors(args.sessions);
+  std::atomic<uint64_t> completed{0};
+  const NetCounters before = NetCounters::snap();
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (size_t s = 0; s < args.sessions; ++s) {
+    clients.emplace_back([&, s] {
+      try {
+        runtime::ClientConfig ccfg;
+        ccfg.seed = Block{7000 + s, 9000 + s};
+        ccfg.stream.schedule = args.schedule;
+        ccfg.io = args.io;
+        ccfg.pool_target = 2;  // exercise the poisoning path on recovery
+        ccfg.async_prefetch = args.async_prefetch;
+        // Distinct plan seeds per endpoint: the server's and client's
+        // fault sequences stay decorrelated but both reproducible.
+        ccfg.chaos.seed = args.chaos_seed ^ 0xc11e47ull;
+        ccfg.chaos.rate = args.chaos_rate;
+        ccfg.max_retries = 16;
+        ccfg.backoff_base_ms = 1;
+        ccfg.backoff_cap_ms = 50;
+        runtime::InferenceClient client("127.0.0.1", server.port(), spec,
+                                        ccfg);
+        Rng srng(53 * s + 11);
+        for (size_t r = 0; r < args.requests; ++r) {
+          std::vector<float> x(8);
+          for (auto& v : x)
+            v = (float(srng.next_below(2001)) - 1000.0f) / 2500.0f;
+          const size_t got = client.infer(x);
+          if (got != plain_label(x))
+            throw std::runtime_error(
+                "chaos: inference result != plaintext reference");
+          completed.fetch_add(1);
+        }
+        // A lane the chaos layer killed makes close() rethrow the
+        // parked failure; the inferences above all completed, which is
+        // what the soak asserts — a dead lane is a degraded, not
+        // broken, session.
+        try {
+          client.close();
+        } catch (...) {
+        }
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+
+  ChaosResult r;
+  r.sessions = args.sessions;
+  r.requests = args.requests;
+  r.completed = completed.load();
+  r.wall_s = wall.seconds();
+  server.stop();
+  r.server_stats = server.stats_json();
+  r.server_shed = server.sessions_shed();
+  r.net = NetCounters::snap() - before;
+  if (r.completed != uint64_t(args.sessions * args.requests))
+    throw std::runtime_error("chaos: not every inference completed");
+  return r;
+}
+
 // The effective send path: --io uring only takes hold where the kernel
 // probe passes (net/uring.h); everywhere else sends fall back to
 // sendmsg, and the JSON must say which one actually ran.
@@ -615,14 +777,17 @@ const char* effective_io(const Args& args) {
 // Data-plane counter fragment shared by every load row: which send
 // path ran, what it copied, and how the pool slabs circulated.
 std::string net_json(const Args& args, const LoadResult& l) {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "\"io\": \"%s\", \"zero_copy\": %s, \"bytes_copied\": %llu, "
       "\"table_bytes\": %llu, \"bytes_copied_per_table_byte\": %.6f, "
       "\"sends_vectored\": %llu, \"syscalls_send\": %llu, "
       "\"slab_acquire\": %llu, \"slab_recycle\": %llu, "
-      "\"ring_chunk_reuse\": %llu",
+      "\"ring_chunk_reuse\": %llu, "
+      "\"fault_injected\": %llu, \"fault_reset\": %llu, "
+      "\"client_retries\": %llu, \"sessions_recovered\": %llu, "
+      "\"material_poisoned\": %llu",
       effective_io(args), l.zero_copy ? "true" : "false",
       static_cast<unsigned long long>(l.net.bytes_copied),
       static_cast<unsigned long long>(l.table_bytes),
@@ -631,14 +796,20 @@ std::string net_json(const Args& args, const LoadResult& l) {
       static_cast<unsigned long long>(l.net.syscalls_send),
       static_cast<unsigned long long>(l.net.slab_acquire),
       static_cast<unsigned long long>(l.net.slab_recycle),
-      static_cast<unsigned long long>(l.net.chunk_reuse));
+      static_cast<unsigned long long>(l.net.chunk_reuse),
+      static_cast<unsigned long long>(l.net.fault_injected),
+      static_cast<unsigned long long>(l.net.fault_reset),
+      static_cast<unsigned long long>(l.net.retries),
+      static_cast<unsigned long long>(l.net.recovered),
+      static_cast<unsigned long long>(l.net.poisoned));
   return buf;
 }
 
 void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
                const OfflineResult& off, const LoadResult& l,
                const LoadResult& lcopy, const LoadResult* pre,
-               const std::vector<ScalingRow>* scaling) {
+               const std::vector<ScalingRow>* scaling,
+               const ChaosResult* chaos) {
   std::fprintf(f, "{\n  \"bench\": \"loadgen_inference\",\n");
   std::fprintf(f, "  \"scheduled\": %s,\n", args.schedule ? "true" : "false");
   // Which AES kernel produced every rate below — without this a vaes16
@@ -685,6 +856,30 @@ void emit_json(std::FILE* f, const Args& args, const OverlapResult& o,
       // a 0-denominator ratio would report the win as 0.
       double(lcopy.net.bytes_copied) /
           double(std::max<uint64_t>(l.net.bytes_copied, 1)));
+  if (chaos != nullptr) {
+    // Self-healing soak: measure_chaos already hard-failed unless every
+    // inference completed byte-correct, so this section existing at all
+    // means recovery worked; the counters say how much it was needed.
+    std::fprintf(
+        f,
+        "  \"chaos\": {\"seed\": %llu, \"rate\": %.4f, \"sessions\": %zu, "
+        "\"requests_per_session\": %zu, \"completed\": %llu, "
+        "\"wall_s\": %.6f, \"faults_injected\": %llu, "
+        "\"fault_resets\": %llu, \"client_retries\": %llu, "
+        "\"sessions_recovered\": %llu, \"material_poisoned\": %llu, "
+        "\"server_shed\": %llu, \"byte_correct\": true, "
+        "\"server_stats\": %s},\n",
+        static_cast<unsigned long long>(args.chaos_seed), args.chaos_rate,
+        chaos->sessions, chaos->requests,
+        static_cast<unsigned long long>(chaos->completed), chaos->wall_s,
+        static_cast<unsigned long long>(chaos->net.fault_injected),
+        static_cast<unsigned long long>(chaos->net.fault_reset),
+        static_cast<unsigned long long>(chaos->net.retries),
+        static_cast<unsigned long long>(chaos->net.recovered),
+        static_cast<unsigned long long>(chaos->net.poisoned),
+        static_cast<unsigned long long>(chaos->server_shed),
+        chaos->server_stats.empty() ? "{}" : chaos->server_stats.c_str());
+  }
   const bool more_after_load = pre != nullptr || scaling != nullptr;
   std::fprintf(f,
                "  \"load\": {\"sessions\": %zu, \"requests_per_session\": %zu, "
@@ -787,6 +982,9 @@ int main(int argc, char** argv) {
     std::vector<ScalingRow> scaling;
     if (args.scaling) scaling = measure_scaling(args);
     const std::vector<ScalingRow>* scl_p = args.scaling ? &scaling : nullptr;
+    ChaosResult chaos;
+    if (args.chaos_rate > 0) chaos = measure_chaos(args);
+    const ChaosResult* chaos_p = args.chaos_rate > 0 ? &chaos : nullptr;
     if (!args.trace.empty()) {
       obs::write_chrome_trace(args.trace);
       std::fprintf(stderr, "loadgen: wrote %zu trace events (%llu dropped) to %s\n",
@@ -794,11 +992,11 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(obs::trace_dropped()),
                    args.trace.c_str());
     }
-    emit_json(stdout, args, overlap, offline, load, load_copy, pre_p, scl_p);
+    emit_json(stdout, args, overlap, offline, load, load_copy, pre_p, scl_p, chaos_p);
     if (!args.out.empty()) {
       std::FILE* f = std::fopen(args.out.c_str(), "w");
       if (f == nullptr) throw std::runtime_error("cannot open " + args.out);
-      emit_json(f, args, overlap, offline, load, load_copy, pre_p, scl_p);
+      emit_json(f, args, overlap, offline, load, load_copy, pre_p, scl_p, chaos_p);
       std::fclose(f);
     }
     if (overlap.wall_s >= overlap.phase_sum()) {

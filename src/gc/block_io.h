@@ -51,7 +51,16 @@ class BlockWriter {
     buf_.reserve(capacity);
     capacity_ = capacity;
   }
-  ~BlockWriter() { flush(); }
+  // Destruction during stack unwind (garbling aborted by a transport
+  // failure) must not throw a second exception out of flush() — that
+  // would turn a recoverable connection reset into std::terminate.
+  ~BlockWriter() {
+    try {
+      flush();
+    } catch (...) {
+      // Peer already gone: the bytes have nowhere to go. Drop them.
+    }
+  }
 
   void put(Block b) {
     buf_.push_back(b);

@@ -1,6 +1,7 @@
 #include "net/uring.h"
 
 #include <linux/io_uring.h>
+#include <poll.h>
 #include <sys/mman.h>
 #include <sys/socket.h>
 #include <sys/syscall.h>
@@ -137,62 +138,112 @@ struct UringQueue::Impl {
     return true;
   }
 
-  /// Submit `count` msghdrs as one linked chain, one enter, reap all
-  /// completions. `expected[i]` is msg i's full byte length.
-  void submit_chain(int fd, const msghdr* msgs, const size_t* expected,
-                    unsigned count) {
-    unsigned tail = sq_tail->load(std::memory_order_relaxed);
-    for (unsigned i = 0; i < count; ++i) {
-      const unsigned idx = tail & sq_mask;
-      io_uring_sqe& sqe = sqes[idx];
-      std::memset(&sqe, 0, sizeof(sqe));
-      sqe.opcode = IORING_OP_SENDMSG;
-      sqe.fd = fd;
-      sqe.addr = reinterpret_cast<uint64_t>(&msgs[i]);
-      sqe.msg_flags = MSG_WAITALL | MSG_NOSIGNAL;
-      sqe.user_data = i;
-      if (i + 1 < count) sqe.flags = IOSQE_IO_LINK;
-      sq_array[idx] = idx;
-      ++tail;
-    }
-    sq_tail->store(tail, std::memory_order_release);
-
-    unsigned completed = 0;
-    int first_err = 0;
-    unsigned to_submit = count;
-    while (completed < count) {
-      const int rc = sys_io_uring_enter(ring_fd, to_submit, count - completed,
-                                        IORING_ENTER_GETEVENTS);
-      if (rc < 0) {
-        if (errno == EINTR) continue;
-        die("io_uring_enter", errno);
-      }
-      to_submit = 0;  // submitted on the first successful enter
-      unsigned head = cq_head->load(std::memory_order_relaxed);
-      const unsigned cq_seen = cq_tail->load(std::memory_order_acquire);
-      while (head != cq_seen) {
-        const io_uring_cqe& cqe = cqes[head & cq_mask];
-        if (cqe.res < 0) {
-          // A failed op cancels the rest of its link chain (-ECANCELED
-          // completions follow); remember the root cause only.
-          if (first_err == 0 && cqe.res != -ECANCELED) first_err = -cqe.res;
-        } else if (static_cast<size_t>(cqe.res) !=
-                   expected[cqe.user_data]) {
-          // MSG_WAITALL makes this unreachable on a healthy socket; if
-          // it ever fires, linked successors may already have run and
-          // the stream has a gap — unrecoverable, so fail loudly.
-          if (first_err == 0) first_err = EIO;
+  /// Ship msgs[0..count) in order as a linked SENDMSG chain,
+  /// RESUBMITTING the remainder whenever a completion is short. On a
+  /// nonblocking socket (the event core) MSG_WAITALL does not make the
+  /// socket layer wait — sendmsg ships what fits in the send buffer —
+  /// but io_uring's link semantics still honor it: a short completion
+  /// marks the op failed, so every linked successor lands as
+  /// -ECANCELED and the byte stream can have NO gap. Each round here
+  /// trims the first pending msg's iovec view past the bytes already
+  /// on the wire (the arrays are caller-throwaway — see send_batch)
+  /// and resubmits it plus all canceled successors; a zero-progress
+  /// -EAGAIN round poll()s for POLLOUT instead of hot-spinning.
+  /// Returns the number of io_uring_enter calls made.
+  size_t submit_chain(int fd, msghdr* msgs, const size_t* expected,
+                      unsigned count) {
+    size_t enters = 0;
+    std::vector<size_t> done(count, 0);      // bytes on the wire per msg
+    std::vector<size_t> advanced(count, 0);  // bytes trimmed off iovecs
+    unsigned first = 0;  // first msg not yet fully shipped
+    while (first < count) {
+      // Resume point: advance the partially-sent msg's iovec array past
+      // what the previous round already shipped.
+      if (done[first] > advanced[first]) {
+        size_t skip = done[first] - advanced[first];
+        msghdr& m = msgs[first];
+        while (skip > 0 && m.msg_iovlen > 0) {
+          if (m.msg_iov->iov_len <= skip) {
+            skip -= m.msg_iov->iov_len;
+            ++m.msg_iov;
+            --m.msg_iovlen;
+          } else {
+            m.msg_iov->iov_base =
+                static_cast<uint8_t*>(m.msg_iov->iov_base) + skip;
+            m.msg_iov->iov_len -= skip;
+            skip = 0;
+          }
         }
-        ++completed;
-        ++head;
+        advanced[first] = done[first];
       }
-      cq_head->store(head, std::memory_order_release);
+
+      unsigned tail = sq_tail->load(std::memory_order_relaxed);
+      for (unsigned i = first; i < count; ++i) {
+        const unsigned idx = tail & sq_mask;
+        io_uring_sqe& sqe = sqes[idx];
+        std::memset(&sqe, 0, sizeof(sqe));
+        sqe.opcode = IORING_OP_SENDMSG;
+        sqe.fd = fd;
+        sqe.addr = reinterpret_cast<uint64_t>(&msgs[i]);
+        sqe.msg_flags = MSG_WAITALL | MSG_NOSIGNAL;
+        sqe.user_data = i;
+        if (i + 1 < count) sqe.flags = IOSQE_IO_LINK;
+        sq_array[idx] = idx;
+        ++tail;
+      }
+      sq_tail->store(tail, std::memory_order_release);
+
+      const unsigned round = count - first;
+      unsigned completed = 0;
+      int first_err = 0;
+      bool retryable = false;
+      unsigned to_submit = round;
+      while (completed < round) {
+        const int rc = sys_io_uring_enter(ring_fd, to_submit,
+                                          round - completed,
+                                          IORING_ENTER_GETEVENTS);
+        if (rc < 0) {
+          if (errno == EINTR) continue;
+          die("io_uring_enter", errno);
+        }
+        ++enters;
+        to_submit = 0;  // submitted on the first successful enter
+        unsigned head = cq_head->load(std::memory_order_relaxed);
+        const unsigned cq_seen = cq_tail->load(std::memory_order_acquire);
+        while (head != cq_seen) {
+          const io_uring_cqe& cqe = cqes[head & cq_mask];
+          const unsigned i = static_cast<unsigned>(cqe.user_data);
+          if (cqe.res >= 0) {
+            // Full OR short: both count real bytes. A short completion
+            // breaks the link (MSG_WAITALL), so successors cancel and
+            // the next round resumes from the gap-free remainder.
+            done[i] += static_cast<size_t>(cqe.res);
+          } else if (cqe.res == -EAGAIN || cqe.res == -EINTR) {
+            retryable = true;  // transient: resubmit, no progress made
+          } else if (cqe.res != -ECANCELED) {
+            // A failed op cancels the rest of its link chain (-ECANCELED
+            // completions follow); remember the root cause only.
+            if (first_err == 0) first_err = -cqe.res;
+          }
+          ++completed;
+          ++head;
+        }
+        cq_head->store(head, std::memory_order_release);
+      }
+      if (first_err != 0) {
+        if (peer_gone(first_err))
+          throw std::runtime_error("tcp: peer closed connection");
+        die("sendmsg", first_err);
+      }
+      while (first < count && done[first] >= expected[first]) ++first;
+      if (first < count && retryable && done[first] == advanced[first]) {
+        // Zero-progress -EAGAIN round: the socket buffer is full. Wait
+        // for writability instead of burning io_uring_enter calls.
+        pollfd pfd{fd, POLLOUT, 0};
+        (void)::poll(&pfd, 1, 1000);
+      }
     }
-    if (first_err != 0) {
-      if (peer_gone(first_err))
-        throw std::runtime_error("tcp: peer closed connection");
-      die("sendmsg", first_err);
-    }
+    return enters;
   }
 };
 
@@ -206,7 +257,7 @@ std::unique_ptr<UringQueue> UringQueue::create() {
 
 UringQueue::~UringQueue() = default;
 
-size_t UringQueue::send_batch(int fd, const iovec* iov, size_t n) {
+size_t UringQueue::send_batch(int fd, iovec* iov, size_t n) {
   size_t enters = 0;
   size_t at = 0;
   while (at < n) {
@@ -220,7 +271,7 @@ size_t UringQueue::send_batch(int fd, const iovec* iov, size_t n) {
       const size_t take = std::min(n - at, kIovPerSqe);
       msghdr& m = msgs[count];
       std::memset(&m, 0, sizeof(m));
-      m.msg_iov = const_cast<iovec*>(iov + at);
+      m.msg_iov = iov + at;
       m.msg_iovlen = take;
       size_t bytes = 0;
       for (size_t i = 0; i < take; ++i) bytes += iov[at + i].iov_len;
@@ -228,8 +279,7 @@ size_t UringQueue::send_batch(int fd, const iovec* iov, size_t n) {
       at += take;
       ++count;
     }
-    impl_->submit_chain(fd, msgs, expected, count);
-    ++enters;
+    enters += impl_->submit_chain(fd, msgs, expected, count);
   }
   return enters;
 }

@@ -8,11 +8,15 @@
 // Why it exists: a RingChannel writer draining N queued table frames
 // can hand them to one UringQueue::send_batch as N linked
 // IORING_OP_SENDMSG SQEs and pay ONE io_uring_enter syscall, instead
-// of one sendmsg per frame. Each SQE carries MSG_WAITALL, so a short
-// kernel send is retried inside the kernel and a linked successor can
-// never run against a half-written predecessor; a hard error
-// (EPIPE/ECONNRESET) fails the op and cancels the rest of the chain,
-// surfacing as the same "peer closed" the send path already throws.
+// of one sendmsg per frame. Each SQE carries MSG_WAITALL: the socket
+// layer ignores it for sends, but io_uring's link semantics honor it —
+// a SHORT completion (nonblocking fd under send-buffer pressure,
+// EINTR) marks the op failed, so linked successors cancel instead of
+// running against a half-written predecessor, and send_batch resubmits
+// the remainder from the exact byte offset until everything ships.
+// A hard error (EPIPE/ECONNRESET) fails the op and cancels the rest of
+// the chain, surfacing as the same "peer closed" the send path already
+// throws.
 //
 // One UringQueue per channel, used from one thread at a time (the
 // channel's existing single-sender contract) — no internal locking.
@@ -42,13 +46,15 @@ class UringQueue {
 
   /// Ship `iov[0..n)` on `fd`, in order, as a chain of linked
   /// MSG_WAITALL sendmsg SQEs (split at the kernel's per-op iovec
-  /// limit), submitting each chain with a single io_uring_enter and
-  /// waiting for every completion. Returns the number of
-  /// io_uring_enter calls made (the caller's net.syscalls_send
-  /// accounting). Throws with the send path's error mapping ("peer
-  /// closed connection" on EPIPE/ECONNRESET, std::runtime_error
-  /// otherwise).
-  size_t send_batch(int fd, const iovec* iov, size_t n);
+  /// limit), submitting each chain with a single io_uring_enter,
+  /// waiting for every completion, and resubmitting remainders after
+  /// short completions (see file header). The iovec array is MUTATED
+  /// in place when a resume trims it — callers pass throwaway arrays.
+  /// Returns the number of io_uring_enter calls made (the caller's
+  /// net.syscalls_send accounting). Throws with the send path's error
+  /// mapping ("peer closed connection" on EPIPE/ECONNRESET,
+  /// std::runtime_error otherwise).
+  size_t send_batch(int fd, iovec* iov, size_t n);
 
  private:
   UringQueue() = default;

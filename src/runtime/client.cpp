@@ -11,6 +11,31 @@
 #include "support/bits.h"
 
 namespace deepsecure::runtime {
+namespace {
+
+// Process-wide self-healing aggregates (Registry::global()): surfaced
+// by the server's stats_json "resilience" block and every loadgen BENCH
+// row. The per-client exact counters (retries()/sessions_recovered())
+// remain the source of truth for assertions.
+obs::Counter& retries_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("client.retries");
+  return c;
+}
+obs::Counter& recovered_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("client.sessions_recovered");
+  return c;
+}
+
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 InferenceClient::InferenceClient(const std::string& host, uint16_t port,
                                  const synth::ModelSpec& spec,
@@ -18,27 +43,10 @@ InferenceClient::InferenceClient(const std::string& host, uint16_t port,
     : chain_(synth::compile_model_layers(spec)),
       fmt_(spec.fmt),
       cfg_(cfg),
-      transport_(TcpChannel::connect(host, port)) {
-  if (cfg_.io == IoBackend::kUring) transport_.enable_io_uring();
-  const Block seed = cfg.seed == Block{}
-                         ? Prg::from_os_entropy().next_block()
-                         : cfg.seed;
-  garbler_ = std::make_unique<StreamingGarbler>(transport_, seed, cfg.stream);
-
-  Hello hello;
-  // Fingerprint over the gate order this session will walk (the
-  // scheduled netlist by default) — the server computes the same and a
-  // compile or scheduling divergence fails the handshake, not an OT.
-  hello.fingerprint = chain_fingerprint(chain_, cfg.stream.schedule);
-  hello.flags = SessionFlags{cfg.stream.framed_tables, cfg.stream.schedule};
-  Channel& ch = garbler_->channel();
-  send_hello(ch, hello);
-  garbler_->channel().flush();
-  // kError from the server throws inside recv_frame.
-  const HelloAck ack = parse_hello_ack(recv_frame(ch));
-  if (ack.fingerprint != hello.fingerprint)
-    throw std::runtime_error("client: server echoed a different model chain");
-  server_prefetch_quota_ = ack.prefetch_quota;
+      host_(host),
+      port_(port) {
+  backoff_rng_ ^= cfg_.chaos.seed;  // deterministic jitter under chaos
+  connect_and_handshake();
   open_ = true;
 
   if (cfg_.pool_target > 0) {
@@ -56,11 +64,162 @@ InferenceClient::InferenceClient(const std::string& host, uint16_t port,
     pcfg.target = cfg_.pool_target;
     pcfg.producer_threads = cfg_.pool_producers;
     pcfg.shard_threads = cfg_.pool_shard_threads;
-    pcfg.seed = cfg.seed == Block{} ? Block{} : (cfg.seed ^ Block{0, 0x9e3779b9});
+    pcfg.seed =
+        cfg_.seed == Block{} ? Block{} : (cfg_.seed ^ Block{0, 0x9e3779b9});
     pool_ = std::make_unique<MaterialPool>(
-        chain_, cfg.stream.gc_options(nullptr), pcfg);
-    if (cfg_.async_prefetch) start_lane(host, ack.lane_port, ack.lane_token);
+        chain_, cfg_.stream.gc_options(nullptr), pcfg);
+    if (cfg_.async_prefetch) start_lane(lane_port_, lane_token_);
   }
+}
+
+// Primary-session bring-up, shared by the constructor and recovery: a
+// kBusy answer (protocol v6 load shedding) is not an error but a
+// retry-after hint — back off and try again within the retry budget.
+void InferenceClient::connect_and_handshake() {
+  for (size_t attempt = 0;; ++attempt) {
+    try {
+    transport_ =
+        std::make_unique<TcpChannel>(TcpChannel::connect(host_, port_));
+    if (cfg_.io == IoBackend::kUring) transport_->enable_io_uring();
+    fault_.reset();
+    Channel* wire = transport_.get();
+    if (cfg_.chaos.enabled()) {
+      fault_ = std::make_unique<FaultChannel>(
+          *transport_, cfg_.chaos, chaos_conn_index_++,
+          [t = transport_.get()] { t->shutdown(); });
+      wire = fault_.get();
+    }
+    // Epoch-salted label seed: a rebuilt session must never replay the
+    // labels of a dead one (one-shot invariant), even under a fixed
+    // cfg.seed — only epoch 0 uses it verbatim.
+    const Block seed =
+        cfg_.seed == Block{}
+            ? Prg::from_os_entropy().next_block()
+            : (session_epoch_ == 0
+                   ? cfg_.seed
+                   : (cfg_.seed ^ Block{session_epoch_, 0xd1f457ull}));
+    garbler_ =
+        std::make_unique<StreamingGarbler>(*wire, seed, cfg_.stream);
+
+    Hello hello;
+    // Fingerprint over the gate order this session will walk (the
+    // scheduled netlist by default) — the server computes the same and a
+    // compile or scheduling divergence fails the handshake, not an OT.
+    hello.fingerprint = chain_fingerprint(chain_, cfg_.stream.schedule);
+    hello.flags =
+        SessionFlags{cfg_.stream.framed_tables, cfg_.stream.schedule};
+    Channel& ch = garbler_->channel();
+    send_hello(ch, hello);
+    garbler_->channel().flush();
+    // kError from the server throws inside recv_frame.
+    const Frame first = recv_frame(ch);
+    if (first.type == FrameType::kBusy) {
+      const uint32_t hint_ms = parse_busy(first);
+      garbler_.reset();
+      fault_.reset();
+      transport_.reset();
+      if (attempt >= cfg_.max_retries)
+        throw std::runtime_error(
+            "client: server busy (shed), retries exhausted");
+      ++retries_;
+      retries_counter().add();
+      backoff_sleep(attempt, hint_ms);
+      continue;
+    }
+    const HelloAck ack = parse_hello_ack(first);
+    if (ack.fingerprint != hello.fingerprint)
+      throw std::runtime_error("client: server echoed a different model chain");
+    server_prefetch_quota_ = ack.prefetch_quota;
+    lane_port_ = ack.lane_port;
+    lane_token_ = ack.lane_token;  // single-use: fresh every handshake
+    ++session_epoch_;
+    break;
+    } catch (const std::exception& e) {
+      // A transport fault mid-handshake (injected or real) is as
+      // retryable as a kBusy — nothing one-shot has been consumed yet.
+      // A fingerprint mismatch is a configuration error: retrying the
+      // same handshake can only fail the same way.
+      garbler_.reset();
+      fault_.reset();
+      transport_.reset();
+      if (attempt >= cfg_.max_retries ||
+          std::strstr(e.what(), "different model chain") != nullptr)
+        throw;
+      ++retries_;
+      retries_counter().add();
+      backoff_sleep(attempt);
+    }
+  }
+  // Fresh session, empty server-side store: every quota slot's credit
+  // goes back into circulation. (First bring-up: the rings don't exist
+  // yet — the constructor seeds them once the quota is known.)
+  if (credits_ != nullptr) {
+    uint64_t token;
+    while (credits_->try_pop(token)) {
+    }
+    for (uint64_t i = 0; i < server_prefetch_quota_; ++i)
+      credits_->try_push(i + 1);
+  }
+}
+
+void InferenceClient::backoff_sleep(size_t attempt, uint64_t floor_ms) {
+  uint64_t delay = cfg_.backoff_base_ms << std::min<size_t>(attempt, 20);
+  delay = std::min(std::max<uint64_t>(delay, 1), cfg_.backoff_cap_ms);
+  // Deterministic jitter: uniform in [delay/2, delay], so concurrent
+  // clients recovering from the same outage don't reconnect in phase.
+  delay = delay / 2 + splitmix64(backoff_rng_) % (delay / 2 + 1);
+  if (delay < floor_ms) delay = floor_ms;
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+// Rebuild after a transport failure: the session that died took its
+// server-side state with it, so everything pushed or in flight on it is
+// unusable — and, critically, must never be REUSED (one garbled
+// artifact = one inference; a replay would hand the evaluator two
+// executions under the same labels). Poison first, reconnect second.
+void InferenceClient::recover_session() {
+  open_ = false;
+  // The lane dies with the old connection; an error it parked is part
+  // of the same failure being recovered from, so it is cleared, not
+  // rethrown.
+  if (lane_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      lane_stop_ = true;
+    }
+    lane_cv_.notify_all();
+    lane_thread_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    lane_stop_ = false;
+    lane_up_ = false;
+    lane_error_ = nullptr;
+  }
+  lane_garbler_.reset();
+  lane_ring_.reset();
+  lane_fault_.reset();
+  lane_transport_.reset();
+  // One-shot invariant: drop every artifact whose transfer or OT
+  // touched the dead session. The local pool survives untouched — its
+  // artifacts never hit the wire.
+  uint64_t dropped = in_flight_;
+  in_flight_ = 0;
+  if (prefetched_ != nullptr) {
+    PrefetchedMaterial pm;
+    while (prefetched_->try_pop(pm)) ++dropped;
+  }
+  if (dropped > 0) {
+    poisoned_ += dropped;
+    poisoned_counter().add(dropped);
+  }
+  garbler_.reset();
+  fault_.reset();
+  transport_.reset();
+  connect_and_handshake();
+  if (pool_ != nullptr && cfg_.async_prefetch)
+    start_lane(lane_port_, lane_token_);
+  open_ = true;
+  ++recovered_;
+  recovered_counter().add();
 }
 
 InferenceClient::~InferenceClient() {
@@ -155,17 +314,24 @@ size_t InferenceClient::lane_target() const {
   return std::min<uint64_t>(cfg_.pool_target, server_prefetch_quota_);
 }
 
-void InferenceClient::start_lane(const std::string& host, uint16_t lane_port,
-                                 uint64_t lane_token) {
+void InferenceClient::start_lane(uint16_t lane_port, uint64_t lane_token) {
   lane_transport_ = std::make_unique<TcpChannel>(
-      TcpChannel::connect(host, lane_port));
+      TcpChannel::connect(host_, lane_port));
   if (cfg_.io == IoBackend::kUring) lane_transport_->enable_io_uring();
+  lane_fault_.reset();
+  Channel* lane_wire = lane_transport_.get();
+  if (cfg_.chaos.enabled()) {
+    lane_fault_ = std::make_unique<FaultChannel>(
+        *lane_transport_, cfg_.chaos, chaos_conn_index_++,
+        [t = lane_transport_.get()] { t->shutdown(); });
+    lane_wire = lane_fault_.get();
+  }
   // Async frame writer: artifact bytes land in the RingChannel's SPSC
   // ring and ship from its writer thread, so the lane overlaps the
   // next artifact's serialization + OT compute with the previous one's
   // kernel sends. Receives drain the ring first, so the OT rounds stay
   // correctly ordered.
-  lane_ring_ = std::make_unique<RingChannel>(*lane_transport_);
+  lane_ring_ = std::make_unique<RingChannel>(*lane_wire);
   // The lane garbles nothing (artifacts come from the pool); its
   // StreamingGarbler exists for the session state the precomputed-OT
   // exchange needs, seeded independently of the primary session.
@@ -354,6 +520,25 @@ BitVec InferenceClient::infer_bits(const BitVec& data_bits) {
   if (in_flight_ > 0)
     throw std::logic_error(
         "client: finish in-flight inferences before a synchronous infer");
+  for (size_t attempt = 0;; ++attempt) {
+    try {
+      return infer_bits_once(data_bits);
+    } catch (const std::logic_error&) {
+      throw;  // API misuse, not a transport failure — never retried
+    } catch (const std::exception&) {
+      if (attempt >= cfg_.max_retries) throw;
+      ++retries_;
+      retries_counter().add();
+      backoff_sleep(attempt);
+      // Poisons in-flight material, reconnects, re-handshakes, restarts
+      // the lane; the retried attempt below draws fresh pool material
+      // or (store now empty) falls back to on-demand garbling.
+      recover_session();
+    }
+  }
+}
+
+BitVec InferenceClient::infer_bits_once(const BitVec& data_bits) {
   const bool warm = prefetched() > 0;
   if (warm) {
     // Online phase only: active data labels out, result bits back.

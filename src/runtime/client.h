@@ -52,6 +52,7 @@
 #include <thread>
 
 #include "fixed/fixed_point.h"
+#include "net/fault_channel.h"
 #include "net/ring_channel.h"
 #include "net/tcp_channel.h"
 #include "runtime/frame.h"
@@ -95,6 +96,23 @@ struct ClientConfig {
   /// is runtime-probed per connection and silently falls back to the
   /// sendmsg path when unavailable (see ServerConfig::io).
   IoBackend io = IoBackend::kEpoll;
+  /// Deterministic fault injection on the client side of the wire
+  /// (net/fault_channel.h): wraps the primary and lane transports.
+  /// Tests and loadgen --chaos; off (rate 0) in production.
+  FaultConfig chaos;
+  /// Self-healing budget: how many times a failed session may be
+  /// rebuilt (reconnect + full re-handshake + lane re-attach) before
+  /// infer() surfaces the error. 0 = fail fast (legacy behavior).
+  /// Material whose transfer or OT was in flight at the failure is
+  /// POISONED — dropped, never replayed — so a retried inference draws
+  /// fresh pool material or falls back to on-demand garbling.
+  size_t max_retries = 0;
+  /// Reconnect backoff: base delay, doubled per consecutive attempt
+  /// with deterministic jitter, capped at backoff_cap_ms. A kBusy
+  /// retry-after hint from the server overrides the computed delay
+  /// when larger.
+  uint64_t backoff_base_ms = 10;
+  uint64_t backoff_cap_ms = 1000;
 };
 
 class InferenceClient {
@@ -159,6 +177,15 @@ class InferenceClient {
   size_t in_flight() const { return in_flight_; }
   uint64_t pooled_inferences() const { return pooled_inferences_; }
   uint64_t ondemand_inferences() const { return ondemand_inferences_; }
+  /// Self-healing audit trail (this client; the process-wide aggregates
+  /// live in Registry::global() as client.retries /
+  /// client.sessions_recovered / pool.poisoned).
+  uint64_t retries() const { return retries_; }
+  uint64_t sessions_recovered() const { return recovered_; }
+  /// Artifacts discarded by recovery because their transfer or OT was
+  /// in flight at a session failure (the one-shot invariant: partially
+  /// consumed garbled material is never replayed).
+  uint64_t poisoned() const { return poisoned_; }
   /// Whether the async prefetch lane is up (attached and not failed).
   bool lane_active() const;
 
@@ -194,15 +221,33 @@ class InferenceClient {
   /// artifact bytes, precomputed-OT + derandomization, ack.
   PrefetchedMaterial push_material_over(StreamingGarbler& g,
                                         GarbledMaterial&& mat, uint64_t id);
-  void start_lane(const std::string& host, uint16_t lane_port,
-                  uint64_t lane_token);
+  void start_lane(uint16_t lane_port, uint64_t lane_token);
   void lane_loop(uint64_t lane_token);
   size_t lane_target() const;  // min(pool_target, server quota)
+  /// Connect + handshake the primary session (kBusy answered with a
+  /// backoff-and-retry loop bounded by max_retries). Fills transport_/
+  /// garbler_, the quota, and the lane attach info; reseeds credits_.
+  void connect_and_handshake();
+  /// Rebuild a failed session: stop the lane, poison in-flight and
+  /// server-parked material, reconnect + re-handshake, re-attach the
+  /// lane. The local pool survives (its artifacts never hit the wire).
+  void recover_session();
+  /// Non-retryable body of infer_bits (one attempt).
+  BitVec infer_bits_once(const BitVec& data_bits);
+  /// Exponential backoff with deterministic jitter; sleeps at least
+  /// `floor_ms` (a server-provided retry-after hint).
+  void backoff_sleep(size_t attempt, uint64_t floor_ms = 0);
 
   std::vector<Circuit> chain_;
   FixedFormat fmt_;
   ClientConfig cfg_;
-  TcpChannel transport_;
+  std::string host_;
+  uint16_t port_ = 0;
+  // Primary connection stack, rebuilt whole on recovery. The optional
+  // chaos decorator sits between the transport and the garbler's
+  // buffered channel (declaration order = teardown order).
+  std::unique_ptr<TcpChannel> transport_;
+  std::unique_ptr<FaultChannel> fault_;
   std::unique_ptr<StreamingGarbler> garbler_;
   std::unique_ptr<MaterialPool> pool_;
 
@@ -235,14 +280,27 @@ class InferenceClient {
   // the ring, the ring drains into the transport, then the socket
   // closes).
   std::unique_ptr<TcpChannel> lane_transport_;
+  std::unique_ptr<FaultChannel> lane_fault_;
   std::unique_ptr<RingChannel> lane_ring_;
   std::unique_ptr<StreamingGarbler> lane_garbler_;
   std::thread lane_thread_;
 
   uint64_t server_prefetch_quota_ = 0;  // advertised in the hello ack
+  uint16_t lane_port_ = 0;    // lane attach info from the latest ack
+  uint64_t lane_token_ = 0;   // (single-use: refreshed per handshake)
   size_t in_flight_ = 0;
   uint64_t pooled_inferences_ = 0;
   uint64_t ondemand_inferences_ = 0;
+  // Self-healing state: the epoch salts the garbler seed so a rebuilt
+  // session can never replay the labels of a dead one (one-shot
+  // invariant), the connection index keeps chaos fault plans distinct
+  // per connection, and the rng drives backoff jitter deterministically.
+  uint64_t session_epoch_ = 0;
+  uint64_t chaos_conn_index_ = 0;
+  uint64_t backoff_rng_ = 0x9e3779b97f4a7c15ull;
+  uint64_t retries_ = 0;
+  uint64_t recovered_ = 0;
+  uint64_t poisoned_ = 0;
   bool open_ = false;
   bool closing_ = false;  // suppresses top_up while close() drains
 };

@@ -47,16 +47,20 @@ Frame recv_frame(Channel& ch) {
   uint32_t len = 0;
   ch.recv_bytes(&t, 1);
   ch.recv_bytes(&len, 4);
-  if (t < 1 || t > 11 || len > kMaxFrameBytes)
+  if (t < 1 || t > 12 || len > kMaxFrameBytes)
     throw std::runtime_error("runtime: malformed session frame");
   Frame f;
   f.type = static_cast<FrameType>(t);
   f.payload.resize(len);
   if (len > 0) ch.recv_bytes(f.payload.data(), len);
-  if (f.type == FrameType::kError)
+  if (f.type == FrameType::kError) {
+    // v6 payload is [u8 ErrorCode][utf-8 reason]; strip the code byte
+    // so the thrown message stays "runtime: peer error: <reason>".
+    const size_t skip = f.payload.empty() ? 0 : 1;
     throw std::runtime_error(
         "runtime: peer error: " +
-        std::string(f.payload.begin(), f.payload.end()));
+        std::string(f.payload.begin() + skip, f.payload.end()));
+  }
   return f;
 }
 
@@ -114,8 +118,26 @@ HelloAck parse_hello_ack(const Frame& f) {
   return a;
 }
 
+void send_error(Channel& ch, ErrorCode code, const std::string& reason) {
+  std::vector<uint8_t> p;
+  p.reserve(1 + reason.size());
+  p.push_back(static_cast<uint8_t>(code));
+  p.insert(p.end(), reason.begin(), reason.end());
+  send_frame(ch, FrameType::kError, p.data(), p.size());
+}
+
 void send_error(Channel& ch, const std::string& reason) {
-  send_frame(ch, FrameType::kError, reason.data(), reason.size());
+  send_error(ch, ErrorCode::kUnspecified, reason);
+}
+
+void send_busy(Channel& ch, uint32_t retry_after_ms) {
+  send_frame(ch, FrameType::kBusy, &retry_after_ms, sizeof(retry_after_ms));
+}
+
+uint32_t parse_busy(const Frame& f) {
+  if (f.type != FrameType::kBusy || f.payload.size() != 4)
+    throw std::runtime_error("runtime: bad busy frame");
+  return get_u32(f.payload, 0);
 }
 
 }  // namespace deepsecure::runtime

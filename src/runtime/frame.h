@@ -52,7 +52,14 @@ inline constexpr uint64_t kProtocolMagic = 0x44535255'4e313031ull;  // "DSRUN101
 // document (schema may grow freely: the frame is length-prefixed JSON,
 // so no renegotiation). Optional: a client that never sends kStats is
 // wire-compatible with v4 behavior.
-inline constexpr uint32_t kProtocolVersion = 5;
+// v6: graceful degradation — kBusy (u32 retry-after-ms payload) sheds
+// load at admission instead of silently queueing connections behind
+// the backlog, and kError payloads carry a leading machine-readable
+// reason code byte (ErrorCode) ahead of the utf-8 reason, so a
+// self-healing client can tell "overloaded, retry" from "you are
+// speaking the wrong protocol, give up". Malformed input now earns a
+// coded kError before teardown rather than a raw disconnect.
+inline constexpr uint32_t kProtocolVersion = 6;
 
 enum class FrameType : uint8_t {
   kHello = 1,     // client -> server: magic, version, fingerprint, flags
@@ -79,6 +86,23 @@ enum class FrameType : uint8_t {
   kStatsReply = 11,  // server -> client: stats_json() bytes (utf-8 JSON,
                      // self-describing — fields may grow without a
                      // version bump)
+  kBusy = 12,  // server -> client, instead of kHelloAck: admission shed
+               // under overload (v6). Payload: u32 retry-after-ms hint.
+               // The server closes after sending; the client backs off
+               // and reconnects.
+};
+
+/// Machine-readable kError reason codes (v6): the first payload byte,
+/// followed by the human-readable utf-8 reason. Values are wire-stable.
+enum class ErrorCode : uint8_t {
+  kUnspecified = 0,  // legacy/unclassified (the pre-v6 payload shape
+                     // maps here via send_error(ch, reason))
+  kHandshake = 1,    // magic/version/fingerprint/flags mismatch
+  kMalformed = 2,    // unparseable or unexpected frame for this state
+  kQuota = 3,        // prefetch quota or global byte budget exhausted
+  kMaterial = 4,     // unknown/duplicate/mismatched material id
+  kLane = 5,         // bad lane token / duplicate lane attach
+  kInternal = 6,     // server-side failure while serving the request
 };
 
 struct Frame {
@@ -138,7 +162,16 @@ void send_hello_ack(Channel& ch, const HelloAck& a);
 HelloAck parse_hello_ack(const Frame& f);
 
 /// Raise a std::runtime_error carrying `reason` on the peer and locally.
+/// The coded overload prefixes the v6 ErrorCode byte; the legacy
+/// overload sends ErrorCode::kUnspecified. recv_frame strips the code
+/// and throws "runtime: peer error: <reason>" either way.
+void send_error(Channel& ch, ErrorCode code, const std::string& reason);
 void send_error(Channel& ch, const std::string& reason);
+
+/// Admission shed (v6): kBusy carrying a retry-after hint. The server
+/// closes the connection after sending; parse_busy reads the hint back.
+void send_busy(Channel& ch, uint32_t retry_after_ms);
+uint32_t parse_busy(const Frame& f);
 
 /// FNV-1a over the full gate list and interface of every circuit in the
 /// chain: two endpoints that compiled different netlists (or different

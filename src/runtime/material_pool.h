@@ -41,6 +41,17 @@
 
 namespace deepsecure::runtime {
 
+/// Process-wide count of garbled artifacts DISCARDED because a session
+/// failure interrupted their transfer or OT (Registry::global(),
+/// `pool.poisoned` in stats_json/BENCH rows). One artifact = one
+/// inference and labels must never be reused, so recovery poisons
+/// anything partially consumed instead of replaying it — this counter
+/// is the audit trail that the one-shot invariant held under chaos.
+inline obs::Counter& poisoned_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("pool.poisoned");
+  return c;
+}
+
 struct MaterialPoolConfig {
   /// Artifacts to keep ready at all times.
   size_t target = 1;

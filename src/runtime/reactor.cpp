@@ -55,12 +55,20 @@ void EventCore::start() {
   arm_listener(/*lane=*/false, /*on=*/true);
   arm_listener(/*lane=*/true, /*on=*/true);
 
-  if (srv_.cfg_.idle_timeout_ms > 0) {
-    // Wheel resolution: ≤ ~1/64 of the timeout (an eviction lands at
-    // timeout..timeout+2 ticks, never early), minimum 1 ms.
-    tick_ms_ = std::max<uint64_t>(1, srv_.cfg_.idle_timeout_ms / 64);
-    timeout_ticks_ = (srv_.cfg_.idle_timeout_ms + tick_ms_ - 1) / tick_ms_ + 1;
-    wheel_.assign(timeout_ticks_ + 2, {});
+  const uint64_t idle_ms = srv_.cfg_.idle_timeout_ms;
+  const uint64_t phase_ms = srv_.cfg_.phase_timeout_ms;
+  if (idle_ms > 0 || phase_ms > 0) {
+    // Wheel resolution: ≤ ~1/64 of the shortest enabled timeout (an
+    // eviction lands at timeout..timeout+2 ticks, never early),
+    // minimum 1 ms. Idle and phase entries share one wheel.
+    const uint64_t base = (idle_ms > 0 && phase_ms > 0)
+                              ? std::min(idle_ms, phase_ms)
+                              : std::max(idle_ms, phase_ms);
+    tick_ms_ = std::max<uint64_t>(1, base / 64);
+    if (idle_ms > 0)
+      timeout_ticks_ = (idle_ms + tick_ms_ - 1) / tick_ms_ + 1;
+    if (phase_ms > 0) phase_ticks_ = (phase_ms + tick_ms_ - 1) / tick_ms_ + 1;
+    wheel_.assign(std::max(timeout_ticks_, phase_ticks_) + 2, {});
   }
   epoch_ = std::chrono::steady_clock::now();
 
@@ -150,6 +158,24 @@ void EventCore::accept_drain(bool lane) {
     }
     if (!lane &&
         srv_.sessions_active_.load() >= srv_.cfg_.max_sessions) {
+      if (srv_.cfg_.shed_on_overload) {
+        // Shed: accept the connection just long enough to say kBusy
+        // (with a retry-after hint) so the client backs off and
+        // retries, instead of queueing silently in the backlog.
+        try {
+          std::optional<TcpChannel> t = l.try_accept();
+          if (!t.has_value()) return;  // backlog drained
+          srv_.c_sessions_shed_.add();
+          try {
+            send_busy(*t, srv_.cfg_.busy_retry_after_ms);
+          } catch (...) {
+          }
+        } catch (...) {
+          arm_listener(lane, /*on=*/false);
+          return;
+        }
+        continue;
+      }
       // Full: gate the listener instead of accepting past the cap.
       // Excess clients wait in the listen backlog (the thread core's
       // slot-wait semantics); a session teardown wakes the loop to
@@ -181,7 +207,13 @@ void EventCore::accept_drain(bool lane) {
     // applies to parked conns (poll deadline in nonblocking mode).
     if (srv_.cfg_.idle_timeout_ms > 0)
       c->transport->set_recv_timeout_ms(srv_.cfg_.idle_timeout_ms);
-    c->ch = std::make_unique<BufferedChannel>(*c->transport,
+    if (srv_.cfg_.chaos.enabled())
+      c->fault = std::make_unique<FaultChannel>(
+          *c->transport, srv_.cfg_.chaos, srv_.chaos_index_.fetch_add(1),
+          [t = c->transport.get()] { t->shutdown(); });
+    Channel& wire = c->fault != nullptr ? static_cast<Channel&>(*c->fault)
+                                        : static_cast<Channel&>(*c->transport);
+    c->ch = std::make_unique<BufferedChannel>(wire,
                                               srv_.cfg_.stream.channel_buffer);
     c->accept_ns = obs::now_ns();
     if (!lane) {
@@ -213,6 +245,17 @@ void EventCore::advance_timers() {
       const auto it = conns_.find(e.id);
       if (it == conns_.end()) continue;           // conn already gone
       Conn* c = it->second.get();
+      if (e.phase) {
+        // Phase deadline, armed at dispatch: fires only if the worker
+        // STILL owns the conn at that generation (a park bumped the
+        // gen, cancelling it). Shutdown breaks the in-flight recv/send
+        // so the owning worker's teardown path runs — nothing is
+        // destroyed from this thread.
+        if (c->parked || c->park_gen != e.gen) continue;
+        srv_.c_phase_timeouts_.add();
+        c->transport->shutdown();
+        continue;
+      }
       if (!c->parked || c->park_gen != e.gen) continue;  // was resumed
       // Evict: shutdown makes the parked fd readable, and the worker
       // that picks up the event runs the one true teardown path —
@@ -261,6 +304,13 @@ void EventCore::loop() {
         std::lock_guard<std::mutex> lk(mu_);
         c->parked = false;
         ++c->park_gen;  // cancel the pending idle timer
+        if (phase_ticks_ > 0) {
+          // Per-phase deadline: the worker about to serve this burst
+          // must finish (and park, bumping the gen) before it fires.
+          wheel_[(current_tick_ + phase_ticks_) % wheel_.size()].push_back(
+              WheelEntry{c->id, c->park_gen, /*phase=*/true});
+          ++timers_live_;
+        }
         c->ready_ns = obs::now_ns();
         g_queue_depth_.add(1);
         ready_.push_back(c);
@@ -311,8 +361,8 @@ bool EventCore::park(Conn* c) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     c->parked = true;
-    const uint64_t gen = ++c->park_gen;
-    if (tick_ms_ > 0) {
+    const uint64_t gen = ++c->park_gen;  // also cancels the phase timer
+    if (timeout_ticks_ > 0) {
       wheel_[(current_tick_ + timeout_ticks_) % wheel_.size()].push_back(
           WheelEntry{c->id, gen});
       first_timer = (timers_live_++ == 0);
@@ -408,9 +458,18 @@ void EventCore::process(Conn* c) {
                                       : serve_lane_frame(*c);
       more = c->ch->recv_buffered() > 0;
     }
+  } catch (const std::exception& e) {
+    // Garbage frames, a phase deadline mid-exchange, or a vanished
+    // peer: tell the client WHY (best effort — the transport may
+    // already be dead) instead of a raw disconnect, then drop the
+    // connection and keep serving.
+    try {
+      send_error(*c->ch, ErrorCode::kMalformed, e.what());
+      c->ch->flush();
+    } catch (...) {
+    }
+    open = false;
   } catch (...) {
-    // Peer vanished, idle deadline hit mid-exchange, or garbage frames:
-    // drop the connection, keep serving.
     open = false;
   }
   if (!open || !park(c)) teardown(c);
@@ -426,7 +485,7 @@ bool EventCore::do_handshake(Conn& c) {
   const char* reject = srv_.validate_hello(hello);
   if (reject != nullptr) {
     srv_.c_sessions_rejected_.add();
-    send_error(*c.ch, reject);
+    send_error(*c.ch, ErrorCode::kHandshake, reject);
     c.ch->flush();
     srv_.h_handshake_.observe(obs::now_ns() - t0);
     return false;
@@ -456,8 +515,10 @@ bool EventCore::do_lane_attach(Conn& c) {
   const Frame attach = recv_frame(*c.ch);
   uint64_t token = 0;
   const char* reject = nullptr;
+  ErrorCode code = ErrorCode::kLane;
   if (attach.type != FrameType::kAttachLane) {
     reject = "expected lane attach";
+    code = ErrorCode::kMalformed;
   } else {
     token = parse_id(attach);
     c.state = srv_.attach_lane(token, &reject);
@@ -465,7 +526,7 @@ bool EventCore::do_lane_attach(Conn& c) {
   if (reject != nullptr) {
     srv_.c_lanes_rejected_.add();
     c.state = nullptr;  // nothing to detach at teardown
-    send_error(*c.ch, reject);
+    send_error(*c.ch, code, reject);
     c.ch->flush();
     return false;
   }
@@ -501,7 +562,7 @@ bool EventCore::serve_session_frame(Conn& c) {
     case FrameType::kBye:
       return false;
     default:
-      send_error(*c.ch, "unexpected frame in session loop");
+      send_error(*c.ch, ErrorCode::kMalformed, "unexpected frame in session loop");
       c.ch->flush();
       return false;
   }
@@ -516,7 +577,7 @@ bool EventCore::serve_lane_frame(Conn& c) {
   if (f.type == FrameType::kBye) return false;
   if (f.type == FrameType::kPrefetch)
     return srv_.handle_prefetch_push(f, *c.ch, *c.session, *c.state);
-  send_error(*c.ch, "unexpected frame on prefetch lane");
+  send_error(*c.ch, ErrorCode::kMalformed, "unexpected frame on prefetch lane");
   c.ch->flush();
   return false;
 }

@@ -86,6 +86,10 @@ class EventCore {
     bool is_lane = false;
     Stage stage = Stage::kHandshake;
     std::unique_ptr<TcpChannel> transport;
+    // Chaos decorator between transport and ch when cfg.chaos is
+    // enabled (declared between them: ch drops its reference first,
+    // then the fault layer, then the transport it wraps).
+    std::unique_ptr<FaultChannel> fault;
     std::unique_ptr<BufferedChannel> ch;
     std::shared_ptr<InferenceServer::SessionState> state;
     uint64_t lane_token = 0;
@@ -105,6 +109,10 @@ class EventCore {
   struct WheelEntry {
     uint64_t id = 0;
     uint64_t gen = 0;
+    // Phase-deadline entry (armed at dispatch): fires while the conn is
+    // still OWNED BY A WORKER at the same generation — the inverse of
+    // an idle entry, which fires while the conn is still parked.
+    bool phase = false;
   };
 
   // --- loop side ------------------------------------------------------
@@ -159,10 +167,14 @@ class EventCore {
   bool listener_armed_ = false;
   bool lane_listener_armed_ = false;
 
-  // Hashed timer wheel (idle_timeout_ms > 0 only): buckets of lazily
-  // cancelled {conn, generation} entries, one bucket per tick.
+  // Hashed timer wheel (idle_timeout_ms or phase_timeout_ms > 0):
+  // buckets of lazily cancelled {conn, generation} entries, one bucket
+  // per tick. Idle entries (armed at park) and phase entries (armed at
+  // dispatch) share the wheel; each kind is invalidated by the park_gen
+  // bump of the opposite transition.
   uint64_t tick_ms_ = 0;  // 0 = timers disabled
-  uint64_t timeout_ticks_ = 0;
+  uint64_t timeout_ticks_ = 0;  // idle deadline, in ticks (0 = off)
+  uint64_t phase_ticks_ = 0;    // per-phase deadline, in ticks (0 = off)
   uint64_t current_tick_ = 0;
   size_t timers_live_ = 0;
   std::vector<std::vector<WheelEntry>> wheel_;

@@ -28,6 +28,29 @@ uint64_t seconds_to_ns(double s) {
   return s <= 0 ? 0 : static_cast<uint64_t>(s * 1e9);
 }
 
+// Thread-core phase deadline: swap SO_RCVTIMEO to the per-phase bound
+// while one frame is being served, restore the idle timeout for the
+// next inter-frame wait. The event core arms a wheel entry instead.
+class PhaseDeadlineGuard {
+ public:
+  PhaseDeadlineGuard(TcpChannel& t, uint64_t phase_ms, uint64_t idle_ms)
+      : t_(t), idle_ms_(idle_ms), active_(phase_ms > 0) {
+    if (active_) t_.set_recv_timeout_ms(phase_ms);
+  }
+  ~PhaseDeadlineGuard() {
+    if (!active_) return;
+    try {
+      t_.set_recv_timeout_ms(idle_ms_);  // 0 restores "unbounded"
+    } catch (...) {
+    }
+  }
+
+ private:
+  TcpChannel& t_;
+  uint64_t idle_ms_;
+  bool active_;
+};
+
 }  // namespace
 
 InferenceServer::InferenceServer(const synth::ModelSpec& spec, BitVec weights,
@@ -149,7 +172,7 @@ bool InferenceServer::handle_infer_frame(const Frame& f, BufferedChannel& ch,
       }
     }
     if (!found) {
-      send_error(ch, "unknown prefetched material id");
+      send_error(ch, ErrorCode::kMaterial, "unknown prefetched material id");
       ch.flush();
       return false;
     }
@@ -225,13 +248,19 @@ bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
   const uint64_t id = parse_id(f);
   {
     const char* reject = nullptr;
+    ErrorCode code = ErrorCode::kUnspecified;
     std::unique_lock<std::mutex> lk(state.mu);
-    if (state.closed)
+    if (state.closed) {
       reject = "session closed";
-    else if (state.store.count(id) != 0)
+      code = ErrorCode::kInternal;
+    } else if (state.store.count(id) != 0) {
       reject = "duplicate prefetched material id";
-    else if (state.store.size() + state.pending_pushes >= cfg_.max_prefetch)
+      code = ErrorCode::kMaterial;
+    } else if (state.store.size() + state.pending_pushes >=
+               cfg_.max_prefetch) {
       reject = "prefetch quota exceeded";
+      code = ErrorCode::kQuota;
+    }
     if (reject == nullptr) {
       // Global budget: reserve before reading the artifact (its size is
       // fixed by the compiled chain). fetch_add-then-check keeps the
@@ -245,6 +274,7 @@ bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
         prefetch_bytes_.fetch_sub(expected_table_bytes_);
         c_prefetches_rejected_.add();
         reject = "global prefetch byte budget exhausted";
+        code = ErrorCode::kQuota;
       } else {
         state.reserved_bytes += expected_table_bytes_;
         ++state.pending_pushes;
@@ -252,7 +282,7 @@ bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
     }
     lk.unlock();  // never write to the wire while holding shared state
     if (reject != nullptr) {
-      send_error(ch, reject);
+      send_error(ch, code, reject);
       ch.flush();
       return false;
     }
@@ -302,7 +332,7 @@ bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
   }
   if (reject != nullptr) {
     settle(/*keep_reservation=*/false);
-    send_error(ch, reject);
+    send_error(ch, ErrorCode::kMaterial, reject);
     ch.flush();
     return false;
   }
@@ -322,7 +352,7 @@ bool InferenceServer::handle_prefetch_push(const Frame& f, BufferedChannel& ch,
     // serve. Error sent below, outside the lock.
   }
   if (!stored) {
-    send_error(ch, "session closed");
+    send_error(ch, ErrorCode::kInternal, "session closed");
     ch.flush();
     return false;
   }
@@ -365,20 +395,50 @@ std::string InferenceServer::stats_json() const {
   const char* io = cfg_.io == IoBackend::kUring && net::uring_supported()
                        ? "uring"
                        : "epoll";
+  // Resilience block: the chaos/self-healing counters live in the
+  // PROCESS-WIDE registry (fault injection and client recovery are
+  // infrastructure, like net.*), so this per-instance snapshot cannot
+  // see them — surface them explicitly, next to the per-server shed
+  // and phase-timeout counts.
+  const obs::Snapshot g = obs::Registry::global().snapshot();
+  const auto ull = [](uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  char resil[512];
+  std::snprintf(
+      resil, sizeof(resil),
+      "\"resilience\":{\"fault.injected\":%llu,\"fault.short_read\":%llu,"
+      "\"fault.short_write\":%llu,\"fault.delay\":%llu,\"fault.stall\":%llu,"
+      "\"fault.reset\":%llu,\"fault.corrupt\":%llu,"
+      "\"client.retries\":%llu,\"client.sessions_recovered\":%llu,"
+      "\"pool.poisoned\":%llu,\"server.shed\":%llu,"
+      "\"server.phase_timeouts\":%llu},",
+      ull(g.counter_value("fault.injected")),
+      ull(g.counter_value("fault.short_read")),
+      ull(g.counter_value("fault.short_write")),
+      ull(g.counter_value("fault.delay")),
+      ull(g.counter_value("fault.stall")),
+      ull(g.counter_value("fault.reset")),
+      ull(g.counter_value("fault.corrupt")),
+      ull(g.counter_value("client.retries")),
+      ull(g.counter_value("client.sessions_recovered")),
+      ull(g.counter_value("pool.poisoned")), ull(c_sessions_shed_.value()),
+      ull(c_phase_timeouts_.value()));
   char head[384];
   std::snprintf(head, sizeof(head),
                 "{\"core\":\"%s\",\"io\":\"%s\",\"sessions_active\":%llu,"
                 "\"prefetch_bytes\":%llu,"
                 "\"hash_backend\":\"%s\",\"cpu_features\":\"%s\","
                 "\"accounting\":{\"phase_total_s\":%.6f,"
-                "\"session_wall_s\":%.6f,\"accounted_fraction\":%.4f},"
-                "\"metrics\":",
+                "\"session_wall_s\":%.6f,\"accounted_fraction\":%.4f},",
                 cfg_.core == ServerCore::kEventLoop ? "event" : "thread", io,
                 static_cast<unsigned long long>(sessions_active_.load()),
                 static_cast<unsigned long long>(prefetch_bytes_.load()),
                 hash_backend().name, hash_backend_cpu_features().c_str(),
                 phase_total_s, wall_s, accounted);
   std::string out = head;
+  out += resil;
+  out += "\"metrics\":";
   out += s.to_json();
   out += "}";
   return out;
@@ -405,10 +465,13 @@ void InferenceServer::accept_loop() {
   for (;;) {
     {
       // Hold accepting until a session slot frees; pending clients wait
-      // in the listen backlog rather than being turned away.
+      // in the listen backlog rather than being turned away. Under
+      // shed_on_overload we accept regardless and answer kBusy below —
+      // an overloaded server should say so, not go silent.
       std::unique_lock<std::mutex> lock(mu_);
       slot_cv_.wait(lock, [this] {
-        return stopping_ || sessions_active_.load() < cfg_.max_sessions;
+        return stopping_ || cfg_.shed_on_overload ||
+               sessions_active_.load() < cfg_.max_sessions;
       });
       if (stopping_) return;
       reap_finished_locked();
@@ -425,6 +488,17 @@ void InferenceServer::accept_loop() {
       // outside mu_, so session completions and stop() are not stalled —
       // and keep serving instead of silently killing the accept loop.
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    if (cfg_.shed_on_overload &&
+        sessions_active_.load() >= cfg_.max_sessions) {
+      // Graceful shed (v6): tell the client when to come back, close.
+      // No session slot was ever claimed, so nothing to settle.
+      c_sessions_shed_.add();
+      try {
+        send_busy(*transport, cfg_.busy_retry_after_ms);
+      } catch (...) {
+      }
       continue;
     }
     c_sessions_accepted_.add();
@@ -490,13 +564,26 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
   uint64_t lane_token = 0;
   bool token_registered = false;
   const uint64_t t_accept = obs::now_ns();
+  bool mid_phase = false;  // a frame was being served when we failed
   try {
     // Idle sessions may not pin a slot: every recv on this session is
     // bounded, and a timeout tears the session down like any peer error.
     if (cfg_.idle_timeout_ms > 0)
       transport->set_recv_timeout_ms(cfg_.idle_timeout_ms);
     if (cfg_.io == IoBackend::kUring) transport->enable_io_uring();
-    BufferedChannel ch(*transport, cfg_.stream.channel_buffer);
+    // Chaos plane: wrap the transport so every protocol byte crosses
+    // the fault plan; an injected reset also shuts the socket down so
+    // the peer observes the failure.
+    std::unique_ptr<FaultChannel> fault;
+    Channel* wire = transport.get();
+    if (cfg_.chaos.enabled()) {
+      fault = std::make_unique<FaultChannel>(
+          *transport, cfg_.chaos, chaos_index_.fetch_add(1),
+          [t = transport.get()] { t->shutdown(); });
+      wire = fault.get();
+    }
+    BufferedChannel ch(*wire, cfg_.stream.channel_buffer);
+    try {
 
     // --- handshake (includes the wait for the client's hello) --------
     obs::Span hs_span("server.handshake");
@@ -504,7 +591,7 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
     const char* reject = validate_hello(hello);
     if (reject != nullptr) {
       c_sessions_rejected_.add();
-      send_error(ch, reject);
+      send_error(ch, ErrorCode::kHandshake, reject);
       ch.flush();
       hs_span.end();
       h_handshake_.observe(obs::now_ns() - t_accept);
@@ -542,6 +629,12 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
         const Frame f = recv_frame(ch);
         wait_span.end();
         h_recv_wait_.observe(obs::now_ns() - t_wait);
+        // Protocol work is bounded by the phase deadline (a stalled
+        // peer cannot pin this slot mid-exchange); the inter-frame
+        // wait above stays on the idle timeout.
+        PhaseDeadlineGuard phase(*transport, cfg_.phase_timeout_ms,
+                                 cfg_.idle_timeout_ms);
+        mid_phase = cfg_.phase_timeout_ms > 0;
         switch (f.type) {
           case FrameType::kInfer:
             open = handle_infer_frame(f, ch, session, *state);
@@ -562,12 +655,27 @@ void InferenceServer::handle_session(std::unique_ptr<TcpChannel> transport,
             open = false;
             break;
           default:
-            send_error(ch, "unexpected frame in session loop");
+            send_error(ch, ErrorCode::kMalformed,
+                       "unexpected frame in session loop");
             ch.flush();
             open = false;
             break;
         }
+        mid_phase = false;
       }
+    }
+    } catch (const std::exception& e) {
+      if (mid_phase && std::strstr(e.what(), "timed out") != nullptr)
+        c_phase_timeouts_.add();
+      // v6: malformed input or a local failure earns a coded kError
+      // before teardown instead of a raw disconnect. Best-effort — the
+      // transport may already be dead.
+      try {
+        send_error(ch, ErrorCode::kMalformed, e.what());
+        ch.flush();
+      } catch (...) {
+      }
+      throw;
     }
   } catch (...) {
     // Peer vanished or sent garbage: drop the session, keep serving.
@@ -613,11 +721,21 @@ void InferenceServer::handle_lane(std::unique_ptr<TcpChannel> transport,
                                   std::shared_ptr<std::atomic<bool>> done) {
   std::shared_ptr<SessionState> state;
   const uint64_t t_accept = obs::now_ns();
+  bool mid_phase = false;
   try {
     if (cfg_.idle_timeout_ms > 0)
       transport->set_recv_timeout_ms(cfg_.idle_timeout_ms);
     if (cfg_.io == IoBackend::kUring) transport->enable_io_uring();
-    BufferedChannel ch(*transport, cfg_.stream.channel_buffer);
+    std::unique_ptr<FaultChannel> fault;
+    Channel* wire = transport.get();
+    if (cfg_.chaos.enabled()) {
+      fault = std::make_unique<FaultChannel>(
+          *transport, cfg_.chaos, chaos_index_.fetch_add(1),
+          [t = transport.get()] { t->shutdown(); });
+      wire = fault.get();
+    }
+    BufferedChannel ch(*wire, cfg_.stream.channel_buffer);
+    try {
 
     const uint64_t t_attach = obs::now_ns();
     obs::Span wait_span("server.recv_wait");
@@ -635,7 +753,7 @@ void InferenceServer::handle_lane(std::unique_ptr<TcpChannel> transport,
     if (reject != nullptr) {
       c_lanes_rejected_.add();
       state = nullptr;  // nothing to detach below
-      send_error(ch, reject);
+      send_error(ch, ErrorCode::kLane, reject);
       ch.flush();
     } else {
       c_lanes_attached_.add();
@@ -649,16 +767,31 @@ void InferenceServer::handle_lane(std::unique_ptr<TcpChannel> transport,
         const Frame f = recv_frame(ch);
         lane_wait.end();
         h_recv_wait_.observe(obs::now_ns() - t_wait);
+        PhaseDeadlineGuard phase(*transport, cfg_.phase_timeout_ms,
+                                 cfg_.idle_timeout_ms);
+        mid_phase = cfg_.phase_timeout_ms > 0;
         if (f.type == FrameType::kBye) {
           open = false;
         } else if (f.type == FrameType::kPrefetch) {
           open = handle_prefetch_push(f, ch, session, *state);
         } else {
-          send_error(ch, "unexpected frame on prefetch lane");
+          send_error(ch, ErrorCode::kMalformed,
+                     "unexpected frame on prefetch lane");
           ch.flush();
           open = false;
         }
+        mid_phase = false;
       }
+    }
+    } catch (const std::exception& e) {
+      if (mid_phase && std::strstr(e.what(), "timed out") != nullptr)
+        c_phase_timeouts_.add();
+      try {
+        send_error(ch, ErrorCode::kMalformed, e.what());
+        ch.flush();
+      } catch (...) {
+      }
+      throw;
     }
   } catch (...) {
     // Lane died; the primary session is unaffected (its artifacts and

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "crypto/prg.h"
+#include "net/fault_channel.h"
 #include "net/tcp_channel.h"
 #include "obs/metrics.h"
 #include "runtime/frame.h"
@@ -91,6 +92,29 @@ struct ServerConfig {
   /// Thread core: SO_RCVTIMEO. Event core: timer wheel for parked
   /// connections + poll deadline for mid-exchange stalls.
   uint64_t idle_timeout_ms = 0;
+  /// Per-phase protocol deadline in milliseconds; 0 disables. Where
+  /// idle_timeout_ms bounds the wait BETWEEN frames, this bounds the
+  /// time a connection may spend INSIDE serving one dispatch (mid-OT,
+  /// mid-push, mid-eval) — a peer that stalls halfway through a
+  /// protocol exchange cannot pin a worker slot past this deadline.
+  /// Must exceed the worst-case legitimate exchange (an on-demand
+  /// garble + transfer takes hundreds of ms on big chains). Thread
+  /// core: SO_RCVTIMEO swap while a frame is served. Event core: a
+  /// phase entry on the timer wheel, armed at dispatch.
+  uint64_t phase_timeout_ms = 0;
+  /// Graceful shed (protocol v6): when true, a connection arriving with
+  /// all max_sessions slots busy is accepted, told kBusy (with
+  /// busy_retry_after_ms as the hint) and closed — instead of the
+  /// default silent wait in the listen backlog. Off by default: backlog
+  /// queueing is the right shape for closed-loop benches; shedding is
+  /// for open-loop overload where queues only add latency.
+  bool shed_on_overload = false;
+  uint32_t busy_retry_after_ms = 50;
+  /// Server-side deterministic fault injection (net/fault_channel.h):
+  /// when enabled, every accepted transport is wrapped in a
+  /// FaultChannel. Used by robustness tests; rate 0 (default) leaves
+  /// the healthy path untouched.
+  FaultConfig chaos;
   /// Concurrency engine (see ServerCore). Event loop is the default.
   ServerCore core = ServerCore::kEventLoop;
   /// Event-core worker threads; 0 = auto (2 × hardware_concurrency,
@@ -158,6 +182,10 @@ class InferenceServer {
   uint64_t lanes_attached() const { return c_lanes_attached_.value(); }
   /// kAttachLane attempts rejected (unknown/stale/duplicate token).
   uint64_t lanes_rejected() const { return c_lanes_rejected_.value(); }
+  /// Connections turned away with kBusy under shed_on_overload (v6).
+  uint64_t sessions_shed() const { return c_sessions_shed_.value(); }
+  /// Connections dropped by the per-phase protocol deadline.
+  uint64_t phase_timeouts() const { return c_phase_timeouts_.value(); }
 
   /// This server's full observability surface as one JSON object:
   /// {"core","sessions_active","prefetch_bytes","accounting":{...},
@@ -286,6 +314,8 @@ class InferenceServer {
       metrics_.counter("server.prefetches_rejected");
   obs::Counter& c_lanes_attached_ = metrics_.counter("server.lanes_attached");
   obs::Counter& c_lanes_rejected_ = metrics_.counter("server.lanes_rejected");
+  obs::Counter& c_sessions_shed_ = metrics_.counter("server.shed");
+  obs::Counter& c_phase_timeouts_ = metrics_.counter("server.phase_timeouts");
   obs::Counter& c_bytes_in_ = metrics_.counter("server.bytes_in");
   obs::Counter& c_bytes_out_ = metrics_.counter("server.bytes_out");
   // Non-overlapping wall-time phases (ns observations); their sums vs
@@ -310,6 +340,9 @@ class InferenceServer {
 
   std::atomic<uint64_t> sessions_active_{0};
   std::atomic<uint64_t> prefetch_bytes_{0};
+  // Per-connection index into the chaos fault plan (cfg_.chaos): each
+  // accepted transport gets a distinct deterministic stream.
+  std::atomic<uint64_t> chaos_index_{0};
 };
 
 }  // namespace deepsecure::runtime
